@@ -1,0 +1,151 @@
+// Design-choice ablations beyond the paper's Fig. 14 ladder (DESIGN.md §5):
+//
+//   A. Gate/Up operator fusion (§3.2 "Fused MoE Operator"): per-layer operator
+//      dispatch count and its decode cost.
+//   B. Quantization precision sweep: decode/prefill throughput at BF16, Int8
+//      and Int4 expert weights.
+//   C. Popularity-based hot-expert GPU placement (§1: Fiddler-style offline
+//      profiling for models without shared experts): coverage and decode
+//      speedup vs VRAM budget, using a profiled Zipf activation distribution.
+//   D. Prefill chunking: wavefront-pipelined chunks overlap CPU and GPU
+//      across chunks but re-stream every expert's weights once per chunk —
+//      quantifying why whole-prompt prefill wins (and echoing §4.1's reason
+//      for keeping deferral out of prefill: duplicated expert footprints).
+
+#include <cstdio>
+
+#include "src/core/profiling.h"
+#include "src/core/strategy_sim.h"
+
+namespace {
+
+void FusionAblation() {
+  std::printf("=== Ablation A: Gate/Up fusion (DS-3 decode) ===\n");
+  ktx::SimWorkload w;
+  w.model = ktx::DeepSeekV3Config();
+  w.prompt_len = 32;
+  w.decode_steps = 8;
+  ktx::StrategySpec fused = ktx::KTransformersStrategy(0);
+  ktx::StrategySpec unfused = fused;
+  unfused.name = "KT-unfused";
+  unfused.fused_moe = false;  // 3 dispatches per expert instead of 2 per layer
+  const double tf = ktx::SimulateDecode(fused, w).tokens_per_second;
+  const double tu = ktx::SimulateDecode(unfused, w).tokens_per_second;
+  std::printf("  fused (2 ops/layer):        %6.2f tok/s\n", tf);
+  std::printf("  unfused (3*top_k ops/layer): %6.2f tok/s\n", tu);
+  std::printf("  fusion worth %.2fx in decode\n\n", tf / tu);
+}
+
+void QuantAblation() {
+  std::printf("=== Ablation B: expert weight precision ===\n");
+  std::printf("%-20s %10s %14s %14s\n", "model", "dtype", "decode tok/s", "prefill tok/s");
+  for (const auto& model : {ktx::DeepSeekV3Config(), ktx::Qwen2MoeConfig()}) {
+    for (ktx::DType dtype : {ktx::DType::kBF16, ktx::DType::kI8, ktx::DType::kI4}) {
+      ktx::SimWorkload w;
+      w.model = model;
+      w.cpu_dtype = dtype;
+      w.prompt_len = 2048;
+      w.decode_steps = 8;
+      const double decode =
+          ktx::SimulateDecode(ktx::KTransformersStrategy(0), w).tokens_per_second;
+      const double prefill =
+          ktx::SimulatePrefill(ktx::KTransformersStrategy(0), w).tokens_per_second;
+      std::printf("%-20s %10s %14.2f %14.1f\n", model.name.c_str(),
+                  std::string(ktx::DTypeName(dtype)).c_str(), decode, prefill);
+    }
+  }
+  std::printf("(decode is weight-bandwidth-bound: Int4 ~ 4x BF16; prefill is\n"
+              " compute-bound at long prompts, so precision matters less)\n\n");
+}
+
+void PlacementAblation() {
+  std::printf("=== Ablation C: popularity-based hot-expert GPU placement ===\n");
+  // A no-shared-expert Qwen-like model: profile a Zipf-skewed workload, then
+  // plan GPU residency at increasing VRAM budgets.
+  ktx::MoeModelConfig model = ktx::Qwen2MoeConfig();
+  model.n_shared_experts = 0;  // the scenario where profiling placement matters
+  ktx::ExpertProfiler profiler(model.num_moe_layers(), model.num_experts);
+
+  // Synthesize the profile: Zipf(0.8) popularity per layer (offline corpus).
+  ktx::Rng rng(4);
+  for (int l = 0; l < model.num_moe_layers(); ++l) {
+    std::vector<double> pop(static_cast<std::size_t>(model.num_experts));
+    for (int e = 0; e < model.num_experts; ++e) {
+      pop[static_cast<std::size_t>(e)] = 1.0 / std::pow(e + 1.0, 0.8);
+    }
+    for (int e = model.num_experts - 1; e > 0; --e) {
+      std::swap(pop[static_cast<std::size_t>(e)],
+                pop[rng.NextBounded(static_cast<std::uint64_t>(e + 1))]);
+    }
+    ktx::MoeRouting routing;
+    routing.top_k = 1;
+    routing.tokens = 4096;
+    double total = 0.0;
+    for (double p : pop) {
+      total += p;
+    }
+    for (std::int64_t t = 0; t < routing.tokens; ++t) {
+      double r = rng.NextDouble() * total;
+      int e = 0;
+      while (e + 1 < model.num_experts && r > pop[static_cast<std::size_t>(e)]) {
+        r -= pop[static_cast<std::size_t>(e)];
+        ++e;
+      }
+      routing.expert_ids.push_back(e);
+      routing.weights.push_back(1.0f);
+    }
+    profiler.Record(l, routing, 0, 1);
+  }
+
+  // Decode model: CPU time scales by (1 - coverage); covered experts run on
+  // the GPU at its FFN cost.
+  const ktx::CpuSpec cpu = ktx::Xeon8452Y();
+  const ktx::GpuSpec gpu = ktx::A100_40GB();
+  const double bytes_per_expert = 3.0 * model.hidden * model.moe_inter * 2.0;
+  const double cpu_bw = ktx::EffectiveCpuBandwidthGbs(cpu, ktx::NumaMode::kTensorParallel, 8);
+  const double cpu_layer =
+      model.top_k * bytes_per_expert / (cpu_bw * 1e9);  // bandwidth-bound decode
+  std::printf("%-14s %12s %12s %16s\n", "VRAM budget", "experts", "coverage",
+              "rel. decode speed");
+  for (double budget_gb : {0.0, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    const ktx::HotExpertPlan plan =
+        ktx::HotExpertPlan::Plan(profiler, model, budget_gb * 1e9, ktx::DType::kBF16);
+    const double gpu_hit_cost = model.top_k * plan.coverage * bytes_per_expert /
+                                (gpu.mem_bw_gbs * 1e9 * 0.8);
+    const double layer = cpu_layer * (1.0 - plan.coverage) + gpu_hit_cost;
+    std::printf("%11.0f GB %12zu %11.0f%% %15.2fx\n", budget_gb, plan.gpu_experts.size(),
+                plan.coverage * 100.0, cpu_layer / layer);
+  }
+  std::printf("(with balanced routing the curve flattens — the reason the paper pins\n"
+              " *shared* experts instead wherever the architecture provides them)\n");
+}
+
+}  // namespace
+
+void ChunkingAblation() {
+  std::printf("\n=== Ablation D: prefill chunk size (DS-3, 8192-token prompt) ===\n");
+  std::printf("%-12s %14s %12s %12s\n", "chunk", "prefill tok/s", "CPU util", "GPU util");
+  ktx::SimWorkload w;
+  w.model = ktx::DeepSeekV3Config();
+  w.prompt_len = 8192;
+  for (std::int64_t chunk : {std::int64_t{0}, std::int64_t{512}, std::int64_t{1024},
+                             std::int64_t{2048}, std::int64_t{4096}}) {
+    w.prefill_chunk = chunk;
+    const ktx::SimReport r = ktx::SimulatePrefill(ktx::KTransformersStrategy(0), w);
+    std::printf("%-12s %14.1f %11.0f%% %11.0f%%\n",
+                chunk == 0 ? "whole" : std::to_string(chunk).c_str(), r.tokens_per_second,
+                r.cpu_utilization * 100.0, r.gpu_utilization * 100.0);
+  }
+  std::printf("(small chunks lose: every chunk re-streams the activated experts' weights,\n"
+              " and no cross-chunk overlap recovers the doubled CPU traffic — §4.1's\n"
+              " duplicated-footprint argument in prefill form. Very large chunks stay\n"
+              " compute-bound, so the wavefront overlap finally nets a small win.)\n");
+}
+
+int main() {
+  FusionAblation();
+  QuantAblation();
+  PlacementAblation();
+  ChunkingAblation();
+  return 0;
+}

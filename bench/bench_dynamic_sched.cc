@@ -1,0 +1,45 @@
+// Dynamic task scheduling ablation (§3.2).
+//
+// Paper: static expert-task partitioning strands threads behind hot experts
+// during prefill; the lightweight dynamic task queue recovers up to 1.83x.
+// The imbalance factor here is computed mechanically: sample a Zipf expert
+// activation histogram, split each expert into band subtasks, and schedule
+// both policies on the 72-thread testbed via list scheduling.
+
+#include <cstdio>
+
+#include "src/core/strategy_sim.h"
+
+int main() {
+  const ktx::MoeModelConfig m = ktx::DeepSeekV3Config();
+  std::printf("=== Dynamic vs static task scheduling, DS-3 prefill (§3.2) ===\n");
+  std::printf("%-14s %12s %12s %12s\n", "prompt tokens", "static", "dynamic", "gain");
+  for (std::int64_t tokens : {256, 512, 1024, 2048, 4096, 8192}) {
+    const double fixed = ktx::PrefillImbalanceFactor(m, tokens, 0.2, 72, false, 1);
+    const double dynamic = ktx::PrefillImbalanceFactor(m, tokens, 0.2, 72, true, 1);
+    std::printf("%-14lld %11.2fx %11.2fx %11.2fx\n", static_cast<long long>(tokens), fixed,
+                dynamic, fixed / dynamic);
+  }
+  std::printf("(paper: up to 1.83x from dynamic scheduling)\n");
+
+  std::printf("\n=== Sensitivity to expert-popularity skew (8192 tokens) ===\n");
+  std::printf("%-12s %12s %12s %12s\n", "zipf skew", "static", "dynamic", "gain");
+  for (double skew : {0.0, 0.1, 0.2, 0.3, 0.5}) {
+    const double fixed = ktx::PrefillImbalanceFactor(m, 8192, skew, 72, false, 1);
+    const double dynamic = ktx::PrefillImbalanceFactor(m, 8192, skew, 72, true, 1);
+    std::printf("%-12.1f %11.2fx %11.2fx %11.2fx\n", skew, fixed, dynamic, fixed / dynamic);
+  }
+
+  std::printf("\n=== End-to-end effect on DS-3 prefill throughput (8192 tokens) ===\n");
+  ktx::SimWorkload w;
+  w.model = m;
+  w.prompt_len = 8192;
+  ktx::StrategySpec with = ktx::KTransformersStrategy(0);
+  ktx::StrategySpec without = with;
+  without.dynamic_sched = false;
+  const double tps_with = ktx::SimulatePrefill(with, w).tokens_per_second;
+  const double tps_without = ktx::SimulatePrefill(without, w).tokens_per_second;
+  std::printf("  static:  %8.1f tok/s\n  dynamic: %8.1f tok/s  (%.2fx)\n", tps_without,
+              tps_with, tps_with / tps_without);
+  return 0;
+}

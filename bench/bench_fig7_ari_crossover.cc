@@ -1,0 +1,101 @@
+// Figure 7 reproduction: MoE layer latency, AMX vs AVX-512 kernel, across the
+// three evaluated models as a function of tokens per expert.
+//
+// Paper finding: the AVX-512 kernel consistently wins at <= 4 tokens per
+// expert (decode regime); the AMX kernel wins above (prefill regime). The
+// hybrid ARI dispatch yields up to 1.20x in decode over pure AMX and up to
+// 10.81x in prefill over pure AVX-512.
+//
+// Part 2 measures the same crossover with this repository's real kernels
+// (native AMX vs native AVX-512 when the host grants them).
+
+#include <cstdio>
+
+#include "src/common/rng.h"
+#include "src/common/stopwatch.h"
+#include "src/cpu/cpu_features.h"
+#include "src/cpu/gemm.h"
+#include "src/model/config.h"
+#include "src/sim/cost_model.h"
+
+namespace {
+
+double LayerLatencyMs(const ktx::MoeModelConfig& m, ktx::CpuKernelClass kc, std::int64_t t) {
+  const ktx::CpuSpec cpu = ktx::Xeon8452Y();
+  // Per active expert: Gate+Up+Down; decode-style: top_k experts active.
+  const double bw = 220.0;
+  double seconds = 0.0;
+  seconds += 2.0 * ktx::CpuGemmSeconds(kc, t, m.moe_inter, m.hidden, ktx::DType::kBF16, cpu,
+                                       bw, 0.5);
+  seconds += ktx::CpuGemmSeconds(kc, t, m.hidden, m.moe_inter, ktx::DType::kBF16, cpu, bw, 0.5);
+  seconds *= m.top_k;
+  seconds += 2.0 * ktx::CpuOpOverheadSeconds(kc);
+  return seconds * 1e3;
+}
+
+void PrintModelTable() {
+  std::printf("=== Figure 7: MoE layer latency (ms), AMX vs AVX-512 kernel (model) ===\n");
+  for (const auto& m :
+       {ktx::DeepSeekV3Config(), ktx::DeepSeekV2Config(), ktx::Qwen2MoeConfig()}) {
+    std::printf("\n%s (top-%d, inter %lld):\n", m.name.c_str(), m.top_k,
+                static_cast<long long>(m.moe_inter));
+    std::printf("%-14s %10s %10s %10s\n", "tokens/expert", "AMX", "AVX-512", "winner");
+    for (std::int64_t t : {1, 2, 4, 8, 16, 32}) {
+      const double amx = LayerLatencyMs(m, ktx::CpuKernelClass::kKtAmx, t);
+      const double avx = LayerLatencyMs(m, ktx::CpuKernelClass::kKtAvx512, t);
+      std::printf("%-14lld %10.3f %10.3f %10s\n", static_cast<long long>(t), amx, avx,
+                  avx < amx ? "AVX-512" : "AMX");
+    }
+    std::printf("ARI dispatch picks: t<=4 -> %s, t=32 -> %s\n",
+                ktx::SelectKernel(4) == ktx::KernelKind::kAvx512 ? "AVX-512" : "AMX",
+                ktx::SelectKernel(32) == ktx::KernelKind::kAvx512 ? "AVX-512" : "AMX");
+  }
+  std::printf("\n");
+}
+
+void MeasureRealCrossover() {
+  std::printf("=== Figure 7 (companion): real kernels on this host ===\n");
+  std::printf("NOTE: the paper's crossover is a *bandwidth-contention* effect — with 36\n");
+  std::printf("cores saturating DRAM, AMX's padded 16-row tile passes waste scarce memory\n");
+  std::printf("bandwidth at small m. A single unconstrained core is compute-limited, where\n");
+  std::printf("AMX's ~8x MAC throughput wins at every m; the contended regime is what the\n");
+  std::printf("calibrated model above reproduces.\n");
+  if (!ktx::NativeAmxAvailable() || !ktx::NativeAvx512Available()) {
+    std::printf("(native AMX/AVX-512 unavailable; skipping wall-clock crossover)\n\n");
+    return;
+  }
+  ktx::Rng rng(13);
+  ktx::Tensor w = ktx::Tensor::Randn({768, 1024}, rng, 0.3f);
+  auto packed = ktx::PackedMatrix::Pack(w, ktx::DType::kBF16);
+  ktx::Tensor x = ktx::Tensor::Randn({64, 1024}, rng, 0.3f);
+  ktx::Tensor y({64, 768}, ktx::DType::kF32);
+  std::printf("%-8s %12s %12s %10s\n", "m", "AMX us", "AVX-512 us", "winner");
+  for (std::int64_t m : {1, 2, 4, 8, 16, 32, 64}) {
+    double best[2] = {1e30, 1e30};
+    for (int k = 0; k < 2; ++k) {
+      ktx::GemmOptions opts;
+      opts.kind = k == 0 ? ktx::KernelKind::kAmx : ktx::KernelKind::kAvx512;
+      opts.impl = ktx::KernelImpl::kNative;
+      const int reps = 50;
+      for (int warm = 0; warm < 3; ++warm) {
+        ktx::GemmPacked(x.f32(), m, 1024, *packed, y.f32(), 768, opts);
+      }
+      ktx::Stopwatch sw;
+      for (int r = 0; r < reps; ++r) {
+        ktx::GemmPacked(x.f32(), m, 1024, *packed, y.f32(), 768, opts);
+      }
+      best[k] = sw.ElapsedMicros() / reps;
+    }
+    std::printf("%-8lld %12.1f %12.1f %10s\n", static_cast<long long>(m), best[0], best[1],
+                best[1] < best[0] ? "AVX-512" : "AMX");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  PrintModelTable();
+  MeasureRealCrossover();
+  return 0;
+}

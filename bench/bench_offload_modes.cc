@@ -1,0 +1,68 @@
+// Figure 1 / §2.1 reproduction: why computation offloading beats weight
+// offloading for MoE decode.
+//
+// Paper: naive weight offloading re-transfers activated expert weights over
+// PCIe (32 GB/s) every step and "quickly hits a bottleneck"; computation
+// offloading keeps weights in DRAM and uses the CPU's 440 GB/s of memory
+// bandwidth. This bench prices all three execution modes of Fig. 1 per
+// decoded token.
+
+#include <cstdio>
+
+#include "src/core/strategy_sim.h"
+#include "src/sim/cost_model.h"
+
+int main() {
+  const ktx::CpuSpec cpu = ktx::Xeon8452Y();
+  const ktx::GpuSpec gpu = ktx::A100_40GB();
+  const ktx::PcieSpec pcie;
+
+  std::printf("=== Figure 1 / §2.1: execution modes, per decoded token ===\n");
+  std::printf("%-34s %14s %12s\n", "mode", "ms/token", "tok/s");
+  for (const auto& model :
+       {ktx::DeepSeekV3Config(), ktx::DeepSeekV2Config(), ktx::Qwen2MoeConfig()}) {
+    const double expert_bytes =
+        3.0 * model.hidden * model.moe_inter * 2.0;  // bf16 per expert
+    const double gpu_side_ms = [&] {
+      ktx::SimWorkload w;
+      w.model = model;
+      w.prompt_len = 32;
+      w.decode_steps = 4;
+      const ktx::SimReport r = ktx::SimulateDecode(ktx::KTransformersStrategy(0), w);
+      // GPU-resident share of the KT decode step (attention/shared/etc.).
+      return r.sim->BusyTime(r.gpu_resource) / w.decode_steps * 1e3;
+    }();
+
+    // (a) GPU-only: impossible at these scales (weights exceed VRAM) — shown
+    //     as the hypothetical HBM-bound time for contrast.
+    const double gpu_only_ms =
+        model.top_k * model.num_moe_layers() * expert_bytes / (gpu.mem_bw_gbs * 1e9 * 0.8) *
+            1e3 + gpu_side_ms;
+    // (b) Weight offloading: activated experts cross PCIe every layer.
+    const double pcie_ms =
+        model.top_k * model.num_moe_layers() *
+        ktx::PcieSeconds(expert_bytes, pcie) * 1e3;
+    const double weight_offload_ms = pcie_ms + gpu_only_ms;
+    // (c) Computation offloading (KT): experts run from DRAM on the CPU.
+    ktx::SimWorkload w;
+    w.model = model;
+    w.prompt_len = 32;
+    w.decode_steps = 8;
+    const double compute_offload_ms =
+        1e3 / ktx::SimulateDecode(ktx::KTransformersStrategy(0), w).tokens_per_second;
+
+    std::printf("\n%s:\n", model.name.c_str());
+    std::printf("%-34s %14.1f %12.2f   (hypothetical: does not fit VRAM)\n",
+                "  (a) GPU-only", gpu_only_ms, 1e3 / gpu_only_ms);
+    std::printf("%-34s %14.1f %12.2f\n", "  (b) weight offloading (PCIe)",
+                weight_offload_ms, 1e3 / weight_offload_ms);
+    std::printf("%-34s %14.1f %12.2f\n", "  (c) computation offloading (KT)",
+                compute_offload_ms, 1e3 / compute_offload_ms);
+    std::printf("  compute- over weight-offloading: %.1fx\n",
+                weight_offload_ms / compute_offload_ms);
+  }
+  std::printf("\n(PCIe 4.0 moves %.0f GB/s vs %.0f GB/s of dual-socket DRAM bandwidth —\n"
+              " the §2.1 argument for keeping expert compute on the CPU)\n",
+              pcie.bw_gbs * pcie.efficiency, 2 * cpu.local_bw_gbs);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// DeepSeek-V3 local deployment showcase (the paper's headline scenario).
+//
+// Two parts:
+//   1. Paper-scale planning: the real DS-3 shapes (671B parameters) through
+//      the placement planner and the calibrated performance model — what a
+//      dual-Xeon + A100 box would deliver under each system, and the §4.2
+//      deferral heuristic's pick.
+//   2. Functional proof: the same engine code generating tokens on a scaled-
+//      down MLA + grouped-gating model with deferral enabled.
+//
+//   ./deepseek_v3_local
+
+#include <cstdio>
+#include <memory>
+
+#include "src/core/engine.h"
+#include "src/core/strategy_sim.h"
+
+namespace {
+
+void PaperScalePlanning() {
+  const ktx::MoeModelConfig m = ktx::DeepSeekV3Config();
+  std::printf("=== DeepSeek-V3-0324 on 2x Xeon 8452Y + A100-40GB (modelled) ===\n");
+  std::printf("placement: %.1fB params -> GPU %.1f GB (BF16), CPU %.0f GB (BF16 experts)\n",
+              m.TotalParams() / 1e9, m.GpuParams() * 2 / 1e9,
+              m.RoutedExpertParams() * 2 / 1e9);
+  std::printf("per decoded token the CPU streams %.1f GB of expert weights\n\n",
+              m.CpuBytesPerToken(2.0) / 1e9);
+
+  ktx::SimWorkload w;
+  w.model = m;
+  w.prompt_len = 1024;
+  w.decode_steps = 16;
+  const int deferral = ktx::ChooseDeferredExperts(w);
+  std::printf("deferral heuristic (§4.2): defer %d of %d routed experts\n\n", deferral,
+              m.top_k);
+  std::printf("%-22s %16s %16s\n", "system", "prefill tok/s", "decode tok/s");
+  for (const auto& strat : {ktx::FiddlerStrategy(), ktx::LlamaCppStrategy(),
+                            ktx::KTransformersStrategy(0),
+                            ktx::KTransformersStrategy(deferral)}) {
+    const double prefill = ktx::SimulatePrefill(strat, w).tokens_per_second;
+    const double decode = ktx::SimulateDecode(strat, w).tokens_per_second;
+    std::printf("%-22s %16.1f %16.2f\n", strat.name.c_str(), prefill, decode);
+  }
+  std::printf("\n");
+}
+
+void FunctionalShowcase() {
+  std::printf("=== Functional engine: scaled-down DS-3 architecture ===\n");
+  // TinyMla carries DS-3's distinguishing parts: MLA attention, grouped
+  // sigmoid gating, shared expert, dense first layer.
+  const ktx::MoeModelConfig config = ktx::TinyMlaConfig();
+  auto weights =
+      std::make_shared<const ktx::ModelWeights>(ktx::ModelWeights::Generate(config, 31));
+  ktx::EngineOptions options;
+  options.cpu_weight_dtype = ktx::DType::kI4;  // the 4080-class deployment
+  options.n_deferred = 2;
+  ktx::HybridEngine engine(config, weights, options);
+
+  const std::vector<int> prompt{17, 3, 250, 121};
+  const std::vector<int> generated = engine.GenerateGreedy(prompt, 12);
+  std::printf("prompt:   ");
+  for (int t : prompt) {
+    std::printf("%d ", t);
+  }
+  std::printf("\ngenerated:");
+  for (int t : generated) {
+    std::printf(" %d", t);
+  }
+  std::printf("\nkv cache: %zu B per position (MLA latent compression)\n",
+              ktx::KvCache(config).BytesPerPosition());
+  std::printf("decode executed as %lld single-graph replays\n",
+              static_cast<long long>(engine.device().stats().graph_launches.load()));
+}
+
+}  // namespace
+
+int main() {
+  PaperScalePlanning();
+  FunctionalShowcase();
+  return 0;
+}

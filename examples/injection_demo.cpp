@@ -1,0 +1,106 @@
+// Module injection framework demo (paper §5, Listing 1).
+//
+// Shows the full YAML-driven flow: parse a rule file, walk a DeepSeek-V3
+// module tree applying match/replace clauses, print the substitution report,
+// then build a working engine from the same YAML and generate tokens —
+// followed by the paper's "adapting DeepSeek-V2 is a one-line edit" trick.
+//
+//   ./injection_demo
+
+#include <cstdio>
+#include <memory>
+
+#include "src/inject/inject.h"
+
+namespace {
+
+constexpr const char* kDs3Yaml = R"(# Listing 1: adapting DeepSeek-V3 with Int4 quantization
+- match:
+    class: modeling_deepseek_v3.DeepseekV3MoE
+  replace:
+    class: operators.experts.FusedMoE
+    device: "cpu"
+    kwargs:
+      backend: "hybrid_AMX_AVX512"
+      data_type: "Int4"
+      n_deferred_experts: 6
+
+- match:
+    name: "^model\\.layers\\..*\\.self_attn$"
+  replace:
+    class: operators.attention.FlashInferMLA
+    device: "cuda:0"
+
+- match:
+    name: "^(?!lm_head$).*"
+    class: torch.nn.Linear
+  replace:
+    class: operators.linear.MarlinLinear
+    device: "cuda:0"
+    kwargs:
+      data_type: "Int4"
+)";
+
+void WalkAndReport(const ktx::MoeModelConfig& config, const std::string& yaml) {
+  auto root = ktx::BuildModuleTree(config);
+  auto rules = ktx::ParseRules(yaml);
+  if (!rules.ok()) {
+    std::printf("rule parse error: %s\n", rules.status().ToString().c_str());
+    return;
+  }
+  auto report = ktx::ApplyRules(root.get(), *rules);
+  std::printf("%s: visited %d modules, replaced %d\n", config.name.c_str(),
+              report->modules_visited, report->modules_replaced);
+  int shown = 0;
+  for (const auto& [path, old_class, new_class] : report->replacements) {
+    if (++shown > 5) {
+      std::printf("  ... (%zu more)\n", report->replacements.size() - 5);
+      break;
+    }
+    std::printf("  %-34s %s -> %s\n", path.c_str(), old_class.c_str(), new_class.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Injection: applying Listing 1 to the DeepSeek-V3 module tree ===\n");
+  WalkAndReport(ktx::DeepSeekV3Config(), kDs3Yaml);
+
+  std::printf("\n=== One-line model swap: same rules, class name edited for DS-V2 ===\n");
+  std::string v2_yaml = kDs3Yaml;
+  const std::string from = "modeling_deepseek_v3.DeepseekV3MoE";
+  v2_yaml.replace(v2_yaml.find(from), from.size(), "DeepseekV2MoE");
+  WalkAndReport(ktx::DeepSeekV2Config(), v2_yaml);
+
+  std::printf("\n=== The same YAML configures a working engine ===\n");
+  // Retarget the MoE rule at the tiny functional model's class and defer 1.
+  std::string tiny_yaml = kDs3Yaml;
+  const std::string from2 = "modeling_deepseek_v3.DeepseekV3MoE";
+  tiny_yaml.replace(tiny_yaml.find(from2), from2.size(), "KtxMoeMoE");
+  const std::string defer6 = "n_deferred_experts: 6";
+  tiny_yaml.replace(tiny_yaml.find(defer6), defer6.size(), "n_deferred_experts: 1");
+
+  auto options = ktx::EngineOptionsFromYaml(tiny_yaml);
+  if (!options.ok()) {
+    std::printf("options error: %s\n", options.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("engine options from YAML: cpu dtype=%s, gpu dtype=%s, deferral=%d, "
+              "backend=%s\n",
+              std::string(ktx::DTypeName(options->cpu_weight_dtype)).c_str(),
+              std::string(ktx::DTypeName(options->gpu_weight_dtype)).c_str(),
+              options->n_deferred,
+              options->moe.force_kind.has_value() ? "forced" : "hybrid (ARI dispatch)");
+  const ktx::MoeModelConfig config = ktx::TinyMoeConfig();
+  auto weights =
+      std::make_shared<const ktx::ModelWeights>(ktx::ModelWeights::Generate(config, 8));
+  ktx::HybridEngine engine(config, weights, *options);
+  const std::vector<int> out = engine.GenerateGreedy({5, 10, 15}, 8);
+  std::printf("generated:");
+  for (int t : out) {
+    std::printf(" %d", t);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Speculative decoding on the hybrid engine (related-work synergy: SpecExec
+// [39] style draft-and-verify, §7).
+//
+// A cheap Int4 engine drafts k tokens greedily; the BF16 target engine
+// verifies the whole draft in ONE multi-token pass (VerifyStep) — which the
+// ARI dispatch runs through the AMX kernel, because k tokens per expert is
+// exactly the arithmetic-intensity regime AMX wins (Fig. 7). Accepted
+// prefixes advance both models; the first mismatch is corrected from the
+// target's logits and both engines resynchronize.
+//
+//   ./speculative_decode
+
+#include <cstdio>
+#include <memory>
+
+#include "src/core/engine.h"
+
+namespace {
+
+int Argmax(const ktx::Tensor& logits, std::int64_t row) {
+  const std::int64_t vocab = logits.dim(1);
+  const float* r = logits.f32() + row * vocab;
+  int best = 0;
+  for (std::int64_t v = 1; v < vocab; ++v) {
+    if (r[v] > r[best]) {
+      best = static_cast<int>(v);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const ktx::MoeModelConfig config = ktx::SmallMoeConfig();
+  auto weights =
+      std::make_shared<const ktx::ModelWeights>(ktx::ModelWeights::Generate(config, 314));
+
+  ktx::EngineOptions target_opts;  // full-accuracy target
+  ktx::HybridEngine target(config, weights, target_opts);
+  ktx::EngineOptions draft_opts;   // cheap draft: Int4 experts
+  draft_opts.cpu_weight_dtype = ktx::DType::kI4;
+  ktx::HybridEngine draft(config, weights, draft_opts);
+
+  const std::vector<int> prompt{5, 80, 200, 13};
+  ktx::Tensor target_logits = target.Prefill(prompt);
+  draft.Prefill(prompt);
+
+  constexpr int kDraftLen = 4;
+  constexpr int kWanted = 24;
+  std::vector<int> output;
+  int accepted_total = 0;
+  int drafted_total = 0;
+  int next = Argmax(target_logits, 0);
+
+  while (static_cast<int>(output.size()) < kWanted) {
+    output.push_back(next);
+    // 1. Draft k tokens greedily with the cheap engine.
+    std::vector<int> draft_tokens{next};
+    ktx::Tensor dl = draft.DecodeStep(next);
+    for (int i = 1; i < kDraftLen; ++i) {
+      draft_tokens.push_back(Argmax(dl, 0));
+      dl = draft.DecodeStep(draft_tokens.back());
+    }
+    drafted_total += kDraftLen - 1;
+
+    // 2. Verify the whole run with ONE multi-token target pass.
+    const ktx::Tensor verify = target.VerifyStep(0, draft_tokens);
+
+    // 3. Accept the longest matching prefix; correct at the first mismatch.
+    int accepted = 0;
+    for (int i = 0; i + 1 < kDraftLen; ++i) {
+      const int target_next = Argmax(verify, i);
+      if (target_next == draft_tokens[static_cast<std::size_t>(i + 1)]) {
+        output.push_back(target_next);
+        ++accepted;
+        if (static_cast<int>(output.size()) >= kWanted) {
+          break;
+        }
+      } else {
+        break;
+      }
+    }
+    accepted_total += accepted;
+    next = Argmax(verify, accepted);  // target's token after the accepted prefix
+
+    // 4. Resynchronize: both engines' caches advanced by the full draft; the
+    // simple policy here rebuilds them to the accepted history. (A production
+    // integration would roll back KV entries in place.)
+    const std::vector<int> history = [&] {
+      std::vector<int> h = prompt;
+      h.insert(h.end(), output.begin(), output.end());
+      return h;
+    }();
+    target.Reset();
+    target.Prefill(history);
+    draft.Reset();
+    draft.Prefill(history);
+  }
+
+  std::printf("generated %zu tokens:", output.size());
+  for (int t : output) {
+    std::printf(" %d", t);
+  }
+  std::printf("\ndraft acceptance: %d/%d (%.0f%%)\n", accepted_total, drafted_total,
+              drafted_total > 0 ? 100.0 * accepted_total / drafted_total : 0.0);
+  std::printf("verify passes ran %d-token batches through the AMX-path MoE kernels\n",
+              kDraftLen);
+  const ktx::MoeStats stats = target.moe_stats();
+  std::printf("target engine kernel mix: %lld AMX calls, %lld AVX-512 calls\n",
+              static_cast<long long>(stats.amx_calls),
+              static_cast<long long>(stats.avx512_calls));
+
+  // Sanity: speculative output must equal plain greedy decoding.
+  ktx::HybridEngine plain(config, weights, target_opts);
+  const std::vector<int> greedy = plain.GenerateGreedy(prompt, kWanted);
+  int agree = 0;
+  for (std::size_t i = 0; i < greedy.size() && i < output.size(); ++i) {
+    agree += greedy[i] == output[i] ? 1 : 0;
+  }
+  std::printf("agreement with plain greedy decoding: %d/%d\n", agree,
+              static_cast<int>(greedy.size()));
+  return 0;
+}

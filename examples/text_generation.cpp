@@ -1,0 +1,99 @@
+// Text generation with checkpointing and sampling.
+//
+// Demonstrates the full user-facing pipeline: a byte-level tokenizer, a model
+// checkpoint saved and reloaded from disk (KTXC format), and the hybrid
+// engine generating text under greedy and temperature sampling — the two
+// decoding modes the paper's accuracy runs use (§6.1).
+//
+//   ./text_generation [prompt text]
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/core/engine.h"
+#include "src/model/sampler.h"
+#include "src/model/serialize.h"
+#include "src/model/tokenizer.h"
+
+int main(int argc, char** argv) {
+  const std::string prompt_text = argc > 1 ? argv[1] : "The mixture of experts";
+
+  // A byte-vocab model: vocab must cover the tokenizer's 258 ids.
+  ktx::MoeModelConfig config = ktx::SmallMoeConfig();
+  config.vocab = ktx::ByteTokenizer::kVocabSize;
+  config.name = "byte-moe";
+
+  // Save, then load, a checkpoint — the workflow a downstream user has.
+  const std::string ckpt = "/tmp/ktx_text_generation.ktxc";
+  {
+    const ktx::ModelWeights weights = ktx::ModelWeights::Generate(config, 7777);
+    const ktx::Status saved = ktx::SaveModel(ckpt, config, weights);
+    if (!saved.ok()) {
+      std::printf("save failed: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+  }
+  auto loaded = ktx::LoadModel(ckpt);
+  if (!loaded.ok()) {
+    std::printf("load failed: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded checkpoint %s (%s, %.1fM params)\n", ckpt.c_str(),
+              loaded->config.name.c_str(), loaded->config.TotalParams() / 1e6);
+
+  ktx::EngineOptions options;
+  options.cpu_weight_dtype = ktx::DType::kI8;
+  options.n_deferred = 2;
+  ktx::HybridEngine engine(loaded->config,
+                           std::make_shared<const ktx::ModelWeights>(std::move(loaded->weights)),
+                           options);
+
+  const ktx::ByteTokenizer tokenizer;
+  const std::vector<int> prompt = tokenizer.Encode(prompt_text);
+  std::printf("prompt: \"%s\" (%zu tokens)\n\n", prompt_text.c_str(), prompt.size());
+
+  struct Mode {
+    const char* name;
+    ktx::SamplerOptions opts;
+  };
+  Mode modes[2];
+  modes[0].name = "greedy";
+  modes[1].name = "t=0.3 sampling";
+  modes[1].opts.temperature = 0.3f;
+  modes[1].opts.top_k = 40;
+  modes[1].opts.seed = 11;
+
+  for (const Mode& mode : modes) {
+    engine.Reset();
+    ktx::Sampler sampler(mode.opts);
+    ktx::Tensor logits = engine.Prefill(prompt);
+    std::vector<int> generated;
+    for (int i = 0; i < 24; ++i) {
+      const int next = sampler.Sample(logits);
+      if (next == ktx::ByteTokenizer::kEos) {
+        break;
+      }
+      generated.push_back(next);
+      logits = engine.DecodeStep(next);
+    }
+    // A random-weight model produces byte soup; render it hex-escaped so the
+    // pipeline's output is inspectable either way.
+    std::string rendered;
+    for (char c : tokenizer.Decode(generated)) {
+      if (c >= 32 && c < 127) {
+        rendered.push_back(c);
+      } else {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\x%02x", static_cast<unsigned char>(c));
+        rendered += buf;
+      }
+    }
+    std::printf("%-16s -> %s\n", mode.name, rendered.c_str());
+  }
+  std::printf("\ndecode ran as %lld graph replays; CPU MoE handled %lld requests\n",
+              static_cast<long long>(engine.device().stats().graph_launches.load()),
+              static_cast<long long>(engine.counters().moe_requests));
+  std::remove(ckpt.c_str());
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Baseline systems (paper §6.1).
+//
+// Fiddler [24] and llama.cpp [14] both implement Fiddler-style expert
+// offloading: routed experts on the CPU, everything else on the GPU. They
+// share the functional math with KTransformers; what differs — and what the
+// paper's speedups come from — is scheduling and kernel quality:
+//
+//   * Fiddler: PyTorch-driven. A blocking CPU round-trip per MoE layer, no
+//     operator fusion (3 framework ops per expert), no CUDA graphs, ~29 real
+//     kernels per logical op at 16 us launch latency, NUMA-oblivious
+//     interleaved weights, oneDNN/generic kernels.
+//   * llama.cpp: C++ graph walker. Fused operators, 5 us launches, CUDA
+//     graphs disabled, still a blocking per-layer round-trip and
+//     NUMA-oblivious placement. (The paper extends it with expert-level
+//     offload; this configuration models that patched version.)
+//
+// Each baseline exists twice, deliberately from the same underlying code:
+//   * a *functional* engine (a HybridEngine configured with the baseline's
+//     scheduling semantics) proving the baselines compute the same model;
+//   * a *timed* StrategySpec (core/strategy_sim.h) regenerating the paper's
+//     performance comparisons.
+
+#ifndef KTX_SRC_BASELINES_BASELINES_H_
+#define KTX_SRC_BASELINES_BASELINES_H_
+
+#include <memory>
+
+#include "src/core/engine.h"
+#include "src/core/strategy_sim.h"
+
+namespace ktx {
+
+// Engine options encoding each baseline's scheduling behaviour. Callers may
+// tweak the returned options (e.g. cpu_weight_dtype) before building.
+EngineOptions FiddlerEngineOptions();
+EngineOptions LlamaCppEngineOptions();
+EngineOptions KTransformersEngineOptions(int n_deferred = 0);
+
+std::unique_ptr<HybridEngine> MakeFiddlerEngine(const MoeModelConfig& config,
+                                                std::shared_ptr<const ModelWeights> weights);
+std::unique_ptr<HybridEngine> MakeLlamaCppEngine(const MoeModelConfig& config,
+                                                 std::shared_ptr<const ModelWeights> weights);
+std::unique_ptr<HybridEngine> MakeKTransformersEngine(
+    const MoeModelConfig& config, std::shared_ptr<const ModelWeights> weights,
+    int n_deferred = 0);
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_BASELINES_BASELINES_H_

@@ -1,0 +1,47 @@
+#include "src/common/align.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "src/common/logging.h"
+
+namespace ktx {
+
+void* AlignedAlloc(std::size_t bytes, std::size_t alignment) {
+  KTX_CHECK(alignment >= sizeof(void*) && (alignment & (alignment - 1)) == 0)
+      << "bad alignment " << alignment;
+  void* ptr = nullptr;
+  if (posix_memalign(&ptr, alignment, AlignUp(bytes, alignment)) != 0) {
+    return nullptr;
+  }
+  return ptr;
+}
+
+void AlignedFree(void* ptr) { std::free(ptr); }
+
+AlignedBuffer::AlignedBuffer(std::size_t bytes, std::size_t alignment) : size_(bytes) {
+  if (bytes == 0) {
+    return;
+  }
+  data_ = static_cast<std::byte*>(AlignedAlloc(bytes, alignment));
+  if (data_ == nullptr) {
+    throw std::bad_alloc();
+  }
+  std::memset(data_, 0, bytes);
+}
+
+AlignedBuffer::~AlignedBuffer() { AlignedFree(data_); }
+
+AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
+  if (this != &other) {
+    AlignedFree(data_);
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+}  // namespace ktx

@@ -1,0 +1,53 @@
+// Reusable spin barrier for gangs of kernel worker threads.
+//
+// The fused MoE batches synchronize through the TaskQueue/ThreadPool path;
+// this barrier serves tighter loops (e.g. NUMA shard rendezvous in tests and
+// microbenchmarks) where parking threads in the kernel would cost more than
+// the wait itself. Sense-reversing, so it is immediately reusable.
+
+#ifndef KTX_SRC_COMMON_BARRIER_H_
+#define KTX_SRC_COMMON_BARRIER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+
+#include "src/common/logging.h"
+
+namespace ktx {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties) : parties_(parties) {
+    KTX_CHECK_GE(parties, 1u);
+  }
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  // Blocks until `parties` threads have arrived. Returns true on exactly one
+  // thread per generation (the "serial" thread, for once-per-phase work).
+  bool ArriveAndWait() {
+    const bool sense = sense_.load(std::memory_order_relaxed);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      sense_.store(!sense, std::memory_order_release);  // release the others
+      return true;
+    }
+    while (sense_.load(std::memory_order_acquire) == sense) {
+      std::this_thread::yield();
+    }
+    return false;
+  }
+
+  std::size_t parties() const { return parties_; }
+
+ private:
+  const std::size_t parties_;
+  std::atomic<std::size_t> arrived_{0};
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_COMMON_BARRIER_H_

@@ -1,0 +1,90 @@
+#include "src/common/flags.h"
+
+#include <cstdlib>
+
+namespace ktx {
+
+StatusOr<FlagParser> FlagParser::Parse(int argc, const char* const* argv) {
+  FlagParser parser;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      parser.positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) {
+      return InvalidArgumentError("bare '--' is not a flag");
+    }
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      const std::string key = body.substr(0, eq);
+      if (key.empty()) {
+        return InvalidArgumentError("malformed flag: " + arg);
+      }
+      parser.flags_[key] = body.substr(eq + 1);
+      continue;
+    }
+    if (body.rfind("no-", 0) == 0 && body.size() > 3) {
+      parser.flags_[body.substr(3)] = "false";
+      continue;
+    }
+    // "--key value" when the next token is not a flag; else boolean true.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      parser.flags_[body] = argv[++i];
+    } else {
+      parser.flags_[body] = "true";
+    }
+  }
+  return parser;
+}
+
+std::string FlagParser::GetString(const std::string& key,
+                                  const std::string& default_value) const {
+  touched_.insert(key);
+  const auto it = flags_.find(key);
+  return it == flags_.end() ? default_value : it->second;
+}
+
+std::int64_t FlagParser::GetInt(const std::string& key, std::int64_t default_value) const {
+  touched_.insert(key);
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) {
+    return default_value;
+  }
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  return (end != nullptr && *end == '\0') ? v : default_value;
+}
+
+double FlagParser::GetDouble(const std::string& key, double default_value) const {
+  touched_.insert(key);
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) {
+    return default_value;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return (end != nullptr && *end == '\0') ? v : default_value;
+}
+
+bool FlagParser::GetBool(const std::string& key, bool default_value) const {
+  touched_.insert(key);
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) {
+    return default_value;
+  }
+  return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+std::vector<std::string> FlagParser::unused() const {
+  std::vector<std::string> result;
+  for (const auto& [key, value] : flags_) {
+    if (touched_.count(key) == 0) {
+      result.push_back(key);
+    }
+  }
+  return result;
+}
+
+}  // namespace ktx

@@ -1,0 +1,45 @@
+// Minimal command-line flag parsing for the tools and examples.
+//
+// Supports --key=value, --key value, boolean --key (true) / --no-key (false),
+// and positional arguments. Unknown-flag detection is the caller's choice via
+// unused().
+
+#ifndef KTX_SRC_COMMON_FLAGS_H_
+#define KTX_SRC_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ktx {
+
+class FlagParser {
+ public:
+  // Parses argv; returns an error for malformed input (e.g. "--=x").
+  static StatusOr<FlagParser> Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& key) const { return flags_.count(key) > 0; }
+
+  std::string GetString(const std::string& key, const std::string& default_value) const;
+  std::int64_t GetInt(const std::string& key, std::int64_t default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Flags present but never read by any Get*/Has call — typo detection.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+  mutable std::set<std::string> touched_;
+};
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_COMMON_FLAGS_H_

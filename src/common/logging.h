@@ -1,0 +1,81 @@
+// Lightweight leveled logging with stream syntax:
+//
+//   KTX_LOG(INFO) << "loaded " << n << " experts";
+//   KTX_CHECK(ptr != nullptr) << "null weight pointer for expert " << id;
+//
+// FATAL logs abort. The minimum level is process-global and settable in tests.
+
+#ifndef KTX_SRC_COMMON_LOGGING_H_
+#define KTX_SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string_view>
+
+namespace ktx {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Sets / gets the process-wide minimum level that actually reaches stderr.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+namespace log_internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Consumes a LogMessage so `condition ? (void)0 : voidify & msg` type-checks.
+struct Voidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace log_internal
+
+#define KTX_LOG(severity)                                                              \
+  ::ktx::log_internal::LogMessage(::ktx::LogLevel::k##severity, __FILE__, __LINE__)
+
+#define KTX_CHECK(condition)                                                           \
+  (condition) ? (void)0                                                               \
+              : ::ktx::log_internal::Voidify() &                                      \
+                    ::ktx::log_internal::LogMessage(::ktx::LogLevel::kFatal, __FILE__, \
+                                                    __LINE__)                          \
+                        << "Check failed: " #condition " "
+
+#define KTX_CHECK_EQ(a, b) KTX_CHECK((a) == (b))
+#define KTX_CHECK_NE(a, b) KTX_CHECK((a) != (b))
+#define KTX_CHECK_LT(a, b) KTX_CHECK((a) < (b))
+#define KTX_CHECK_LE(a, b) KTX_CHECK((a) <= (b))
+#define KTX_CHECK_GT(a, b) KTX_CHECK((a) > (b))
+#define KTX_CHECK_GE(a, b) KTX_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define KTX_DCHECK(condition) KTX_CHECK(condition)
+#else
+#define KTX_DCHECK(condition) \
+  while (false) KTX_CHECK(condition)
+#endif
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_COMMON_LOGGING_H_

@@ -1,0 +1,136 @@
+// Minimal Status / StatusOr error-handling vocabulary used across the library.
+//
+// ktx avoids exceptions on hot paths; fallible constructors and loaders return
+// Status or StatusOr<T>. Status is cheap to copy in the OK case (no allocation).
+
+#ifndef KTX_SRC_COMMON_STATUS_H_
+#define KTX_SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace ktx {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,
+  kNotFound,
+  kAlreadyExists,
+};
+
+// Human-readable name of a status code, e.g. "INVALID_ARGUMENT".
+std::string_view StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk ? nullptr : std::make_shared<Rep>(code, std::move(message))) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    Rep(StatusCode c, std::string m) : code(c), message(std::move(m)) {}
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;  // null iff OK
+};
+
+inline Status OkStatus() { return Status(); }
+Status InvalidArgumentError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+
+// A value-or-error wrapper. Accessing value() on an error aborts in debug
+// builds; callers must check ok() first.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(const T& value) : var_(value) {}                          // NOLINT(google-explicit-constructor)
+  StatusOr(T&& value) : var_(std::move(value)) {}                    // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : var_(std::move(status)) {                // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(var_).ok() && "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(var_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(var_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<Status, T> var_;
+};
+
+#define KTX_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::ktx::Status _ktx_status = (expr);      \
+    if (!_ktx_status.ok()) {                 \
+      return _ktx_status;                    \
+    }                                        \
+  } while (0)
+
+#define KTX_SO_CONCAT_INNER(a, b) a##b
+#define KTX_SO_CONCAT(a, b) KTX_SO_CONCAT_INNER(a, b)
+
+#define KTX_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) {                                \
+    return tmp.status();                          \
+  }                                               \
+  lhs = std::move(tmp).value()
+
+#define KTX_ASSIGN_OR_RETURN(lhs, expr) \
+  KTX_ASSIGN_OR_RETURN_IMPL(KTX_SO_CONCAT(_ktx_statusor_, __LINE__), lhs, expr)
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_COMMON_STATUS_H_

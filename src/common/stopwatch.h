@@ -1,0 +1,33 @@
+// Wall-clock stopwatch for examples and real-time measurements.
+//
+// Benchmarks that reproduce paper figures report *virtual* time from the DES
+// (src/sim); Stopwatch is only for host-side measurements such as kernel
+// microbenchmarks that do run real math.
+
+#ifndef KTX_SRC_COMMON_STOPWATCH_H_
+#define KTX_SRC_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace ktx {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_COMMON_STOPWATCH_H_

@@ -1,0 +1,73 @@
+#include "src/common/task_queue.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/common/logging.h"
+
+namespace ktx {
+
+void TaskQueue::Run(std::vector<SubTask> tasks, ScheduleKind schedule) {
+  if (tasks.empty()) {
+    return;
+  }
+  const std::size_t n = tasks.size();
+  const std::size_t threads = pool_->num_threads();
+  if (schedule == ScheduleKind::kDynamic || threads <= 1) {
+    pool_->ParallelFor(n, [&](std::size_t i) { tasks[i].fn(); });
+    return;
+  }
+  // Static: block-partition task indices; each worker runs one contiguous slab.
+  const std::size_t blocks = std::min(threads, n);
+  const std::size_t per = (n + blocks - 1) / blocks;
+  pool_->ParallelFor(blocks, [&](std::size_t b) {
+    const std::size_t lo = b * per;
+    const std::size_t hi = std::min(n, lo + per);
+    for (std::size_t i = lo; i < hi; ++i) {
+      tasks[i].fn();
+    }
+  });
+}
+
+double TaskQueue::SimulateMakespan(const std::vector<double>& costs, std::size_t num_threads,
+                                   ScheduleKind schedule) {
+  if (costs.empty() || num_threads == 0) {
+    return 0.0;
+  }
+  if (schedule == ScheduleKind::kStatic) {
+    // Contiguous block partition, same policy as Run().
+    const std::size_t n = costs.size();
+    const std::size_t blocks = std::min(num_threads, n);
+    const std::size_t per = (n + blocks - 1) / blocks;
+    double makespan = 0.0;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      double sum = 0.0;
+      const std::size_t lo = b * per;
+      const std::size_t hi = std::min(n, lo + per);
+      for (std::size_t i = lo; i < hi; ++i) {
+        sum += costs[i];
+      }
+      makespan = std::max(makespan, sum);
+    }
+    return makespan;
+  }
+  // Dynamic: list scheduling — each worker grabs the next task when it frees
+  // up. Simulated with a min-heap of worker completion times.
+  std::priority_queue<double, std::vector<double>, std::greater<>> workers;
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    workers.push(0.0);
+  }
+  for (double c : costs) {
+    const double start = workers.top();
+    workers.pop();
+    workers.push(start + c);
+  }
+  double makespan = 0.0;
+  while (!workers.empty()) {
+    makespan = std::max(makespan, workers.top());
+    workers.pop();
+  }
+  return makespan;
+}
+
+}  // namespace ktx

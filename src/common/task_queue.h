@@ -1,0 +1,57 @@
+// Dynamic task scheduling for MoE kernels (paper §3.2).
+//
+// During prefill the expert activation histogram is highly imbalanced: a few
+// experts receive most tokens. Static partitioning then leaves threads idle
+// while one thread grinds through a hot expert. The paper's fix is to split
+// each expert's GEMM into small sequential subtasks pushed into a lightweight
+// queue that worker threads drain dynamically — measured at up to 1.83x
+// prefill speedup (Fig. 14, "d").
+//
+// TaskQueue models exactly that: callers describe (task, cost) pairs, choose a
+// schedule (static block-partition vs dynamic chunked), and Run() executes the
+// batch across a ThreadPool. The cost accounting is also consumed by the DES
+// when benchmarks replay the same schedules at paper scale.
+
+#ifndef KTX_SRC_COMMON_TASK_QUEUE_H_
+#define KTX_SRC_COMMON_TASK_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+
+namespace ktx {
+
+enum class ScheduleKind {
+  kStatic,   // contiguous block partition by task index
+  kDynamic,  // shared atomic cursor; threads grab the next subtask when free
+};
+
+struct SubTask {
+  std::function<void()> fn;
+  double cost = 1.0;  // relative cost, used only for simulation/accounting
+};
+
+class TaskQueue {
+ public:
+  explicit TaskQueue(ThreadPool* pool) : pool_(pool) {}
+
+  // Executes `tasks` to completion under the given schedule.
+  void Run(std::vector<SubTask> tasks, ScheduleKind schedule);
+
+  // Computes the makespan (in cost units) a given schedule would achieve with
+  // `num_threads` workers over tasks of the given costs. This is the analytic
+  // counterpart used by tests and by bench_dynamic_sched to show the
+  // imbalance gap without wall-clock noise.
+  static double SimulateMakespan(const std::vector<double>& costs, std::size_t num_threads,
+                                 ScheduleKind schedule);
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_COMMON_TASK_QUEUE_H_

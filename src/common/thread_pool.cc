@@ -1,0 +1,113 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/common/logging.h"
+
+namespace ktx {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t n = std::max<std::size_t>(1, num_threads);
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    KTX_CHECK(!stop_) << "Submit after shutdown";
+    queue_.push_back(std::move(fn));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || next_ < queue_.size(); });
+      if (stop_ && next_ >= queue_.size()) {
+        return;
+      }
+      task = std::move(queue_[next_++]);
+      ++in_flight_;
+      // Compact the queue when fully drained so it does not grow unbounded.
+      if (next_ == queue_.size()) {
+        queue_.clear();
+        next_ = 0;
+      }
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return next_ >= queue_.size() && in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (n == 1 || threads_.size() == 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  // Helper bodies may still sit in the queue (or be mid-loop) after this call
+  // returns, so everything they touch lives in shared state, not on this
+  // stack frame. Stragglers see counter >= n and exit immediately.
+  struct PforState {
+    explicit PforState(std::size_t total, std::function<void(std::size_t)> f)
+        : n(total), fn(std::move(f)) {}
+    std::atomic<std::size_t> counter{0};
+    std::atomic<std::size_t> finished{0};
+    const std::size_t n;
+    const std::function<void(std::size_t)> fn;
+  };
+  auto state = std::make_shared<PforState>(n, fn);
+  auto body = [state] {
+    for (;;) {
+      const std::size_t i = state->counter.fetch_add(1, std::memory_order_relaxed);
+      if (i >= state->n) {
+        break;
+      }
+      state->fn(i);
+      state->finished.fetch_add(1, std::memory_order_release);
+    }
+  };
+  const std::size_t helpers = std::min(threads_.size(), n);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    Submit(body);
+  }
+  body();  // the caller participates
+  // Spin-wait: tasks are short-lived kernel chunks, and Wait() would also wait
+  // on unrelated submissions.
+  while (state->finished.load(std::memory_order_acquire) < n) {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace ktx

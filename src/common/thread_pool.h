@@ -1,0 +1,56 @@
+// Fixed-size worker pool with a parallel-for primitive.
+//
+// This is the execution substrate for the CPU-side kernels: the fused MoE
+// operator partitions expert weight matrices into tasks and the pool's workers
+// drain them (statically or through the dynamic TaskQueue, see task_queue.h).
+
+#ifndef KTX_SRC_COMMON_THREAD_POOL_H_
+#define KTX_SRC_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ktx {
+
+class ThreadPool {
+ public:
+  // Creates `num_threads` workers (>=1). Workers are joined on destruction.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+  // Enqueues one task; returns immediately.
+  void Submit(std::function<void()> fn);
+
+  // Runs fn(i) for i in [0, n) across the pool and blocks until all complete.
+  // The calling thread participates. fn receives (index).
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  // Blocks until every submitted task has finished.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::function<void()>> queue_;
+  std::size_t next_ = 0;  // index of next task to run in queue_
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_COMMON_THREAD_POOL_H_

@@ -1,0 +1,61 @@
+#include "src/core/async_service.h"
+
+#include "src/common/logging.h"
+
+namespace ktx {
+
+AsyncMoeService::AsyncMoeService(std::shared_ptr<const NumaMoe> moe, std::size_t queue_capacity)
+    : moe_(std::move(moe)), queue_(queue_capacity) {
+  KTX_CHECK(moe_ != nullptr);
+  control_thread_ = std::thread([this] { ControlLoop(); });
+}
+
+AsyncMoeService::~AsyncMoeService() {
+  stop_.store(true, std::memory_order_release);
+  control_thread_.join();
+}
+
+void AsyncMoeService::Submit(MoeRequest* request) {
+  KTX_CHECK(request != nullptr && !request->done.load());
+  while (!queue_.TryPush(request)) {
+    std::this_thread::yield();  // backpressure: queue full
+  }
+}
+
+MoeStats AsyncMoeService::stats_snapshot() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void AsyncMoeService::ControlLoop() {
+  for (;;) {
+    auto request = queue_.TryPop();
+    if (!request.has_value()) {
+      if (stop_.load(std::memory_order_acquire)) {
+        return;
+      }
+      std::this_thread::yield();
+      continue;
+    }
+    MoeRequest* r = *request;
+    if (r->slot_end > r->slot_begin) {
+      MoeStats local;
+      moe_->Forward(r->x, r->tokens, *r->routing, r->slot_begin, r->slot_end, r->y, &local);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.tokens += local.tokens;
+        stats_.activated_experts += local.activated_experts;
+        stats_.subtasks += local.subtasks;
+        stats_.amx_calls += local.amx_calls;
+        stats_.avx512_calls += local.avx512_calls;
+        stats_.useful_flops += local.useful_flops;
+        stats_.max_tokens_per_expert =
+            std::max(stats_.max_tokens_per_expert, local.max_tokens_per_expert);
+      }
+    }
+    completed_.fetch_add(1);
+    r->done.store(true, std::memory_order_release);
+  }
+}
+
+}  // namespace ktx

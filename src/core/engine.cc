@@ -1,0 +1,436 @@
+#include "src/core/engine.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/cpu/activation.h"
+#include "src/model/attention.h"
+
+namespace ktx {
+
+// Working buffers for one in-flight forward pass. Decode keeps one instance
+// alive across the whole session (the captured graph's kernels point into
+// it); prefill builds a fresh instance per chunk.
+struct HybridEngine::DecodeBuffers {
+  std::int64_t m = 0;
+  std::vector<int> token_ids;         // slot: set before each replay
+  std::atomic<std::int64_t> pos0{0};  // slot: start position, read at exec
+
+  Tensor x;         // [m, hidden] residual stream
+  Tensor normed;    // [m, hidden]
+  Tensor attn_out;  // [m, hidden]
+  // Parity-indexed buffers: the deferred request of MoE layer k still reads
+  // ffn_in[k%2] and writes defer_out[k%2] while the GPU runs layer k+1, so
+  // consecutive MoE layers must not share them. The FIFO completion order of
+  // the CPU service guarantees parity-2 reuse is safe (see engine.h).
+  Tensor ffn_in[2];       // I_k
+  Tensor moe_cpu_out[2];  // immediate experts' output
+  Tensor defer_out[2];    // deferred experts' output
+  Tensor moe_gpu_out;     // shared experts / dense FFN output
+  MoeRouting routing[2];
+  Tensor logits;  // [m, vocab]
+
+  // One immediate + one deferred request per layer index.
+  std::vector<std::unique_ptr<MoeRequest>> imm_requests;
+  std::vector<std::unique_ptr<MoeRequest>> def_requests;
+
+  DecodeBuffers(const MoeModelConfig& config, std::int64_t tokens) : m(tokens) {
+    token_ids.resize(static_cast<std::size_t>(tokens), 0);
+    x = Tensor({tokens, config.hidden}, DType::kF32);
+    normed = Tensor({tokens, config.hidden}, DType::kF32);
+    attn_out = Tensor({tokens, config.hidden}, DType::kF32);
+    for (int p = 0; p < 2; ++p) {
+      ffn_in[p] = Tensor({tokens, config.hidden}, DType::kF32);
+      moe_cpu_out[p] = Tensor({tokens, config.hidden}, DType::kF32);
+      defer_out[p] = Tensor({tokens, config.hidden}, DType::kF32);
+    }
+    moe_gpu_out = Tensor({tokens, config.hidden}, DType::kF32);
+    logits = Tensor({tokens, config.vocab}, DType::kF32);
+    for (int l = 0; l < config.num_layers; ++l) {
+      imm_requests.push_back(std::make_unique<MoeRequest>());
+      def_requests.push_back(std::make_unique<MoeRequest>());
+    }
+  }
+};
+
+HybridEngine::HybridEngine(MoeModelConfig config, std::shared_ptr<const ModelWeights> weights,
+                           EngineOptions options)
+    : config_(std::move(config)), weights_(std::move(weights)), options_(options) {
+  KTX_CHECK(weights_ != nullptr);
+  KTX_CHECK_GE(options_.n_deferred, 0);
+  // §4.2: keep at least 2 immediate experts for model stability.
+  KTX_CHECK_LE(options_.n_deferred, config_.top_k - 2)
+      << "Expert Deferral must leave >= 2 immediate experts";
+  KTX_CHECK_GE(options_.pipeline_stages, 1);
+  KTX_CHECK_LE(options_.pipeline_stages, config_.num_layers);
+  if (options_.pipeline_stages > 1) {
+    // Cross-stream events cannot be captured into a graph (as in real CUDA).
+    options_.use_cuda_graph = false;
+  }
+  sessions_.push_back(std::make_unique<KvCache>(config_));
+  active_cache_ = sessions_[0].get();
+  for (int stage = 0; stage < options_.pipeline_stages; ++stage) {
+    devices_.push_back(std::make_unique<VDevice>(options_.device));
+    streams_.push_back(std::make_unique<VStream>(devices_.back().get()));
+  }
+  pool_ = std::make_unique<ThreadPool>(static_cast<std::size_t>(options_.cpu_threads));
+  BuildCpuExperts();
+  service_ = std::make_unique<AsyncMoeService>(numa_moe_);
+}
+
+HybridEngine::~HybridEngine() {
+  // The service must outlive nothing that still submits; streams first.
+  streams_.clear();
+  service_.reset();
+}
+
+int HybridEngine::StageOf(int layer) const {
+  const int stages = static_cast<int>(devices_.size());
+  const int per = (config_.num_layers + stages - 1) / stages;
+  return layer / per;
+}
+
+void HybridEngine::SyncAllStreams() {
+  for (auto& st : streams_) {
+    st->Synchronize();
+  }
+}
+
+void HybridEngine::ChainStreams(VStream* from, VStream* to) {
+  // The §5 stage hand-off: the upstream device records an event after its
+  // slice of the layer stack; the downstream stream's next op waits on it
+  // (plus the activation transfer, counted against the downstream device).
+  auto event = std::make_shared<VEvent>();
+  from->RecordEvent(event.get());
+  to->MemcpyAsync([event] { event->Wait(); },
+                  static_cast<std::int64_t>(config_.hidden) * 4, MemcpyDir::kDeviceToDevice);
+}
+
+void HybridEngine::BuildCpuExperts() {
+  // Collect the per-layer routed experts and pack them for the CPU backend.
+  // One NumaMoe per layer would duplicate machinery; instead experts of all
+  // layers are packed into one table with per-layer id offsets.
+  const int experts_per_layer = config_.num_experts;
+  std::vector<Tensor> gate;
+  std::vector<Tensor> up;
+  std::vector<Tensor> down;
+  for (int l = config_.first_dense_layers; l < config_.num_layers; ++l) {
+    const LayerWeights* lw = &weights_->layers[static_cast<std::size_t>(l)];
+    for (int e = 0; e < experts_per_layer; ++e) {
+      gate.push_back(lw->expert_gate[static_cast<std::size_t>(e)]);
+      up.push_back(lw->expert_up[static_cast<std::size_t>(e)]);
+      down.push_back(lw->expert_down[static_cast<std::size_t>(e)]);
+    }
+  }
+  NumaMoe::Options moe_opts;
+  moe_opts.moe = options_.moe;
+  moe_opts.mode = options_.numa_mode;
+  if (options_.numa_mode == NumaMode::kTensorParallel) {
+    auto tp = TpExperts::Build(gate, up, down, options_.cpu_weight_dtype,
+                               options_.numa_shards);
+    KTX_CHECK(tp.ok()) << tp.status().ToString();
+    numa_moe_ = std::make_shared<const NumaMoe>(
+        nullptr, std::make_shared<const TpExperts>(std::move(*tp)), pool_.get(), moe_opts);
+  } else {
+    auto flat = PackedExperts::Pack(gate, up, down, options_.cpu_weight_dtype);
+    KTX_CHECK(flat.ok()) << flat.status().ToString();
+    numa_moe_ = std::make_shared<const NumaMoe>(
+        std::make_shared<const PackedExperts>(std::move(*flat)), nullptr, pool_.get(),
+        moe_opts);
+  }
+}
+
+void HybridEngine::EnqueueForward(DecodeBuffers* bufs, std::int64_t m, bool allow_deferral) {
+  const std::int64_t hidden = config_.hidden;
+  const int n_def = allow_deferral ? options_.n_deferred : 0;
+  const int last_layer = config_.num_layers - 1;
+  const int first_moe = config_.first_dense_layers;
+  VStream* stream = streams_[0].get();
+
+  // Embedding lookup (stage 0).
+  stream->Launch(KernelDesc{
+      "embed",
+      [this, bufs, m] {
+        for (std::int64_t t = 0; t < m; ++t) {
+          std::memcpy(bufs->x.f32() + t * config_.hidden,
+                      weights_->embedding.f32() +
+                          static_cast<std::int64_t>(bufs->token_ids[static_cast<std::size_t>(t)]) *
+                              config_.hidden,
+                      static_cast<std::size_t>(config_.hidden) * sizeof(float));
+        }
+      },
+      0.0, 0.0, options_.gpu_micro_per_op});
+
+  for (int l = 0; l < config_.num_layers; ++l) {
+    const LayerWeights* lw = &weights_->layers[static_cast<std::size_t>(l)];
+    const bool moe_layer = config_.is_moe_layer(l);
+    const int p = moe_layer ? (l - first_moe) % 2 : 0;
+    VStream* layer_stream = StreamOf(l);
+    if (layer_stream != stream) {
+      ChainStreams(stream, layer_stream);
+      stream = layer_stream;
+    }
+
+    stream->Launch(KernelDesc{
+        "attn_norm",
+        [this, bufs, lw, m] {
+          for (std::int64_t t = 0; t < m; ++t) {
+            RmsNorm(bufs->x.f32() + t * config_.hidden, lw->attn_norm.f32(),
+                    bufs->normed.f32() + t * config_.hidden, config_.hidden);
+          }
+        },
+        0.0, 0.0, options_.gpu_micro_per_op});
+    stream->Launch(KernelDesc{
+        "attention",
+        [this, bufs, lw, m, l] {
+          const std::int64_t pos = bufs->pos0.load(std::memory_order_relaxed);
+          AttentionForward(config_, lw->attn, bufs->normed.f32(), m, pos,
+                           &active_cache_->layer(l),
+                           bufs->attn_out.f32());
+          AddInPlace(bufs->x.f32(), bufs->attn_out.f32(), m * config_.hidden);
+        },
+        0.0, 0.0, options_.gpu_micro_per_op});
+
+    // FFN norm writes I_k into the parity buffer for MoE layers.
+    float* ffn_in = moe_layer ? bufs->ffn_in[p].f32() : bufs->normed.f32();
+    stream->Launch(KernelDesc{
+        "ffn_norm",
+        [this, bufs, lw, m, ffn_in] {
+          for (std::int64_t t = 0; t < m; ++t) {
+            RmsNorm(bufs->x.f32() + t * config_.hidden, lw->ffn_norm.f32(),
+                    ffn_in + t * config_.hidden, config_.hidden);
+          }
+        },
+        0.0, 0.0, options_.gpu_micro_per_op});
+
+    if (!moe_layer) {
+      stream->Launch(KernelDesc{
+          "dense_ffn",
+          [this, bufs, lw, m, ffn_in] {
+            DenseFfnAdd(lw->dense_gate, lw->dense_up, lw->dense_down, ffn_in, m, config_.hidden,
+                        bufs->x.f32());
+          },
+          0.0, 0.0, options_.gpu_micro_per_op});
+      continue;
+    }
+
+    // --- MoE layer -----------------------------------------------------------
+    const bool is_last = l == last_layer;
+    const int immediate_end = (n_def > 0 && !is_last) ? config_.top_k - n_def : config_.top_k;
+    const int expert_base = (l - first_moe) * config_.num_experts;
+
+    stream->Launch(KernelDesc{
+        "gating",
+        [this, bufs, lw, m, p, ffn_in] {
+          bufs->routing[p] =
+              ComputeRouting(config_, lw->router, lw->router_bias, ffn_in, m);
+        },
+        0.0, 0.0, options_.gpu_micro_per_op});
+
+    // Submit: push immediate (and deferred) routed-expert work to the CPU.
+    MoeRequest* imm = bufs->imm_requests[static_cast<std::size_t>(l)].get();
+    MoeRequest* def = bufs->def_requests[static_cast<std::size_t>(l)].get();
+    stream->LaunchHostFunc([this, bufs, m, p, l, ffn_in, imm, def, immediate_end,
+                             expert_base, hidden] {
+      // Routing ids are per-layer; offset them into the packed global table.
+      // Routing is recomputed by the gating kernel on every (re)play, so the
+      // per-layer ids are always fresh in [0, num_experts) here.
+      MoeRouting& routing = bufs->routing[p];
+      if (options_.profiler != nullptr) {
+        options_.profiler->Record(l - config_.first_dense_layers, routing, 0, routing.top_k);
+      }
+      for (int& id : routing.expert_ids) {
+        id += expert_base;
+      }
+      std::memset(bufs->moe_cpu_out[p].f32(), 0,
+                  static_cast<std::size_t>(m * hidden) * sizeof(float));
+      imm->Reset();
+      imm->x = ffn_in;
+      imm->tokens = m;
+      imm->routing = &routing;
+      imm->slot_begin = 0;
+      imm->slot_end = immediate_end;
+      imm->y = bufs->moe_cpu_out[p].f32();
+      service_->Submit(imm);
+      ++counters_.moe_requests;
+      if (immediate_end < config_.top_k) {
+        std::memset(bufs->defer_out[p].f32(), 0,
+                    static_cast<std::size_t>(m * hidden) * sizeof(float));
+        def->Reset();
+        def->x = ffn_in;
+        def->tokens = m;
+        def->routing = &routing;
+        def->slot_begin = immediate_end;
+        def->slot_end = config_.top_k;
+        def->y = bufs->defer_out[p].f32();
+        service_->Submit(def);
+        ++counters_.moe_requests;
+      }
+    });
+
+    if (!options_.async_overlap) {
+      // Baseline semantics: block on the CPU before anything else runs on the
+      // GPU — the synchronous round-trip of Fig. 1b-style systems.
+      stream->LaunchHostFunc([imm] { imm->Wait(); });
+    }
+
+    // Shared experts run on the GPU, overlapping the CPU's immediate batch.
+    stream->Launch(KernelDesc{
+        "shared_experts",
+        [this, bufs, lw, m, ffn_in] {
+          std::memset(bufs->moe_gpu_out.f32(), 0,
+                      static_cast<std::size_t>(m * config_.hidden) * sizeof(float));
+          if (config_.n_shared_experts > 0) {
+            DenseFfnAdd(lw->shared_gate, lw->shared_up, lw->shared_down, ffn_in, m,
+                        config_.hidden, bufs->moe_gpu_out.f32());
+          }
+        },
+        0.0, 0.0, options_.gpu_micro_per_op});
+
+    // Sync: wait for the immediate batch. FIFO completion implies the
+    // previous layer's deferred batch is also done.
+    if (options_.async_overlap) {
+      stream->LaunchHostFunc([imm] { imm->Wait(); });
+    }
+
+    // Merge: O_k = I_k(residual, already in x) + S_k + R_k^imm + R_{k-1}^def.
+    const bool has_prev_def = n_def > 0 && l > first_moe;
+    stream->Launch(KernelDesc{
+        "merge",
+        [this, bufs, m, p, has_prev_def] {
+          AddInPlace(bufs->x.f32(), bufs->moe_gpu_out.f32(), m * config_.hidden);
+          AddInPlace(bufs->x.f32(), bufs->moe_cpu_out[p].f32(), m * config_.hidden);
+          if (has_prev_def) {
+            AddInPlace(bufs->x.f32(), bufs->defer_out[1 - p].f32(), m * config_.hidden);
+          }
+        },
+        0.0, 0.0, options_.gpu_micro_per_op});
+  }
+
+  stream->Launch(KernelDesc{
+      "final_norm_lm_head",
+      [this, bufs, m] {
+        for (std::int64_t t = 0; t < m; ++t) {
+          RmsNorm(bufs->x.f32() + t * config_.hidden, weights_->final_norm.f32(),
+                  bufs->normed.f32() + t * config_.hidden, config_.hidden);
+        }
+        RefGemm(bufs->normed.f32(), m, config_.hidden, weights_->lm_head, bufs->logits.f32(),
+                config_.vocab);
+      },
+      0.0, 0.0, options_.gpu_micro_per_op});
+}
+
+Tensor HybridEngine::Prefill(int session, const std::vector<int>& tokens) {
+  KTX_CHECK(!tokens.empty());
+  KvCache* cache = sessions_.at(static_cast<std::size_t>(session)).get();
+  active_cache_ = cache;
+  Tensor last_logits;
+  std::size_t offset = 0;
+  while (offset < tokens.size()) {
+    const std::int64_t m = std::min<std::int64_t>(
+        options_.prefill_chunk, static_cast<std::int64_t>(tokens.size() - offset));
+    DecodeBuffers bufs(config_, m);
+    for (std::int64_t t = 0; t < m; ++t) {
+      bufs.token_ids[static_cast<std::size_t>(t)] = tokens[offset + static_cast<std::size_t>(t)];
+    }
+    bufs.pos0.store(cache->position());
+    // Deferral is disabled in prefill (§4.1: prefill's expert coverage would
+    // double the memory footprint).
+    EnqueueForward(&bufs, m, /*allow_deferral=*/false);
+    SyncAllStreams();
+    cache->Advance(m);
+    counters_.prefill_tokens += m;
+    last_logits = bufs.logits.Slice(m - 1, 1).Clone();
+    offset += static_cast<std::size_t>(m);
+  }
+  return last_logits;
+}
+
+Tensor HybridEngine::DecodeStep(int session, int token) {
+  KvCache* cache = sessions_.at(static_cast<std::size_t>(session)).get();
+  active_cache_ = cache;
+  if (decode_bufs_ == nullptr) {
+    decode_bufs_ = std::make_unique<DecodeBuffers>(config_, 1);
+  }
+  decode_bufs_->token_ids[0] = token;
+  decode_bufs_->pos0.store(cache->position());
+
+  if (options_.use_cuda_graph) {
+    if (!graph_ready_) {
+      // Capture once: the whole decode step, submit/sync callbacks included,
+      // becomes a single replayable graph.
+      streams_[0]->BeginCapture();
+      EnqueueForward(decode_bufs_.get(), 1, /*allow_deferral=*/true);
+      decode_graph_ = streams_[0]->EndCapture();
+      graph_ready_ = true;
+    }
+    decode_graph_.Launch(streams_[0].get());
+  } else {
+    EnqueueForward(decode_bufs_.get(), 1, /*allow_deferral=*/true);
+  }
+  SyncAllStreams();
+  cache->Advance(1);
+  ++counters_.decode_steps;
+  return decode_bufs_->logits.Clone();
+}
+
+Tensor HybridEngine::VerifyStep(int session, const std::vector<int>& tokens) {
+  KTX_CHECK(!tokens.empty());
+  KvCache* cache = sessions_.at(static_cast<std::size_t>(session)).get();
+  active_cache_ = cache;
+  const std::int64_t m = static_cast<std::int64_t>(tokens.size());
+  DecodeBuffers bufs(config_, m);
+  for (std::int64_t t = 0; t < m; ++t) {
+    bufs.token_ids[static_cast<std::size_t>(t)] = tokens[static_cast<std::size_t>(t)];
+  }
+  bufs.pos0.store(cache->position());
+  // Eager multi-token decode: shapes vary per call, so no graph; deferral
+  // applies as in single-token decode.
+  EnqueueForward(&bufs, m, /*allow_deferral=*/true);
+  SyncAllStreams();
+  cache->Advance(m);
+  counters_.decode_steps += m;
+  return bufs.logits.Clone();
+}
+
+void HybridEngine::SetDeferral(int n_deferred) {
+  KTX_CHECK_GE(n_deferred, 0);
+  KTX_CHECK_LE(n_deferred, config_.top_k - 2)
+      << "Expert Deferral must leave >= 2 immediate experts";
+  if (n_deferred == options_.n_deferred) {
+    return;
+  }
+  SyncAllStreams();  // nothing may reference the old graph's split
+  options_.n_deferred = n_deferred;
+  graph_ready_ = false;
+  decode_graph_ = VGraph();
+}
+
+int HybridEngine::CreateSession() {
+  sessions_.push_back(std::make_unique<KvCache>(config_));
+  return static_cast<int>(sessions_.size()) - 1;
+}
+
+std::int64_t HybridEngine::position(int session) const {
+  return sessions_.at(static_cast<std::size_t>(session))->position();
+}
+
+std::vector<int> HybridEngine::GenerateGreedy(const std::vector<int>& prompt, int max_new) {
+  Reset();
+  std::vector<int> out;
+  Tensor logits = Prefill(prompt);
+  int next = ArgmaxLastToken(logits);
+  for (int i = 0; i < max_new; ++i) {
+    out.push_back(next);
+    logits = DecodeStep(next);
+    next = ArgmaxLastToken(logits);
+  }
+  return out;
+}
+
+void HybridEngine::Reset(int session) {
+  sessions_.at(static_cast<std::size_t>(session))->Reset();
+}
+
+}  // namespace ktx

@@ -1,0 +1,168 @@
+// The KTransformers hybrid CPU/GPU inference engine (paper §3).
+//
+// Placement follows Fig. 1b: attention, norms, gating, dense FFNs and the
+// shared experts execute as GPU kernels on the vcuda stream; routed experts
+// execute on the CPU through the NUMA-aware fused MoE operator, fed by the
+// asynchronous submit/sync host functions of async_service.h.
+//
+// Decode path (§3.3): the entire per-token layer stack — including the
+// submit/sync host callbacks — is captured into ONE vcuda graph on the first
+// step and replayed afterwards, eliminating per-kernel launch overhead.
+// Dynamic state (token id, position) lives in slots the captured kernels read
+// at execution time, which is how a fixed graph serves a growing context.
+//
+// Expert Deferral (§4): with n_deferred = D > 0, each decode MoE layer k
+// submits its top-(top_k - D) slots as the *immediate* request and its bottom
+// D slots as the *deferred* request. The merge at layer k waits only for
+// immediate_k — FIFO completion makes that imply deferred_{k-1} — so deferred
+// experts overlap the next layer's attention. The last MoE layer defers
+// nothing. Functionally this implements exactly the §4.1 formula, which tests
+// verify against RefModel.
+
+#ifndef KTX_SRC_CORE_ENGINE_H_
+#define KTX_SRC_CORE_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/async_service.h"
+#include "src/core/profiling.h"
+#include "src/gpu/vcuda.h"
+#include "src/model/gating.h"
+#include "src/model/reference_model.h"
+
+namespace ktx {
+
+struct EngineOptions {
+  // Routed-expert weight precision on the CPU (bf16 full-accuracy path, or
+  // Int8/Int4 for the quantized deployments of §6.1).
+  DType cpu_weight_dtype = DType::kBF16;
+  // GPU-side weight precision (informational for the cost model; the
+  // functional GPU kernels compute in f32 regardless, like the paper's
+  // Marlin path dequantizes into fp compute).
+  DType gpu_weight_dtype = DType::kBF16;
+  // Expert Deferral depth D (decode only). Must leave >= 2 immediate experts.
+  int n_deferred = 0;
+  // Capture the decode step into a single vcuda graph (§3.3). Only available
+  // for single-stage pipelines: host events, which chain pipeline stages,
+  // cannot be captured (mirrors real CUDA's cross-stream capture limits).
+  bool use_cuda_graph = true;
+  // Layer-wise pipeline parallelism across virtual GPUs (§5 "multi-GPU
+  // pipelining"): layers split contiguously across this many devices, with
+  // event-synchronized hand-offs at stage boundaries.
+  int pipeline_stages = 1;
+  // NUMA placement for the routed experts.
+  NumaMode numa_mode = NumaMode::kTensorParallel;
+  int numa_shards = 2;  // tensor-parallel shards (sockets)
+  int cpu_threads = 4;
+  MoeOptions moe;  // ARI threshold, schedule kind, kernel impl
+  VDevice::Options device;
+  // Tokens per prefill chunk.
+  std::int64_t prefill_chunk = 256;
+  // When false, the engine blocks on the CPU immediately after submitting
+  // routed-expert work (the Fiddler/llama.cpp round-trip): no shared-expert
+  // overlap, no deferral window. Baseline engines set this.
+  bool async_overlap = true;
+  // Micro kernel launches counted per logical GPU op (framework
+  // decomposition granularity; feeds the Fig. 4 launch statistics).
+  int gpu_micro_per_op = 1;
+  // Optional expert-activation profiler (core/profiling.h). When set, every
+  // MoE layer's routing decisions are recorded — the offline-profiling hook
+  // for popularity-based placement. Must outlive the engine.
+  ExpertProfiler* profiler = nullptr;
+};
+
+struct EngineCounters {
+  std::int64_t prefill_tokens = 0;
+  std::int64_t decode_steps = 0;
+  std::int64_t moe_requests = 0;
+};
+
+class HybridEngine {
+ public:
+  HybridEngine(MoeModelConfig config, std::shared_ptr<const ModelWeights> weights,
+               EngineOptions options);
+  ~HybridEngine();
+
+  // Processes the prompt (chunked); returns logits for the final token
+  // ([1, vocab]). Deferral is never applied during prefill (§4.1).
+  Tensor Prefill(const std::vector<int>& tokens) { return Prefill(0, tokens); }
+  Tensor Prefill(int session, const std::vector<int>& tokens);
+
+  // Decodes one token given the current cache; returns logits [1, vocab].
+  Tensor DecodeStep(int token) { return DecodeStep(0, token); }
+  Tensor DecodeStep(int session, int token);
+
+  // Multi-token verification step (speculative-decoding style): processes a
+  // short run of draft tokens in one pass and returns logits [tokens, vocab]
+  // so the caller can accept/reject each draft. Runs eagerly (shapes vary),
+  // with deferral, and advances the cache by all tokens; callers that reject
+  // a suffix should Reset/rebuild the session.
+  Tensor VerifyStep(int session, const std::vector<int>& tokens);
+
+  // Greedy generation end-to-end. Resets session 0 first.
+  std::vector<int> GenerateGreedy(const std::vector<int>& prompt, int max_new);
+
+  // Retunes the Expert Deferral depth at runtime (e.g. from the §4.2
+  // heuristic as load changes). Invalidates the captured decode graph; the
+  // next DecodeStep re-captures with the new immediate/deferred split.
+  void SetDeferral(int n_deferred);
+
+  // --- Sessions -------------------------------------------------------------
+  // Each session owns an independent KV cache over the shared weights and
+  // captured decode graph (low-concurrency serving, one request at a time).
+  // Session 0 always exists.
+  int CreateSession();
+  void Reset() { Reset(0); }
+  void Reset(int session);
+  int num_sessions() const { return static_cast<int>(sessions_.size()); }
+
+  const MoeModelConfig& config() const { return config_; }
+  const EngineOptions& options() const { return options_; }
+  VDevice& device() { return *devices_[0]; }
+  VDevice& device(int stage) { return *devices_.at(static_cast<std::size_t>(stage)); }
+  int pipeline_stages() const { return static_cast<int>(devices_.size()); }
+  const EngineCounters& counters() const { return counters_; }
+  std::int64_t position() const { return position(0); }
+  std::int64_t position(int session) const;
+  MoeStats moe_stats() const { return service_->stats_snapshot(); }
+
+ private:
+  struct DecodeBuffers;
+
+  void BuildCpuExperts();
+  // Enqueues the full layer stack for `m` tokens starting at the current
+  // cache position onto the stream. Used by prefill (eager) and by decode
+  // (optionally under capture). Buffers live in `bufs`.
+  void EnqueueForward(DecodeBuffers* bufs, std::int64_t m, bool allow_deferral);
+
+  MoeModelConfig config_;
+  std::shared_ptr<const ModelWeights> weights_;
+  EngineOptions options_;
+
+  // One virtual GPU (device + stream) per pipeline stage; stage 0 is the
+  // default. StageOf maps a layer to its stage.
+  std::vector<std::unique_ptr<VDevice>> devices_;
+  std::vector<std::unique_ptr<VStream>> streams_;
+  int StageOf(int layer) const;
+  VStream* StreamOf(int layer) { return streams_[static_cast<std::size_t>(StageOf(layer))].get(); }
+  // Blocks `to` until everything enqueued on `from` so far has executed.
+  void ChainStreams(VStream* from, VStream* to);
+  void SyncAllStreams();
+  std::unique_ptr<ThreadPool> pool_;
+  std::shared_ptr<const NumaMoe> numa_moe_;
+  std::unique_ptr<AsyncMoeService> service_;
+
+  std::vector<std::unique_ptr<KvCache>> sessions_;
+  KvCache* active_cache_ = nullptr;  // read by captured kernels at exec time
+  EngineCounters counters_;
+
+  // Decode state: persistent slot buffers + captured graph.
+  std::unique_ptr<DecodeBuffers> decode_bufs_;
+  VGraph decode_graph_;
+  bool graph_ready_ = false;
+};
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_CORE_ENGINE_H_

@@ -1,0 +1,49 @@
+#include "src/core/placement.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace ktx {
+
+PlacementPlan PlanPlacement(const MoeModelConfig& config, DType cpu_dtype, DType gpu_dtype,
+                            const GpuSpec& gpu, std::int64_t context_len) {
+  PlacementPlan plan;
+  const double gpu_bpw = DTypeBits(gpu_dtype) / 8.0;
+  const double cpu_bpw = DTypeBits(cpu_dtype) / 8.0;
+  plan.gpu_weight_bytes = config.GpuParams() * gpu_bpw;
+  plan.cpu_weight_bytes = config.RoutedExpertParams() * cpu_bpw;
+
+  // KV entries are cached in bf16 regardless of weight precision.
+  double kv_per_pos_per_layer;
+  if (config.attention == AttentionKind::kMla) {
+    kv_per_pos_per_layer = static_cast<double>(config.kv_lora_rank + config.rope_dim) * 2.0;
+  } else {
+    kv_per_pos_per_layer =
+        2.0 * static_cast<double>(config.num_kv_heads) * config.head_dim * 2.0;
+  }
+  plan.kv_cache_bytes = kv_per_pos_per_layer * config.num_layers * context_len;
+  plan.gpu_total_bytes = plan.gpu_weight_bytes + plan.kv_cache_bytes;
+
+  const double vram = gpu.vram_gb * 1e9;
+  // ~10% of VRAM reserved for activations, workspaces and the graph pool.
+  const double usable = vram * 0.9;
+  plan.fits_one_gpu = plan.gpu_total_bytes <= usable;
+  plan.fits_with_kv_offload = plan.gpu_weight_bytes <= usable;
+  plan.pipeline_gpus_needed =
+      std::max(1, static_cast<int>(std::ceil(plan.gpu_total_bytes / usable)));
+  return plan;
+}
+
+std::string PlacementPlan::Summary() const {
+  std::ostringstream os;
+  os.precision(3);
+  os << "GPU weights " << gpu_weight_bytes / 1e9 << " GB + KV " << kv_cache_bytes / 1e9
+     << " GB = " << gpu_total_bytes / 1e9 << " GB; CPU experts " << cpu_weight_bytes / 1e9
+     << " GB; " << (fits_one_gpu ? "fits one GPU" : "needs " +
+                                                        std::to_string(pipeline_gpus_needed) +
+                                                        "-GPU pipeline")
+     << (fits_one_gpu ? "" : fits_with_kv_offload ? " (or KV offload)" : "");
+  return os.str();
+}
+
+}  // namespace ktx

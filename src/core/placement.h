@@ -1,0 +1,40 @@
+// Device placement planning (paper Fig. 1b, §5 extensions).
+//
+// Given a model, weight precisions and a GPU, computes what lives where and
+// whether it fits: GPU-resident bytes (attention + shared experts + dense
+// FFNs + embeddings + KV cache at the target context), CPU-resident bytes
+// (routed experts), and the options when VRAM is short — more GPUs
+// (pipeline parallelism across layers, §5 "multi-GPU pipelining") or KV-cache
+// offload to host memory (§5), which strategy_sim can then price.
+
+#ifndef KTX_SRC_CORE_PLACEMENT_H_
+#define KTX_SRC_CORE_PLACEMENT_H_
+
+#include <string>
+
+#include "src/model/config.h"
+#include "src/sim/hardware.h"
+#include "src/tensor/dtype.h"
+
+namespace ktx {
+
+struct PlacementPlan {
+  double gpu_weight_bytes = 0.0;  // attention + shared + dense + embeddings
+  double kv_cache_bytes = 0.0;    // at context_len, bf16 cache entries
+  double gpu_total_bytes = 0.0;
+  double cpu_weight_bytes = 0.0;  // routed experts
+  bool fits_one_gpu = false;
+  // Minimum GPUs for a layer-wise pipeline split of the GPU-resident state.
+  int pipeline_gpus_needed = 1;
+  // Whether offloading the KV cache to host memory makes a single GPU fit.
+  bool fits_with_kv_offload = false;
+
+  std::string Summary() const;
+};
+
+PlacementPlan PlanPlacement(const MoeModelConfig& config, DType cpu_dtype, DType gpu_dtype,
+                            const GpuSpec& gpu, std::int64_t context_len);
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_CORE_PLACEMENT_H_

@@ -1,0 +1,86 @@
+#include "src/core/profiling.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace ktx {
+
+ExpertProfiler::ExpertProfiler(int num_moe_layers, int num_experts)
+    : num_moe_layers_(num_moe_layers),
+      num_experts_(num_experts),
+      counts_(static_cast<std::size_t>(num_moe_layers) * num_experts) {
+  KTX_CHECK(num_moe_layers > 0 && num_experts > 0);
+}
+
+void ExpertProfiler::Record(int moe_layer, const MoeRouting& routing, int slot_begin,
+                            int slot_end) {
+  KTX_DCHECK(moe_layer >= 0 && moe_layer < num_moe_layers_);
+  for (std::int64_t t = 0; t < routing.tokens; ++t) {
+    for (int s = slot_begin; s < slot_end; ++s) {
+      const int e = routing.id(t, s) % num_experts_;  // engine ids may be offset
+      counts_[static_cast<std::size_t>(moe_layer) * num_experts_ + e].fetch_add(
+          1, std::memory_order_relaxed);
+      total_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::int64_t ExpertProfiler::count(int moe_layer, int expert) const {
+  return counts_[static_cast<std::size_t>(moe_layer) * num_experts_ + expert].load(
+      std::memory_order_relaxed);
+}
+
+std::vector<std::pair<int, int>> ExpertProfiler::RankedExperts() const {
+  std::vector<std::pair<int, int>> ranked;
+  ranked.reserve(counts_.size());
+  for (int l = 0; l < num_moe_layers_; ++l) {
+    for (int e = 0; e < num_experts_; ++e) {
+      ranked.emplace_back(l, e);
+    }
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [this](const auto& a, const auto& b) {
+                     return count(a.first, a.second) > count(b.first, b.second);
+                   });
+  return ranked;
+}
+
+double ExpertProfiler::CoverageFraction(int n) const {
+  const std::int64_t all = total();
+  if (all == 0 || n <= 0) {
+    return 0.0;
+  }
+  const auto ranked = RankedExperts();
+  std::int64_t covered = 0;
+  for (int i = 0; i < n && i < static_cast<int>(ranked.size()); ++i) {
+    covered += count(ranked[static_cast<std::size_t>(i)].first,
+                     ranked[static_cast<std::size_t>(i)].second);
+  }
+  return static_cast<double>(covered) / static_cast<double>(all);
+}
+
+HotExpertPlan HotExpertPlan::Plan(const ExpertProfiler& profiler, const MoeModelConfig& config,
+                                  double vram_budget_bytes, DType gpu_dtype) {
+  const double bytes_per_expert =
+      3.0 * static_cast<double>(config.hidden) * config.moe_inter * DTypeBits(gpu_dtype) / 8.0;
+  HotExpertPlan plan;
+  const auto ranked = profiler.RankedExperts();
+  std::int64_t covered = 0;
+  for (const auto& [layer, expert] : ranked) {
+    if (plan.vram_bytes + bytes_per_expert > vram_budget_bytes) {
+      break;
+    }
+    if (profiler.count(layer, expert) == 0) {
+      break;  // never-activated experts are not worth VRAM
+    }
+    plan.gpu_experts.emplace_back(layer, expert);
+    plan.vram_bytes += bytes_per_expert;
+    covered += profiler.count(layer, expert);
+  }
+  const std::int64_t total = profiler.total();
+  plan.coverage = total > 0 ? static_cast<double>(covered) / total : 0.0;
+  return plan;
+}
+
+}  // namespace ktx

@@ -1,0 +1,425 @@
+#include "src/cpu/amx_native.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/cpu/cpu_features.h"
+
+#if defined(KTX_HAVE_NATIVE_SIMD)
+#include <immintrin.h>
+#endif
+
+namespace ktx {
+
+#if !defined(KTX_HAVE_NATIVE_SIMD)
+
+void NativeAmxGemm(const float*, std::int64_t, std::int64_t, const PackedMatrix&, float*,
+                   std::int64_t, bool, std::int64_t, std::int64_t) {
+  KTX_LOG(Fatal) << "native AMX kernel called but the build disabled native SIMD";
+}
+
+void NativeAvx512Gemm(const float*, std::int64_t, std::int64_t, const PackedMatrix&, float*,
+                      std::int64_t, bool, std::int64_t, std::int64_t) {
+  KTX_LOG(Fatal) << "native AVX-512 kernel called but the build disabled native SIMD";
+}
+
+void NativeAvx2GemmBf16(const float*, std::int64_t, std::int64_t, const PackedMatrix&, float*,
+                        std::int64_t, bool, std::int64_t, std::int64_t) {
+  KTX_LOG(Fatal) << "native AVX2 kernel called but the build disabled native SIMD";
+}
+
+void NativeAvx2GemmInt8(const float*, std::int64_t, std::int64_t, const PackedMatrix&, float*,
+                        std::int64_t, bool, std::int64_t, std::int64_t) {
+  KTX_LOG(Fatal) << "native AVX2 kernel called but the build disabled native SIMD";
+}
+
+#else
+
+namespace {
+
+// Tile configuration block consumed by LDTILECFG. Tiles used:
+//   0: C accumulator (16 x 64B), 1: A activations, 2: B weights.
+struct alignas(64) TileCfg {
+  std::uint8_t palette_id = 1;
+  std::uint8_t start_row = 0;
+  std::uint8_t reserved[14] = {};
+  std::uint16_t colsb[16] = {};
+  std::uint8_t rows[16] = {};
+};
+
+__attribute__((target("amx-tile")))
+void ConfigureTiles() {
+  TileCfg cfg;
+  for (int t = 0; t < 3; ++t) {
+    cfg.colsb[t] = kTileBytesPerRow;
+    cfg.rows[t] = kTileRows;
+  }
+  _tile_loadconfig(&cfg);
+}
+
+void StoreAcc(const float (&acc)[kTileRows][kNBlock], float* y, std::int64_t ldy,
+              std::int64_t m0, int rows, std::int64_t n0, std::int64_t n, bool accumulate) {
+  const std::int64_t n_valid = std::min<std::int64_t>(kNBlock, n - n0);
+  for (int i = 0; i < rows; ++i) {
+    float* out = y + (m0 + i) * ldy + n0;
+    for (std::int64_t j = 0; j < n_valid; ++j) {
+      out[j] = accumulate ? out[j] + acc[i][j] : acc[i][j];
+    }
+  }
+}
+
+__attribute__((target("amx-tile,amx-bf16,amx-int8")))
+void AmxGemmImpl(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
+                 float* y, std::int64_t ldy, bool accumulate, std::int64_t nb0,
+                 std::int64_t nb1) {
+  ConfigureTiles();
+  const std::int64_t k_blocks = w.k_blocks();
+  std::vector<TileReg> a_tiles(static_cast<std::size_t>(k_blocks));
+  std::vector<float> x_scales(static_cast<std::size_t>(kTileRows * k_blocks));
+  alignas(64) float cbuf[kTileRows][kNBlock];
+  alignas(64) std::int32_t ibuf[kTileRows][kNBlock];
+  TileReg b_unpacked;
+
+  for (std::int64_t m0 = 0; m0 < m; m0 += kTileRows) {
+    const int rows = static_cast<int>(std::min<std::int64_t>(kTileRows, m - m0));
+    if (w.dtype() == DType::kBF16) {
+      for (std::int64_t kb = 0; kb < k_blocks; ++kb) {
+        BuildActivationTileBf16(x + m0 * ldx, ldx, rows, kb * kKBlockBf16, w.k(),
+                                &a_tiles[static_cast<std::size_t>(kb)]);
+      }
+      for (std::int64_t nb = nb0; nb < nb1; ++nb) {
+        _tile_zero(0);
+        for (std::int64_t kb = 0; kb < k_blocks; ++kb) {
+          _tile_loadd(1, a_tiles[static_cast<std::size_t>(kb)].data, kTileBytesPerRow);
+          _tile_loadd(2, w.tile_ptr(nb, kb), kTileBytesPerRow);
+          _tile_dpbf16ps(0, 1, 2);
+        }
+        _tile_stored(0, cbuf, kNBlock * sizeof(float));
+        StoreAcc(cbuf, y, ldy, m0, rows, nb * kNBlock, w.n(), accumulate);
+      }
+    } else {
+      ComputeActivationScalesInt8(x + m0 * ldx, rows, ldx, w.k(), w.k_block(),
+                                  x_scales.data());
+      for (std::int64_t kb = 0; kb < k_blocks; ++kb) {
+        float row_scales[kTileRows] = {};
+        for (int i = 0; i < rows; ++i) {
+          row_scales[i] = x_scales[static_cast<std::size_t>(i * k_blocks + kb)];
+        }
+        BuildActivationTileInt8(x + m0 * ldx, ldx, rows, kb * kKBlockInt8, w.k(), row_scales,
+                                &a_tiles[static_cast<std::size_t>(kb)]);
+      }
+      for (std::int64_t nb = nb0; nb < nb1; ++nb) {
+        alignas(64) float acc[kTileRows][kNBlock] = {};
+        for (std::int64_t kb = 0; kb < k_blocks; ++kb) {
+          _tile_zero(0);
+          _tile_loadd(1, a_tiles[static_cast<std::size_t>(kb)].data, kTileBytesPerRow);
+          if (w.dtype() == DType::kI8) {
+            _tile_loadd(2, w.tile_ptr(nb, kb), kTileBytesPerRow);
+          } else {
+            UnpackInt4Tile(w.tile_ptr(nb, kb), &b_unpacked);
+            _tile_loadd(2, b_unpacked.data, kTileBytesPerRow);
+          }
+          _tile_dpbssd(0, 1, 2);
+          _tile_stored(0, ibuf, kNBlock * sizeof(std::int32_t));
+          const std::int64_t n_valid = std::min<std::int64_t>(kNBlock, w.n() - nb * kNBlock);
+          for (int i = 0; i < rows; ++i) {
+            const float xs = x_scales[static_cast<std::size_t>(i * k_blocks + kb)];
+            for (std::int64_t j = 0; j < n_valid; ++j) {
+              acc[i][j] += static_cast<float>(ibuf[i][j]) * xs * w.scale(nb * kNBlock + j, kb);
+            }
+          }
+        }
+        StoreAcc(acc, y, ldy, m0, rows, nb * kNBlock, w.n(), accumulate);
+      }
+    }
+  }
+  _tile_release();
+}
+
+__attribute__((target("avx512f,avx512bw,avx512vl,avx512bf16,avx512vnni")))
+void Avx512GemmBf16Impl(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
+                        float* y, std::int64_t ldy, bool accumulate, std::int64_t nb0,
+                        std::int64_t nb1) {
+  const std::int64_t k_blocks = w.k_blocks();
+  const std::int64_t k_pad = k_blocks * kKBlockBf16;
+  std::vector<std::uint16_t> xb(static_cast<std::size_t>(k_pad), 0);
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* row = x + i * ldx;
+    for (std::int64_t c = 0; c < w.k(); ++c) {
+      xb[static_cast<std::size_t>(c)] = FloatToBF16(row[c]).bits;
+    }
+    for (std::int64_t c = w.k(); c < k_pad; ++c) {
+      xb[static_cast<std::size_t>(c)] = 0;
+    }
+    for (std::int64_t nb = nb0; nb < nb1; ++nb) {
+      __m512 acc = _mm512_setzero_ps();
+      for (std::int64_t kb = 0; kb < k_blocks; ++kb) {
+        const auto* brow = reinterpret_cast<const std::uint16_t*>(w.tile_ptr(nb, kb));
+        const std::uint16_t* xp = xb.data() + kb * kKBlockBf16;
+        for (int p = 0; p < kTileRows; ++p) {
+          const std::uint32_t pair = static_cast<std::uint32_t>(xp[2 * p]) |
+                                     (static_cast<std::uint32_t>(xp[2 * p + 1]) << 16);
+          const __m512i av = _mm512_set1_epi32(static_cast<int>(pair));
+          const __m512i bv = _mm512_loadu_si512(brow + p * 32);
+          acc = _mm512_dpbf16_ps(acc, reinterpret_cast<__m512bh>(av),
+                                 reinterpret_cast<__m512bh>(bv));
+        }
+      }
+      const std::int64_t n0 = nb * kNBlock;
+      const std::int64_t n_valid = std::min<std::int64_t>(kNBlock, w.n() - n0);
+      const __mmask16 mask = static_cast<__mmask16>((1u << n_valid) - 1);
+      float* out = y + i * ldy + n0;
+      if (accumulate) {
+        const __m512 prev = _mm512_maskz_loadu_ps(mask, out);
+        acc = _mm512_add_ps(acc, prev);
+      }
+      _mm512_mask_storeu_ps(out, mask, acc);
+    }
+  }
+}
+
+__attribute__((target("avx512f,avx512bw,avx512vl,avx512bf16,avx512vnni")))
+void Avx512GemmInt8Impl(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
+                        float* y, std::int64_t ldy, bool accumulate, std::int64_t nb0,
+                        std::int64_t nb1) {
+  const std::int64_t k_blocks = w.k_blocks();
+  const std::int64_t k_pad = k_blocks * kKBlockInt8;
+  std::vector<float> scales(static_cast<std::size_t>(k_blocks));
+  std::vector<std::uint8_t> xu(static_cast<std::size_t>(k_pad), 128);  // q + 128
+  TileReg b_unpacked;
+  alignas(64) float wscale[kNBlock];
+  alignas(64) std::int32_t wsum[kNBlock];
+
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* row = x + i * ldx;
+    ComputeActivationScalesInt8(row, 1, ldx, w.k(), w.k_block(), scales.data());
+    std::fill(xu.begin(), xu.end(), static_cast<std::uint8_t>(128));
+    for (std::int64_t c = 0; c < w.k(); ++c) {
+      const float s = scales[static_cast<std::size_t>(c / w.k_block())];
+      const float inv = s > 0.0f ? 1.0f / s : 0.0f;
+      const int q = std::clamp(static_cast<int>(std::lrintf(row[c] * inv)), -127, 127);
+      xu[static_cast<std::size_t>(c)] = static_cast<std::uint8_t>(q + 128);
+    }
+    for (std::int64_t nb = nb0; nb < nb1; ++nb) {
+      const std::int64_t n0 = nb * kNBlock;
+      const std::int64_t n_valid = std::min<std::int64_t>(kNBlock, w.n() - n0);
+      __m512 accf = _mm512_setzero_ps();
+      for (std::int64_t kb = 0; kb < k_blocks; ++kb) {
+        const std::uint8_t* brow;
+        if (w.dtype() == DType::kI8) {
+          brow = w.tile_ptr(nb, kb);
+        } else {
+          UnpackInt4Tile(w.tile_ptr(nb, kb), &b_unpacked);
+          brow = b_unpacked.data[0];
+        }
+        const std::uint8_t* xp = xu.data() + kb * kKBlockInt8;
+        __m512i acci = _mm512_setzero_si512();
+        for (int p = 0; p < kTileRows; ++p) {
+          std::uint32_t quad;
+          std::memcpy(&quad, xp + 4 * p, 4);
+          acci = _mm512_dpbusd_epi32(acci, _mm512_set1_epi32(static_cast<int>(quad)),
+                                     _mm512_loadu_si512(brow + p * kTileBytesPerRow));
+        }
+        for (std::int64_t j = 0; j < kNBlock; ++j) {
+          const std::int64_t nrow = std::min<std::int64_t>(n0 + j, w.n() - 1);
+          wscale[j] = w.scale(nrow, kb);
+          wsum[j] = w.col_sum(nrow, kb);
+        }
+        // Correct the +128 activation offset: real = acc - 128 * sum(w).
+        const __m512i corr =
+            _mm512_sub_epi32(acci, _mm512_slli_epi32(_mm512_load_si512(wsum), 7));
+        const float xs = scales[static_cast<std::size_t>(kb)];
+        accf = _mm512_fmadd_ps(_mm512_cvtepi32_ps(corr),
+                               _mm512_mul_ps(_mm512_load_ps(wscale), _mm512_set1_ps(xs)),
+                               accf);
+      }
+      const __mmask16 mask = static_cast<__mmask16>((1u << n_valid) - 1);
+      float* out = y + i * ldy + n0;
+      if (accumulate) {
+        accf = _mm512_add_ps(accf, _mm512_maskz_loadu_ps(mask, out));
+      }
+      _mm512_mask_storeu_ps(out, mask, accf);
+    }
+  }
+}
+
+
+// AVX2+FMA bf16 kernel: the tile rows hold interleaved (even, odd) bf16
+// pairs; a bf16 widens to f32 by a 16-bit left shift, so each 32-bit lane of
+// a tile row splits into the even value (low half shifted up) and the odd
+// value (high half masked). Two FMAs per 8-output group per pair row.
+__attribute__((target("avx2,fma")))
+void Avx2GemmBf16Impl(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
+                      float* y, std::int64_t ldy, bool accumulate, std::int64_t nb0,
+                      std::int64_t nb1) {
+  const std::int64_t k_blocks = w.k_blocks();
+  const std::int64_t k_pad = k_blocks * kKBlockBf16;
+  std::vector<std::uint16_t> xb(static_cast<std::size_t>(k_pad), 0);
+  const __m256i hi_mask = _mm256_set1_epi32(static_cast<int>(0xFFFF0000u));
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* row = x + i * ldx;
+    for (std::int64_t c = 0; c < w.k(); ++c) {
+      xb[static_cast<std::size_t>(c)] = FloatToBF16(row[c]).bits;
+    }
+    for (std::int64_t c = w.k(); c < k_pad; ++c) {
+      xb[static_cast<std::size_t>(c)] = 0;
+    }
+    for (std::int64_t nb = nb0; nb < nb1; ++nb) {
+      __m256 acc_lo = _mm256_setzero_ps();  // outputs j = 0..7
+      __m256 acc_hi = _mm256_setzero_ps();  // outputs j = 8..15
+      for (std::int64_t kb = 0; kb < k_blocks; ++kb) {
+        const auto* brow = reinterpret_cast<const std::uint16_t*>(w.tile_ptr(nb, kb));
+        const std::uint16_t* xp = xb.data() + kb * kKBlockBf16;
+        for (int p = 0; p < kTileRows; ++p) {
+          std::uint32_t lo_bits = static_cast<std::uint32_t>(xp[2 * p]) << 16;
+          std::uint32_t hi_bits = static_cast<std::uint32_t>(xp[2 * p + 1]) << 16;
+          float xl;
+          float xh;
+          std::memcpy(&xl, &lo_bits, 4);
+          std::memcpy(&xh, &hi_bits, 4);
+          const __m256 vxl = _mm256_set1_ps(xl);
+          const __m256 vxh = _mm256_set1_ps(xh);
+          const __m256i raw_lo = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(brow + p * 32));
+          const __m256i raw_hi = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(brow + p * 32 + 16));
+          const __m256 even_lo = _mm256_castsi256_ps(_mm256_slli_epi32(raw_lo, 16));
+          const __m256 odd_lo = _mm256_castsi256_ps(_mm256_and_si256(raw_lo, hi_mask));
+          const __m256 even_hi = _mm256_castsi256_ps(_mm256_slli_epi32(raw_hi, 16));
+          const __m256 odd_hi = _mm256_castsi256_ps(_mm256_and_si256(raw_hi, hi_mask));
+          acc_lo = _mm256_fmadd_ps(even_lo, vxl, acc_lo);
+          acc_lo = _mm256_fmadd_ps(odd_lo, vxh, acc_lo);
+          acc_hi = _mm256_fmadd_ps(even_hi, vxl, acc_hi);
+          acc_hi = _mm256_fmadd_ps(odd_hi, vxh, acc_hi);
+        }
+      }
+      const std::int64_t n0 = nb * kNBlock;
+      const std::int64_t n_valid = std::min<std::int64_t>(kNBlock, w.n() - n0);
+      alignas(32) float out_buf[kNBlock];
+      _mm256_store_ps(out_buf, acc_lo);
+      _mm256_store_ps(out_buf + 8, acc_hi);
+      float* out = y + i * ldy + n0;
+      for (std::int64_t j = 0; j < n_valid; ++j) {
+        out[j] = accumulate ? out[j] + out_buf[j] : out_buf[j];
+      }
+    }
+  }
+}
+
+
+// AVX2 int8/int4 kernel. Tile row p holds bytes [4j + r] for outputs j; two
+// 128-bit halves sign-extend to i16 and PMADDWD against the repeating
+// activation quad [a0,a1,a2,a3] producing adjacent-pair partial sums that a
+// final horizontal pass folds into the 16 outputs. Integer math matches the
+// tile emulation exactly; the f32 rescale runs per k-block like every other
+// backend.
+__attribute__((target("avx2,fma")))
+void Avx2GemmInt8Impl(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
+                      float* y, std::int64_t ldy, bool accumulate, std::int64_t nb0,
+                      std::int64_t nb1) {
+  const std::int64_t k_blocks = w.k_blocks();
+  std::vector<float> scales(static_cast<std::size_t>(k_blocks));
+  std::vector<std::int8_t> xq(static_cast<std::size_t>(k_blocks * kKBlockInt8), 0);
+  TileReg b_unpacked;
+
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* row = x + i * ldx;
+    ComputeActivationScalesInt8(row, 1, ldx, w.k(), w.k_block(), scales.data());
+    std::fill(xq.begin(), xq.end(), static_cast<std::int8_t>(0));
+    for (std::int64_t c = 0; c < w.k(); ++c) {
+      const float sc = scales[static_cast<std::size_t>(c / w.k_block())];
+      const float inv = sc > 0.0f ? 1.0f / sc : 0.0f;
+      xq[static_cast<std::size_t>(c)] = static_cast<std::int8_t>(
+          std::clamp(static_cast<int>(std::lrintf(row[c] * inv)), -127, 127));
+    }
+    for (std::int64_t nb = nb0; nb < nb1; ++nb) {
+      const std::int64_t n0 = nb * kNBlock;
+      const std::int64_t n_valid = std::min<std::int64_t>(kNBlock, w.n() - n0);
+      alignas(32) float accf[kNBlock] = {};
+      for (std::int64_t kb = 0; kb < k_blocks; ++kb) {
+        const std::uint8_t* brow_base;
+        if (w.dtype() == DType::kI8) {
+          brow_base = w.tile_ptr(nb, kb);
+        } else {
+          UnpackInt4Tile(w.tile_ptr(nb, kb), &b_unpacked);
+          brow_base = b_unpacked.data[0];
+        }
+        const std::int8_t* xp = xq.data() + kb * kKBlockInt8;
+        // acc[h] holds adjacent-pair partials: lanes (2t, 2t+1) sum to output
+        // j = h*4 + t within this 16-output band.
+        __m256i acc[4] = {_mm256_setzero_si256(), _mm256_setzero_si256(),
+                          _mm256_setzero_si256(), _mm256_setzero_si256()};
+        for (int p = 0; p < kTileRows; ++p) {
+          const std::int8_t* quad = xp + 4 * p;
+          const __m128i a8 = _mm_set1_epi32(*reinterpret_cast<const std::int32_t*>(quad));
+          const __m256i a16 = _mm256_cvtepi8_epi16(a8);  // [a0..a3] x4
+          const std::uint8_t* brow = brow_base + p * kTileBytesPerRow;
+          for (int h = 0; h < 4; ++h) {
+            const __m128i w8 = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(brow + 16 * h));
+            const __m256i w16 = _mm256_cvtepi8_epi16(w8);
+            acc[h] = _mm256_add_epi32(acc[h], _mm256_madd_epi16(w16, a16));
+          }
+        }
+        const float xs = scales[static_cast<std::size_t>(kb)];
+        alignas(32) std::int32_t lanes[8];
+        for (int h = 0; h < 4; ++h) {
+          _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc[h]);
+          for (int t = 0; t < 4; ++t) {
+            const std::int64_t j = h * 4 + t;
+            const std::int64_t nrow = std::min<std::int64_t>(n0 + j, w.n() - 1);
+            accf[j] += static_cast<float>(lanes[2 * t] + lanes[2 * t + 1]) * xs *
+                       w.scale(nrow, kb);
+          }
+        }
+      }
+      float* out = y + i * ldy + n0;
+      for (std::int64_t j = 0; j < n_valid; ++j) {
+        out[j] = accumulate ? out[j] + accf[j] : accf[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void NativeAmxGemm(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
+                   float* y, std::int64_t ldy, bool accumulate, std::int64_t nb_begin,
+                   std::int64_t nb_end) {
+  KTX_CHECK(NativeAmxAvailable());
+  AmxGemmImpl(x, m, ldx, w, y, ldy, accumulate, nb_begin, nb_end);
+}
+
+void NativeAvx512Gemm(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
+                      float* y, std::int64_t ldy, bool accumulate, std::int64_t nb_begin,
+                      std::int64_t nb_end) {
+  KTX_CHECK(NativeAvx512Available());
+  if (w.dtype() == DType::kBF16) {
+    Avx512GemmBf16Impl(x, m, ldx, w, y, ldy, accumulate, nb_begin, nb_end);
+  } else {
+    Avx512GemmInt8Impl(x, m, ldx, w, y, ldy, accumulate, nb_begin, nb_end);
+  }
+}
+
+void NativeAvx2GemmBf16(const float* x, std::int64_t m, std::int64_t ldx,
+                        const PackedMatrix& w, float* y, std::int64_t ldy, bool accumulate,
+                        std::int64_t nb_begin, std::int64_t nb_end) {
+  KTX_CHECK(NativeAvx2Available());
+  KTX_CHECK(w.dtype() == DType::kBF16) << "bf16 entry point called with quantized weights";
+  Avx2GemmBf16Impl(x, m, ldx, w, y, ldy, accumulate, nb_begin, nb_end);
+}
+
+void NativeAvx2GemmInt8(const float* x, std::int64_t m, std::int64_t ldx,
+                        const PackedMatrix& w, float* y, std::int64_t ldy, bool accumulate,
+                        std::int64_t nb_begin, std::int64_t nb_end) {
+  KTX_CHECK(NativeAvx2Available());
+  KTX_CHECK(w.dtype() == DType::kI8 || w.dtype() == DType::kI4);
+  Avx2GemmInt8Impl(x, m, ldx, w, y, ldy, accumulate, nb_begin, nb_end);
+}
+
+#endif  // KTX_HAVE_NATIVE_SIMD
+
+}  // namespace ktx

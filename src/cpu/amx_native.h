@@ -1,0 +1,40 @@
+// Native AMX / AVX-512 kernel entry points.
+//
+// These are compiled in a dedicated translation unit with AMX/AVX-512 codegen
+// enabled (see CMakeLists) and must only be called when cpu_features.h reports
+// the corresponding capability; GemmPacked() performs that dispatch. When the
+// build disables native SIMD entirely, these symbols exist but abort.
+
+#ifndef KTX_SRC_CPU_AMX_NATIVE_H_
+#define KTX_SRC_CPU_AMX_NATIVE_H_
+
+#include <cstdint>
+
+#include "src/cpu/layout.h"
+
+namespace ktx {
+
+// Full-tile AMX kernel (TDPBF16PS / TDPBSSD) on the packed layout.
+void NativeAmxGemm(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
+                   float* y, std::int64_t ldy, bool accumulate, std::int64_t nb_begin,
+                   std::int64_t nb_end);
+
+// Row-at-a-time AVX-512 kernel (VDPBF16PS / VPDPBUSD) on the same layout.
+void NativeAvx512Gemm(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
+                      float* y, std::int64_t ldy, bool accumulate, std::int64_t nb_begin,
+                      std::int64_t nb_end);
+
+// AVX2+FMA fallback for hosts without AVX-512 (bf16 weights).
+void NativeAvx2GemmBf16(const float* x, std::int64_t m, std::int64_t ldx,
+                        const PackedMatrix& w, float* y, std::int64_t ldy, bool accumulate,
+                        std::int64_t nb_begin, std::int64_t nb_end);
+
+// AVX2 int8/int4 fallback (PMADDWD on sign-extended nibble-unpacked tiles;
+// integer math identical to the tile emulation).
+void NativeAvx2GemmInt8(const float* x, std::int64_t m, std::int64_t ldx,
+                        const PackedMatrix& w, float* y, std::int64_t ldy, bool accumulate,
+                        std::int64_t nb_begin, std::int64_t nb_end);
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_CPU_AMX_NATIVE_H_

@@ -1,0 +1,113 @@
+#include "src/cpu/cpu_features.h"
+
+#include <sstream>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+#endif
+
+namespace ktx {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+
+constexpr int kArchReqXcompPerm = 0x1023;  // ARCH_REQ_XCOMP_PERM
+constexpr int kXfeatureXtiledata = 18;
+
+bool RequestAmxPermission() {
+#if defined(__linux__) && defined(SYS_arch_prctl)
+  return syscall(SYS_arch_prctl, kArchReqXcompPerm, kXfeatureXtiledata) == 0;
+#else
+  return false;
+#endif
+}
+
+CpuFeatures Detect() {
+  CpuFeatures f;
+  unsigned int eax = 0;
+  unsigned int ebx = 0;
+  unsigned int ecx = 0;
+  unsigned int edx = 0;
+  if (__get_cpuid_max(0, nullptr) < 7) {
+    return f;
+  }
+  __cpuid_count(7, 0, eax, ebx, ecx, edx);
+  f.avx2 = (ebx >> 5) & 1;
+  {
+    unsigned int a1 = 0;
+    unsigned int b1 = 0;
+    unsigned int c1 = 0;
+    unsigned int d1 = 0;
+    __cpuid(1, a1, b1, c1, d1);
+    f.fma = (c1 >> 12) & 1;
+  }
+  f.avx512f = (ebx >> 16) & 1;
+  f.avx512bw = (ebx >> 30) & 1;
+  f.avx512vl = (ebx >> 31) & 1;
+  f.avx512_vnni = (ecx >> 11) & 1;
+  f.amx_bf16 = (edx >> 22) & 1;
+  f.amx_tile = (edx >> 24) & 1;
+  f.amx_int8 = (edx >> 25) & 1;
+  __cpuid_count(7, 1, eax, ebx, ecx, edx);
+  f.avx512_bf16 = (eax >> 5) & 1;
+  if (f.amx_tile) {
+    f.amx_usable = RequestAmxPermission();
+  }
+  return f;
+}
+
+#else
+
+CpuFeatures Detect() { return CpuFeatures{}; }
+
+#endif
+
+}  // namespace
+
+std::string CpuFeatures::ToString() const {
+  std::ostringstream os;
+  os << "avx2=" << avx2 << " avx512f=" << avx512f << " avx512bw=" << avx512bw
+     << " avx512vl=" << avx512vl << " avx512_bf16=" << avx512_bf16
+     << " avx512_vnni=" << avx512_vnni << " amx_tile=" << amx_tile << " amx_int8=" << amx_int8
+     << " amx_bf16=" << amx_bf16 << " amx_usable=" << amx_usable << " fma=" << fma;
+  return os.str();
+}
+
+const CpuFeatures& GetCpuFeatures() {
+  static const CpuFeatures features = Detect();
+  return features;
+}
+
+bool NativeAmxAvailable() {
+#if defined(KTX_HAVE_NATIVE_SIMD)
+  const CpuFeatures& f = GetCpuFeatures();
+  return f.amx_usable && f.amx_bf16 && f.amx_int8;
+#else
+  return false;
+#endif
+}
+
+bool NativeAvx512Available() {
+#if defined(KTX_HAVE_NATIVE_SIMD)
+  const CpuFeatures& f = GetCpuFeatures();
+  return f.avx512f && f.avx512bw && f.avx512vl && f.avx512_bf16 && f.avx512_vnni;
+#else
+  return false;
+#endif
+}
+
+bool NativeAvx2Available() {
+#if defined(KTX_HAVE_NATIVE_SIMD)
+  const CpuFeatures& f = GetCpuFeatures();
+  return f.avx2 && f.fma;
+#else
+  return false;
+#endif
+}
+
+}  // namespace ktx

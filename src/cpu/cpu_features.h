@@ -1,0 +1,52 @@
+// Runtime CPU capability detection and AMX enablement.
+//
+// AMX tile state (XTILEDATA) is opt-in on Linux: a process must request it
+// with arch_prctl(ARCH_REQ_XCOMP_PERM) before executing any tile instruction.
+// KTransformers performs this request once at startup; if the kernel or CPU
+// refuses, every AMX-layout kernel transparently falls back to the bit-exact
+// software tile emulation in tile.h, so functional behaviour is identical on
+// machines without AMX.
+
+#ifndef KTX_SRC_CPU_CPU_FEATURES_H_
+#define KTX_SRC_CPU_CPU_FEATURES_H_
+
+#include <string>
+
+namespace ktx {
+
+struct CpuFeatures {
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+  bool avx512bw = false;
+  bool avx512vl = false;
+  bool avx512_bf16 = false;
+  bool avx512_vnni = false;
+  bool amx_tile = false;
+  bool amx_int8 = false;
+  bool amx_bf16 = false;
+  // True when the OS granted XTILEDATA permission, i.e. real tile
+  // instructions may execute in this process.
+  bool amx_usable = false;
+
+  std::string ToString() const;
+};
+
+// Detects once and caches (thread-safe). Performs the XTILEDATA request on
+// first call when the CPUID bits are present.
+const CpuFeatures& GetCpuFeatures();
+
+// True if the native AMX code path may run (CPUID + OS permission + this
+// binary was built with AMX codegen enabled).
+bool NativeAmxAvailable();
+
+// True if the native AVX-512(BF16/VNNI) code path may run.
+bool NativeAvx512Available();
+
+// True if the native AVX2+FMA code path may run (bf16 weights only; the
+// wider-ISA paths are preferred when present).
+bool NativeAvx2Available();
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_CPU_CPU_FEATURES_H_

@@ -1,0 +1,182 @@
+#include "src/cpu/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/cpu/amx_native.h"
+#include "src/cpu/cpu_features.h"
+
+namespace ktx {
+
+namespace {
+
+// Portable tile-emulated kernel, bf16 weights. The loop structure mirrors
+// Fig. 6: N-band tasks, K streamed in tile-sized blocks, accumulation in the
+// (emulated) tile register.
+void EmulatedGemmBf16(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
+                      float* y, std::int64_t ldy, bool accumulate, std::int64_t nb0,
+                      std::int64_t nb1) {
+  const std::int64_t n = w.n();
+  const std::int64_t k = w.k();
+  for (std::int64_t m0 = 0; m0 < m; m0 += kTileRows) {
+    const int rows = static_cast<int>(std::min<std::int64_t>(kTileRows, m - m0));
+    for (std::int64_t nb = nb0; nb < nb1; ++nb) {
+      AccTile acc;
+      acc.Zero();
+      for (std::int64_t kb = 0; kb < w.k_blocks(); ++kb) {
+        TileReg a;
+        BuildActivationTileBf16(x + m0 * ldx, ldx, rows, kb * kKBlockBf16, k, &a);
+        TileReg b;
+        b.Load(w.tile_ptr(nb, kb), kTileBytesPerRow);
+        TdpBf16Ps(acc, a, b, rows);
+      }
+      const std::int64_t n_valid = std::min<std::int64_t>(kNBlock, n - nb * kNBlock);
+      for (int i = 0; i < rows; ++i) {
+        float* out = y + (m0 + i) * ldy + nb * kNBlock;
+        for (std::int64_t j = 0; j < n_valid; ++j) {
+          out[j] = accumulate ? out[j] + acc.f32[i][j] : acc.f32[i][j];
+        }
+      }
+    }
+  }
+}
+
+// Portable tile-emulated kernel, int8/int4 weights with per-(row, k-block)
+// scales. The i32 tile is rescaled into the f32 accumulator after every
+// k-block because scales change across blocks.
+void EmulatedGemmInt8(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
+                      float* y, std::int64_t ldy, bool accumulate, std::int64_t nb0,
+                      std::int64_t nb1) {
+  const std::int64_t n = w.n();
+  const std::int64_t k = w.k();
+  const std::int64_t k_blocks = w.k_blocks();
+  std::vector<float> x_scales(static_cast<std::size_t>(kTileRows * k_blocks));
+  for (std::int64_t m0 = 0; m0 < m; m0 += kTileRows) {
+    const int rows = static_cast<int>(std::min<std::int64_t>(kTileRows, m - m0));
+    ComputeActivationScalesInt8(x + m0 * ldx, rows, ldx, k, w.k_block(), x_scales.data());
+    for (std::int64_t nb = nb0; nb < nb1; ++nb) {
+      AccTile acc;
+      acc.Zero();
+      for (std::int64_t kb = 0; kb < k_blocks; ++kb) {
+        float row_scales[kTileRows] = {};
+        for (int i = 0; i < rows; ++i) {
+          row_scales[i] = x_scales[static_cast<std::size_t>(i * k_blocks + kb)];
+        }
+        TileReg a;
+        BuildActivationTileInt8(x + m0 * ldx, ldx, rows, kb * kKBlockInt8, k, row_scales, &a);
+        TileReg b;
+        if (w.dtype() == DType::kI8) {
+          b.Load(w.tile_ptr(nb, kb), kTileBytesPerRow);
+        } else {
+          UnpackInt4Tile(w.tile_ptr(nb, kb), &b);
+        }
+        AccTile tmp;
+        tmp.Zero();
+        TdpBssd(tmp, a, b, rows);
+        const std::int64_t n_valid = std::min<std::int64_t>(kNBlock, n - nb * kNBlock);
+        const std::int32_t* ti = tmp.i32();
+        for (int i = 0; i < rows; ++i) {
+          for (std::int64_t j = 0; j < n_valid; ++j) {
+            acc.f32[i][j] += static_cast<float>(ti[i * kNBlock + j]) * row_scales[i] *
+                             w.scale(nb * kNBlock + j, kb);
+          }
+        }
+      }
+      const std::int64_t n_valid = std::min<std::int64_t>(kNBlock, n - nb * kNBlock);
+      for (int i = 0; i < rows; ++i) {
+        float* out = y + (m0 + i) * ldy + nb * kNBlock;
+        for (std::int64_t j = 0; j < n_valid; ++j) {
+          out[j] = accumulate ? out[j] + acc.f32[i][j] : acc.f32[i][j];
+        }
+      }
+    }
+  }
+}
+
+void EmulatedGemm(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
+                  float* y, std::int64_t ldy, bool accumulate, std::int64_t nb0,
+                  std::int64_t nb1) {
+  if (w.dtype() == DType::kBF16) {
+    EmulatedGemmBf16(x, m, ldx, w, y, ldy, accumulate, nb0, nb1);
+  } else {
+    EmulatedGemmInt8(x, m, ldx, w, y, ldy, accumulate, nb0, nb1);
+  }
+}
+
+bool NativeFor(KernelKind kind) {
+  return kind == KernelKind::kAmx ? NativeAmxAvailable() : NativeAvx512Available();
+}
+
+}  // namespace
+
+bool KernelAvailable(KernelKind kind, KernelImpl impl) {
+  switch (impl) {
+    case KernelImpl::kEmulated:
+      return true;
+    case KernelImpl::kNative:
+      return NativeFor(kind);
+    case KernelImpl::kAuto:
+      return true;
+  }
+  return false;
+}
+
+void GemmPacked(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
+                float* y, std::int64_t ldy, const GemmOptions& opts) {
+  if (m <= 0 || w.n() <= 0) {
+    return;
+  }
+  const std::int64_t nb0 = opts.nb_begin;
+  const std::int64_t nb1 = opts.nb_end < 0 ? w.n_blocks() : opts.nb_end;
+  KTX_CHECK(nb0 >= 0 && nb1 <= w.n_blocks() && nb0 <= nb1) << "bad n-block range";
+  KernelImpl impl = opts.impl;
+  if (impl == KernelImpl::kAuto) {
+    impl = NativeFor(opts.kind) ? KernelImpl::kNative : KernelImpl::kEmulated;
+    // AVX2+FMA tier: hosts without AVX-512 still get vectorized kernels.
+    if (impl == KernelImpl::kEmulated && opts.kind == KernelKind::kAvx512 &&
+        NativeAvx2Available()) {
+      if (w.dtype() == DType::kBF16) {
+        NativeAvx2GemmBf16(x, m, ldx, w, y, ldy, opts.accumulate, nb0, nb1);
+      } else {
+        NativeAvx2GemmInt8(x, m, ldx, w, y, ldy, opts.accumulate, nb0, nb1);
+      }
+      return;
+    }
+  }
+  if (impl == KernelImpl::kNative) {
+    KTX_CHECK(NativeFor(opts.kind)) << "native kernel requested but unavailable";
+    if (opts.kind == KernelKind::kAmx) {
+      NativeAmxGemm(x, m, ldx, w, y, ldy, opts.accumulate, nb0, nb1);
+    } else {
+      NativeAvx512Gemm(x, m, ldx, w, y, ldy, opts.accumulate, nb0, nb1);
+    }
+    return;
+  }
+  // The emulated AVX-512 kernel computes the identical sequence of bf16/int8
+  // MACs as the emulated AMX kernel (it replaces the tile instruction with
+  // finer-grained row passes), so both kinds share one emulation.
+  EmulatedGemm(x, m, ldx, w, y, ldy, opts.accumulate, nb0, nb1);
+}
+
+void RefGemm(const float* x, std::int64_t m, std::int64_t ldx, const Tensor& w, float* y,
+             std::int64_t ldy, bool accumulate) {
+  KTX_CHECK(w.rank() == 2 && w.dtype() == DType::kF32);
+  const std::int64_t n = w.dim(0);
+  const std::int64_t k = w.dim(1);
+  const float* wp = w.f32();
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      const float* xr = x + i * ldx;
+      const float* wr = wp + j * k;
+      for (std::int64_t c = 0; c < k; ++c) {
+        acc += static_cast<double>(xr[c]) * wr[c];
+      }
+      float* out = y + i * ldy + j;
+      *out = accumulate ? *out + static_cast<float>(acc) : static_cast<float>(acc);
+    }
+  }
+}
+
+}  // namespace ktx

@@ -1,0 +1,70 @@
+// Cache-friendly GEMM kernels on the AMX tile layout, with ARI-based dispatch
+// (paper §3.2, Fig. 6 / Fig. 7).
+//
+// Two kernel kinds share the packed layout:
+//   * kAmx    — full-tile kernel: 16 activation rows per pass, one TDP*
+//               instruction per (A,B) tile pair, accumulators live in tile
+//               registers. Best at high arithmetic intensity (prefill).
+//   * kAvx512 — row-at-a-time vector kernel on the same tiles. Best at
+//               <= ~4 tokens per expert (decode), where AMX wastes 16-row
+//               tile passes on mostly-padding rows.
+//
+// Each kind has a native implementation (real AMX / AVX-512 instructions,
+// compiled only when the toolchain and CPU allow) and a bit-exact portable
+// emulation; results are identical by construction, so tests compare all
+// backends against RefGemm.
+
+#ifndef KTX_SRC_CPU_GEMM_H_
+#define KTX_SRC_CPU_GEMM_H_
+
+#include <cstdint>
+
+#include "src/cpu/layout.h"
+#include "src/tensor/tensor.h"
+
+namespace ktx {
+
+enum class KernelKind {
+  kAmx,
+  kAvx512,
+};
+
+enum class KernelImpl {
+  kAuto,      // native when available, else emulated
+  kEmulated,  // force the portable tile emulation
+  kNative,    // force real instructions (caller must check availability)
+};
+
+struct GemmOptions {
+  KernelKind kind = KernelKind::kAmx;
+  KernelImpl impl = KernelImpl::kAuto;
+  bool accumulate = false;  // y += result instead of y = result
+  // Restrict the computation to output tile bands [nb_begin, nb_end) — the
+  // unit the dynamic task scheduler chunks work by (Fig. 6 step 1). The
+  // default covers the whole matrix. Output columns keep absolute indices.
+  std::int64_t nb_begin = 0;
+  std::int64_t nb_end = -1;  // -1: all n-blocks
+};
+
+// y[m][n] (f32, leading dim ldy) = x[m][k] (f32, leading dim ldx) * W^T,
+// where W is `w` packed as [n, k].
+void GemmPacked(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
+                float* y, std::int64_t ldy, const GemmOptions& opts);
+
+// Scalar f32 reference (no bf16 rounding, no quantization): ground truth for
+// error bounds in tests.
+void RefGemm(const float* x, std::int64_t m, std::int64_t ldx, const Tensor& w, float* y,
+             std::int64_t ldy, bool accumulate = false);
+
+// The ARI-based kernel switch (paper Fig. 7): AVX-512 wins at or below
+// `threshold` tokens per expert, AMX above it.
+inline KernelKind SelectKernel(std::int64_t tokens_per_expert, std::int64_t threshold = 4) {
+  return tokens_per_expert <= threshold ? KernelKind::kAvx512 : KernelKind::kAmx;
+}
+
+// True if the requested (kind, impl) combination can execute on this host.
+bool KernelAvailable(KernelKind kind, KernelImpl impl);
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_CPU_GEMM_H_

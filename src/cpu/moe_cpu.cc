@@ -1,0 +1,274 @@
+#include "src/cpu/moe_cpu.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/cpu/activation.h"
+
+namespace ktx {
+
+StatusOr<PackedExperts> PackedExperts::Pack(const std::vector<Tensor>& gate,
+                                            const std::vector<Tensor>& up,
+                                            const std::vector<Tensor>& down, DType dtype) {
+  if (gate.empty() || gate.size() != up.size() || gate.size() != down.size()) {
+    return InvalidArgumentError("PackedExperts::Pack: mismatched expert tensor lists");
+  }
+  PackedExperts pe;
+  pe.inter_ = gate[0].dim(0);
+  pe.hidden_ = gate[0].dim(1);
+  pe.dtype_ = dtype;
+  pe.experts_.reserve(gate.size());
+  for (std::size_t e = 0; e < gate.size(); ++e) {
+    if (gate[e].dim(0) != pe.inter_ || gate[e].dim(1) != pe.hidden_ ||
+        up[e].dim(0) != pe.inter_ || up[e].dim(1) != pe.hidden_ ||
+        down[e].dim(0) != pe.hidden_ || down[e].dim(1) != pe.inter_) {
+      return InvalidArgumentError("PackedExperts::Pack: inconsistent expert shapes");
+    }
+    PackedExpert px;
+    KTX_ASSIGN_OR_RETURN(px.gate, PackedMatrix::Pack(gate[e], dtype));
+    KTX_ASSIGN_OR_RETURN(px.up, PackedMatrix::Pack(up[e], dtype));
+    KTX_ASSIGN_OR_RETURN(px.down, PackedMatrix::Pack(down[e], dtype));
+    pe.experts_.push_back(std::move(px));
+  }
+  return pe;
+}
+
+std::size_t PackedExperts::total_bytes() const {
+  std::size_t total = 0;
+  for (const PackedExpert& e : experts_) {
+    total += e.gate.payload_bytes() + e.up.payload_bytes() + e.down.payload_bytes();
+  }
+  return total;
+}
+
+CpuMoe::CpuMoe(std::shared_ptr<const PackedExperts> experts, ThreadPool* pool,
+               MoeOptions options)
+    : experts_(std::move(experts)), pool_(pool), options_(options) {
+  KTX_CHECK(experts_ != nullptr);
+  KTX_CHECK(pool_ != nullptr);
+  KTX_CHECK_GE(options_.band_blocks, 1);
+}
+
+namespace {
+
+// Token rows routed to one expert within the active slot window.
+struct ExpertGroup {
+  int expert = -1;
+  std::vector<std::int64_t> token_rows;
+  std::vector<float> gate_weights;
+};
+
+}  // namespace
+
+void CpuMoe::Forward(const float* x, std::int64_t tokens, const MoeRouting& routing,
+                     int slot_begin, int slot_end, float* y, MoeStats* stats) const {
+  KTX_CHECK_EQ(tokens, routing.tokens);
+  KTX_CHECK(slot_begin >= 0 && slot_end <= routing.top_k && slot_begin <= slot_end);
+  const std::int64_t hidden = experts_->hidden();
+  const std::int64_t inter = experts_->inter();
+  const int num_experts = experts_->num_experts();
+
+  // --- Group tokens by expert over the slot window. -------------------------
+  std::vector<ExpertGroup> groups;
+  std::vector<int> group_of_expert(static_cast<std::size_t>(num_experts), -1);
+  for (std::int64_t t = 0; t < tokens; ++t) {
+    for (int s = slot_begin; s < slot_end; ++s) {
+      const int e = routing.id(t, s);
+      KTX_DCHECK(e >= 0 && e < num_experts) << "bad expert id " << e;
+      int g = group_of_expert[static_cast<std::size_t>(e)];
+      if (g < 0) {
+        g = static_cast<int>(groups.size());
+        group_of_expert[static_cast<std::size_t>(e)] = g;
+        groups.push_back(ExpertGroup{e, {}, {}});
+      }
+      groups[static_cast<std::size_t>(g)].token_rows.push_back(t);
+      groups[static_cast<std::size_t>(g)].gate_weights.push_back(routing.weight(t, s));
+    }
+  }
+  if (groups.empty()) {
+    return;
+  }
+
+  // --- Stage per-group buffers: gathered inputs, activations, outputs. ------
+  struct GroupBuffers {
+    Tensor x_gathered;  // [t_e, hidden]
+    Tensor gate_up;     // [t_e, 2*inter]: columns [0,inter) gate, [inter,2*inter) up
+    Tensor act;         // [t_e, inter]
+    Tensor out;         // [t_e, hidden]
+    KernelKind kind = KernelKind::kAmx;
+  };
+  std::vector<GroupBuffers> bufs(groups.size());
+  std::int64_t max_group = 0;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const std::int64_t te = static_cast<std::int64_t>(groups[g].token_rows.size());
+    max_group = std::max(max_group, te);
+    bufs[g].x_gathered = Tensor({te, hidden}, DType::kF32);
+    bufs[g].gate_up = Tensor({te, 2 * inter}, DType::kF32);
+    bufs[g].act = Tensor({te, inter}, DType::kF32);
+    bufs[g].out = Tensor({te, hidden}, DType::kF32);
+    bufs[g].kind = options_.force_kind.value_or(SelectKernel(te, options_.ari_threshold));
+    float* dst = bufs[g].x_gathered.f32();
+    for (std::int64_t r = 0; r < te; ++r) {
+      std::memcpy(dst + r * hidden, x + groups[g].token_rows[static_cast<std::size_t>(r)] * hidden,
+                  static_cast<std::size_t>(hidden) * sizeof(float));
+    }
+  }
+
+  std::atomic<std::int64_t> amx_calls{0};
+  std::atomic<std::int64_t> avx_calls{0};
+  TaskQueue queue(pool_);
+
+  // --- Fused batch A: Gate+Up projections + SwiGLU, banded over `inter`. ----
+  {
+    std::vector<SubTask> batch;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const PackedExpert& pw = experts_->expert(groups[g].expert);
+      const std::int64_t te = bufs[g].x_gathered.dim(0);
+      const std::int64_t n_blocks = pw.gate.n_blocks();
+      for (std::int64_t b0 = 0; b0 < n_blocks; b0 += options_.band_blocks) {
+        const std::int64_t b1 = std::min(n_blocks, b0 + options_.band_blocks);
+        GroupBuffers* gb = &bufs[g];
+        const ExpertGroup* grp = &groups[g];
+        batch.push_back(SubTask{
+            [this, gb, grp, b0, b1, te, inter, &amx_calls, &avx_calls] {
+              const PackedExpert& w = experts_->expert(grp->expert);
+              GemmOptions opts;
+              opts.kind = gb->kind;
+              opts.impl = options_.impl;
+              opts.nb_begin = b0;
+              opts.nb_end = b1;
+              float* gu = gb->gate_up.f32();
+              // Gate into columns [0, inter), Up into [inter, 2*inter):
+              // fused in one task so both stream the same activations.
+              GemmPacked(gb->x_gathered.f32(), te, gb->x_gathered.dim(1), w.gate, gu,
+                         2 * inter, opts);
+              GemmPacked(gb->x_gathered.f32(), te, gb->x_gathered.dim(1), w.up, gu + inter,
+                         2 * inter, opts);
+              // SwiGLU for the bands this task produced.
+              const std::int64_t c0 = b0 * kNBlock;
+              const std::int64_t c1 = std::min(inter, b1 * kNBlock);
+              for (std::int64_t r = 0; r < te; ++r) {
+                SiluMul(gu + r * 2 * inter + c0, gu + r * 2 * inter + inter + c0,
+                        gb->act.f32() + r * inter + c0, c1 - c0);
+              }
+              (gb->kind == KernelKind::kAmx ? amx_calls : avx_calls)
+                  .fetch_add(2, std::memory_order_relaxed);
+            },
+            static_cast<double>(te * (b1 - b0))});
+      }
+    }
+    if (stats != nullptr) {
+      stats->subtasks += static_cast<std::int64_t>(batch.size());
+    }
+    queue.Run(std::move(batch), options_.schedule);
+  }
+
+  // --- Fused batch B: Down projection, banded over `hidden`. ----------------
+  {
+    std::vector<SubTask> batch;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const PackedExpert& pw = experts_->expert(groups[g].expert);
+      const std::int64_t te = bufs[g].act.dim(0);
+      const std::int64_t n_blocks = pw.down.n_blocks();
+      for (std::int64_t b0 = 0; b0 < n_blocks; b0 += options_.band_blocks) {
+        const std::int64_t b1 = std::min(n_blocks, b0 + options_.band_blocks);
+        GroupBuffers* gb = &bufs[g];
+        const ExpertGroup* grp = &groups[g];
+        batch.push_back(SubTask{
+            [this, gb, grp, b0, b1, te, &amx_calls, &avx_calls] {
+              const PackedExpert& w = experts_->expert(grp->expert);
+              GemmOptions opts;
+              opts.kind = gb->kind;
+              opts.impl = options_.impl;
+              opts.nb_begin = b0;
+              opts.nb_end = b1;
+              GemmPacked(gb->act.f32(), te, gb->act.dim(1), w.down, gb->out.f32(),
+                         gb->out.dim(1), opts);
+              (gb->kind == KernelKind::kAmx ? amx_calls : avx_calls)
+                  .fetch_add(1, std::memory_order_relaxed);
+            },
+            static_cast<double>(te * (b1 - b0))});
+      }
+    }
+    if (stats != nullptr) {
+      stats->subtasks += static_cast<std::int64_t>(batch.size());
+    }
+    queue.Run(std::move(batch), options_.schedule);
+  }
+
+  // --- Weighted scatter-add, banded over tokens (one writer per row). -------
+  {
+    // Invert the grouping: per token, the (group, row, weight) triples.
+    struct Contribution {
+      int group;
+      std::int64_t row;
+      float weight;
+    };
+    std::vector<std::vector<Contribution>> per_token(static_cast<std::size_t>(tokens));
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      for (std::size_t r = 0; r < groups[g].token_rows.size(); ++r) {
+        per_token[static_cast<std::size_t>(groups[g].token_rows[r])].push_back(
+            Contribution{static_cast<int>(g), static_cast<std::int64_t>(r),
+                         groups[g].gate_weights[r]});
+      }
+    }
+    const std::int64_t token_band = 32;
+    std::vector<SubTask> batch;
+    for (std::int64_t t0 = 0; t0 < tokens; t0 += token_band) {
+      const std::int64_t t1 = std::min(tokens, t0 + token_band);
+      batch.push_back(SubTask{[&per_token, &bufs, y, hidden, t0, t1] {
+                                for (std::int64_t t = t0; t < t1; ++t) {
+                                  for (const Contribution& c :
+                                       per_token[static_cast<std::size_t>(t)]) {
+                                    AxpyInPlace(y + t * hidden,
+                                                bufs[static_cast<std::size_t>(c.group)].out.f32() +
+                                                    c.row * hidden,
+                                                c.weight, hidden);
+                                  }
+                                }
+                              },
+                              static_cast<double>(t1 - t0)});
+    }
+    queue.Run(std::move(batch), options_.schedule);
+  }
+
+  if (stats != nullptr) {
+    stats->tokens += tokens;
+    stats->activated_experts += static_cast<int>(groups.size());
+    stats->max_tokens_per_expert = std::max(stats->max_tokens_per_expert, max_group);
+    stats->amx_calls += amx_calls.load();
+    stats->avx512_calls += avx_calls.load();
+    double flops = 0.0;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      flops += 6.0 * static_cast<double>(bufs[g].x_gathered.dim(0)) *
+               static_cast<double>(hidden) * static_cast<double>(inter);
+    }
+    stats->useful_flops += flops;
+  }
+}
+
+void RefMoeForward(const std::vector<Tensor>& gate, const std::vector<Tensor>& up,
+                   const std::vector<Tensor>& down, const float* x, std::int64_t tokens,
+                   const MoeRouting& routing, int slot_begin, int slot_end, float* y) {
+  const std::int64_t hidden = gate[0].dim(1);
+  const std::int64_t inter = gate[0].dim(0);
+  std::vector<float> g_buf(static_cast<std::size_t>(inter));
+  std::vector<float> u_buf(static_cast<std::size_t>(inter));
+  std::vector<float> a_buf(static_cast<std::size_t>(inter));
+  std::vector<float> o_buf(static_cast<std::size_t>(hidden));
+  for (std::int64_t t = 0; t < tokens; ++t) {
+    for (int s = slot_begin; s < slot_end; ++s) {
+      const int e = routing.id(t, s);
+      const float wgt = routing.weight(t, s);
+      RefGemm(x + t * hidden, 1, hidden, gate[static_cast<std::size_t>(e)], g_buf.data(), inter);
+      RefGemm(x + t * hidden, 1, hidden, up[static_cast<std::size_t>(e)], u_buf.data(), inter);
+      SiluMul(g_buf.data(), u_buf.data(), a_buf.data(), inter);
+      RefGemm(a_buf.data(), 1, inter, down[static_cast<std::size_t>(e)], o_buf.data(), hidden);
+      AxpyInPlace(y + t * hidden, o_buf.data(), wgt, hidden);
+    }
+  }
+}
+
+}  // namespace ktx

@@ -1,0 +1,131 @@
+// The fused CPU MoE operator (paper §3.2).
+//
+// One Forward() call executes all routed experts for a batch of tokens as two
+// fused task batches:
+//
+//   batch A: per (expert, intermediate-band) — Gate and Up projections fused
+//            (no data dependency), SwiGLU applied in-register;
+//   batch B: per (expert, hidden-band)       — Down projection into a
+//            per-expert staging buffer;
+//   reduce:  per token-band                  — weighted scatter-add into the
+//            output rows (single writer per token, so no atomics).
+//
+// Tasks are drained by worker threads through the dynamic task queue, which
+// is what absorbs the heavy expert-activation imbalance of the prefill phase
+// (up to 1.83x, Fig. 14 'd'). The kernel kind per expert follows the
+// arithmetic-intensity rule of Fig. 7: <= ari_threshold tokens -> AVX-512,
+// otherwise AMX.
+//
+// Expert Deferral hooks in through the routing-slot window: the engine calls
+// Forward() with slots [0, I) for immediate experts and [I, top_k) for
+// deferred experts of the previous layer (§4.1).
+
+#ifndef KTX_SRC_CPU_MOE_CPU_H_
+#define KTX_SRC_CPU_MOE_CPU_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/task_queue.h"
+#include "src/common/thread_pool.h"
+#include "src/cpu/gemm.h"
+#include "src/cpu/layout.h"
+#include "src/tensor/tensor.h"
+
+namespace ktx {
+
+// Gate/Up/Down projections of one routed expert, packed tile-wise.
+struct PackedExpert {
+  PackedMatrix gate;  // [inter, hidden]
+  PackedMatrix up;    // [inter, hidden]
+  PackedMatrix down;  // [hidden, inter]
+};
+
+class PackedExperts {
+ public:
+  // Packs `num_experts` expert FFNs from f32 tensors. gate/up: [inter, hidden],
+  // down: [hidden, inter].
+  static StatusOr<PackedExperts> Pack(const std::vector<Tensor>& gate,
+                                      const std::vector<Tensor>& up,
+                                      const std::vector<Tensor>& down, DType dtype);
+
+  int num_experts() const { return static_cast<int>(experts_.size()); }
+  std::int64_t hidden() const { return hidden_; }
+  std::int64_t inter() const { return inter_; }
+  DType dtype() const { return dtype_; }
+  const PackedExpert& expert(int e) const { return experts_[static_cast<std::size_t>(e)]; }
+  std::size_t total_bytes() const;
+
+ private:
+  std::vector<PackedExpert> experts_;
+  std::int64_t hidden_ = 0;
+  std::int64_t inter_ = 0;
+  DType dtype_ = DType::kBF16;
+};
+
+// Routing decisions for a token batch: per token, `top_k` (expert, weight)
+// slots ordered by descending routing score.
+struct MoeRouting {
+  std::int64_t tokens = 0;
+  int top_k = 0;
+  std::vector<int> expert_ids;  // [tokens * top_k]
+  std::vector<float> weights;   // [tokens * top_k]
+
+  int id(std::int64_t t, int slot) const { return expert_ids[t * top_k + slot]; }
+  float weight(std::int64_t t, int slot) const { return weights[t * top_k + slot]; }
+};
+
+struct MoeOptions {
+  ScheduleKind schedule = ScheduleKind::kDynamic;
+  std::int64_t ari_threshold = 4;                // Fig. 7 crossover
+  std::optional<KernelKind> force_kind;          // override ARI dispatch
+  KernelImpl impl = KernelImpl::kAuto;
+  std::int64_t band_blocks = 4;                  // 16-wide tile bands per task
+};
+
+struct MoeStats {
+  std::int64_t tokens = 0;
+  int activated_experts = 0;
+  std::int64_t max_tokens_per_expert = 0;
+  std::int64_t subtasks = 0;
+  std::int64_t amx_calls = 0;
+  std::int64_t avx512_calls = 0;
+  double useful_flops = 0.0;
+};
+
+class CpuMoe {
+ public:
+  CpuMoe(std::shared_ptr<const PackedExperts> experts, ThreadPool* pool, MoeOptions options);
+
+  // Accumulates the weighted outputs of routing slots [slot_begin, slot_end)
+  // into y[tokens, hidden] (row-major, leading dimension = hidden).
+  // x is [tokens, hidden] f32.
+  void Forward(const float* x, std::int64_t tokens, const MoeRouting& routing, int slot_begin,
+               int slot_end, float* y, MoeStats* stats = nullptr) const;
+
+  // All slots at once.
+  void Forward(const float* x, std::int64_t tokens, const MoeRouting& routing, float* y,
+               MoeStats* stats = nullptr) const {
+    Forward(x, tokens, routing, 0, routing.top_k, y, stats);
+  }
+
+  const PackedExperts& experts() const { return *experts_; }
+  const MoeOptions& options() const { return options_; }
+
+ private:
+  std::shared_ptr<const PackedExperts> experts_;
+  ThreadPool* pool_;
+  MoeOptions options_;
+};
+
+// Reference f32 implementation against the unpacked weights (tests).
+void RefMoeForward(const std::vector<Tensor>& gate, const std::vector<Tensor>& up,
+                   const std::vector<Tensor>& down, const float* x, std::int64_t tokens,
+                   const MoeRouting& routing, int slot_begin, int slot_end, float* y);
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_CPU_MOE_CPU_H_

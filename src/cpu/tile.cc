@@ -1,0 +1,60 @@
+#include "src/cpu/tile.h"
+
+namespace ktx {
+
+void TileReg::Load(const void* base, int stride_bytes, int rows, int bytes_per_row) {
+  const auto* src = static_cast<const std::uint8_t*>(base);
+  for (int r = 0; r < rows; ++r) {
+    std::memcpy(data[r], src + static_cast<std::ptrdiff_t>(r) * stride_bytes,
+                static_cast<std::size_t>(bytes_per_row));
+  }
+  for (int r = rows; r < kTileRows; ++r) {
+    std::memset(data[r], 0, kTileBytesPerRow);
+  }
+  if (bytes_per_row < kTileBytesPerRow) {
+    for (int r = 0; r < rows; ++r) {
+      std::memset(data[r] + bytes_per_row, 0,
+                  static_cast<std::size_t>(kTileBytesPerRow - bytes_per_row));
+    }
+  }
+}
+
+void TdpBf16Ps(AccTile& c, const TileReg& a, const TileReg& b, int a_rows) {
+  // A row i: 32 bf16 values (pairs p=0..15, r=0..1 at column 2p+r).
+  // B row p: 16 bf16 pairs, pair j at columns 2j, 2j+1.
+  const auto* a_bf16 = reinterpret_cast<const std::uint16_t*>(a.data);
+  const auto* b_bf16 = reinterpret_cast<const std::uint16_t*>(b.data);
+  for (int i = 0; i < a_rows; ++i) {
+    for (int j = 0; j < kNBlock; ++j) {
+      float acc = c.f32[i][j];
+      for (int p = 0; p < kTileRows; ++p) {
+        for (int r = 0; r < 2; ++r) {
+          const float av = BF16ToFloat(BF16{a_bf16[i * 32 + 2 * p + r]});
+          const float bv = BF16ToFloat(BF16{b_bf16[p * 32 + 2 * j + r]});
+          acc += av * bv;
+        }
+      }
+      c.f32[i][j] = acc;
+    }
+  }
+}
+
+void TdpBssd(AccTile& c, const TileReg& a, const TileReg& b, int a_rows) {
+  const auto* a_i8 = reinterpret_cast<const std::int8_t*>(a.data);
+  const auto* b_i8 = reinterpret_cast<const std::int8_t*>(b.data);
+  std::int32_t* ci = c.i32();
+  for (int i = 0; i < a_rows; ++i) {
+    for (int j = 0; j < kNBlock; ++j) {
+      std::int32_t acc = ci[i * kNBlock + j];
+      for (int p = 0; p < kTileRows; ++p) {
+        for (int r = 0; r < 4; ++r) {
+          acc += static_cast<std::int32_t>(a_i8[i * 64 + 4 * p + r]) *
+                 static_cast<std::int32_t>(b_i8[p * 64 + 4 * j + r]);
+        }
+      }
+      ci[i * kNBlock + j] = acc;
+    }
+  }
+}
+
+}  // namespace ktx

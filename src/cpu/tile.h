@@ -1,0 +1,63 @@
+// Software model of the Intel AMX tile architecture (§2.2, §3.2).
+//
+// Each AMX core exposes eight tile registers of 16 rows x 64 bytes. The two
+// matrix-multiply instructions this library uses are
+//
+//   TDPBF16PS  C(f32 16x16) += A(16x32 bf16) . B(16x32 bf16, VNNI-2 layout)
+//   TDPBSSD    C(i32 16x16) += A(16x64 i8)   . B(16x64 i8,  VNNI-4 layout)
+//
+// where the B tile holds a K-major "VNNI" repack of the weight block:
+//   bf16:  B.row(p)[2*j + r] = W[n0 + j][k0 + 2*p + r]   (p<16, j<16, r<2)
+//   int8:  B.row(p)[4*j + r] = W[n0 + j][k0 + 4*p + r]   (p<16, j<16, r<4)
+//
+// TileEmu implements these semantics bit-exactly in scalar code so the whole
+// AMX kernel stack is testable on any host. When the machine grants AMX
+// permission (cpu_features.h), amx_native.cc runs the same layout with real
+// tile instructions.
+
+#ifndef KTX_SRC_CPU_TILE_H_
+#define KTX_SRC_CPU_TILE_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "src/tensor/dtype.h"
+
+namespace ktx {
+
+inline constexpr int kTileRows = 16;       // max rows per tile register
+inline constexpr int kTileBytesPerRow = 64;
+inline constexpr int kTileBytes = kTileRows * kTileBytesPerRow;  // 1 KiB
+inline constexpr int kKBlockBf16 = 32;     // K elements covered by one bf16 tile
+inline constexpr int kKBlockInt8 = 64;     // K elements covered by one int8 tile
+inline constexpr int kNBlock = 16;         // N outputs covered by one tile
+
+// One emulated tile register.
+struct TileReg {
+  alignas(64) std::uint8_t data[kTileRows][kTileBytesPerRow];
+
+  void Zero() { std::memset(data, 0, sizeof(data)); }
+  // Loads `rows` rows of `bytes_per_row` bytes with the given source stride.
+  void Load(const void* base, int stride_bytes, int rows = kTileRows,
+            int bytes_per_row = kTileBytesPerRow);
+};
+
+// Emulated accumulator (f32 or i32 view over the same 16x16 grid).
+struct AccTile {
+  alignas(64) float f32[kTileRows][kNBlock];
+
+  void Zero() { std::memset(f32, 0, sizeof(f32)); }
+  std::int32_t* i32() { return reinterpret_cast<std::int32_t*>(&f32[0][0]); }
+  const std::int32_t* i32() const { return reinterpret_cast<const std::int32_t*>(&f32[0][0]); }
+};
+
+// C += A . B with TDPBF16PS semantics (BF16 inputs, FP32 accumulate).
+// `a_rows` limits the active A rows (ragged final M block).
+void TdpBf16Ps(AccTile& c, const TileReg& a, const TileReg& b, int a_rows = kTileRows);
+
+// C += A . B with TDPBSSD semantics (signed i8 inputs, i32 accumulate).
+void TdpBssd(AccTile& c, const TileReg& a, const TileReg& b, int a_rows = kTileRows);
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_CPU_TILE_H_

@@ -1,0 +1,279 @@
+#include "src/inject/yaml_lite.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/common/logging.h"
+
+namespace ktx {
+
+YamlNode YamlNode::Scalar(std::string value) {
+  YamlNode n;
+  n.kind_ = Kind::kScalar;
+  n.scalar_ = std::move(value);
+  return n;
+}
+
+YamlNode YamlNode::Map() {
+  YamlNode n;
+  n.kind_ = Kind::kMap;
+  return n;
+}
+
+YamlNode YamlNode::Seq() {
+  YamlNode n;
+  n.kind_ = Kind::kSeq;
+  return n;
+}
+
+void YamlNode::MapSet(std::string key, YamlNode value) {
+  KTX_DCHECK(is_map());
+  map_.emplace_back(std::move(key), std::move(value));
+}
+
+void YamlNode::SeqPush(YamlNode value) {
+  KTX_DCHECK(is_seq());
+  seq_.push_back(std::move(value));
+}
+
+const YamlNode* YamlNode::Find(const std::string& key) const {
+  for (const auto& [k, v] : map_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+StatusOr<std::int64_t> YamlNode::AsInt() const {
+  if (!is_scalar()) {
+    return InvalidArgumentError("not a scalar");
+  }
+  try {
+    std::size_t used = 0;
+    const std::int64_t v = std::stoll(scalar_, &used);
+    if (used != scalar_.size()) {
+      return InvalidArgumentError("not an integer: " + scalar_);
+    }
+    return v;
+  } catch (const std::exception&) {
+    return InvalidArgumentError("not an integer: " + scalar_);
+  }
+}
+
+StatusOr<bool> YamlNode::AsBool() const {
+  if (!is_scalar()) {
+    return InvalidArgumentError("not a scalar");
+  }
+  if (scalar_ == "true" || scalar_ == "True" || scalar_ == "yes") {
+    return true;
+  }
+  if (scalar_ == "false" || scalar_ == "False" || scalar_ == "no") {
+    return false;
+  }
+  return InvalidArgumentError("not a boolean: " + scalar_);
+}
+
+namespace {
+
+struct Line {
+  int indent = 0;
+  std::string text;
+};
+
+// Strips a trailing comment (respecting quotes) and right whitespace.
+std::string StripComment(const std::string& raw) {
+  std::string out;
+  char quote = 0;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const char c = raw[i];
+    if (quote != 0) {
+      if (c == quote && (quote != '"' || raw[i - 1] != '\\')) {
+        quote = 0;
+      }
+      out.push_back(c);
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      quote = c;
+      out.push_back(c);
+      continue;
+    }
+    if (c == '#') {
+      break;
+    }
+    out.push_back(c);
+  }
+  while (!out.empty() && (out.back() == ' ' || out.back() == '\t' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out;
+}
+
+StatusOr<std::string> UnquoteScalar(const std::string& value) {
+  if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
+    std::string out;
+    for (std::size_t i = 1; i + 1 < value.size(); ++i) {
+      if (value[i] == '\\' && i + 2 < value.size()) {
+        const char next = value[i + 1];
+        if (next == '\\' || next == '"') {
+          out.push_back(next);
+          ++i;
+          continue;
+        }
+      }
+      out.push_back(value[i]);
+    }
+    return out;
+  }
+  if (value.size() >= 2 && value.front() == '\'' && value.back() == '\'') {
+    return value.substr(1, value.size() - 2);
+  }
+  if (!value.empty() && (value.front() == '"' || value.front() == '\'')) {
+    return InvalidArgumentError("unterminated quoted scalar: " + value);
+  }
+  return value;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Line> lines) : lines_(std::move(lines)) {}
+
+  StatusOr<YamlNode> ParseDocument() {
+    if (lines_.empty()) {
+      return YamlNode::Map();
+    }
+    KTX_ASSIGN_OR_RETURN(YamlNode root, ParseNode(lines_[0].indent));
+    if (pos_ != lines_.size()) {
+      return InvalidArgumentError("trailing content at line index " + std::to_string(pos_) +
+                                  " (bad indentation?)");
+    }
+    return root;
+  }
+
+ private:
+  StatusOr<YamlNode> ParseNode(int indent) {
+    if (pos_ >= lines_.size() || lines_[pos_].indent != indent) {
+      return InvalidArgumentError("expected block at indent " + std::to_string(indent));
+    }
+    if (lines_[pos_].text.rfind("- ", 0) == 0 || lines_[pos_].text == "-") {
+      return ParseSequence(indent);
+    }
+    return ParseMappingOrScalar(indent);
+  }
+
+  StatusOr<YamlNode> ParseSequence(int indent) {
+    YamlNode seq = YamlNode::Seq();
+    while (pos_ < lines_.size() && lines_[pos_].indent == indent &&
+           (lines_[pos_].text.rfind("- ", 0) == 0 || lines_[pos_].text == "-")) {
+      std::string rest =
+          lines_[pos_].text == "-" ? std::string() : lines_[pos_].text.substr(2);
+      if (rest.empty()) {
+        ++pos_;
+        if (pos_ >= lines_.size() || lines_[pos_].indent <= indent) {
+          seq.SeqPush(YamlNode::Scalar(""));
+          continue;
+        }
+        KTX_ASSIGN_OR_RETURN(YamlNode item, ParseNode(lines_[pos_].indent));
+        seq.SeqPush(std::move(item));
+      } else {
+        // Re-interpret the post-dash content as a virtual line two columns in;
+        // the rest of the item continues at that indentation.
+        lines_[pos_].indent = indent + 2;
+        lines_[pos_].text = std::move(rest);
+        KTX_ASSIGN_OR_RETURN(YamlNode item, ParseNode(indent + 2));
+        seq.SeqPush(std::move(item));
+      }
+    }
+    return seq;
+  }
+
+  StatusOr<YamlNode> ParseMappingOrScalar(int indent) {
+    const std::string& first = lines_[pos_].text;
+    const std::size_t colon = FindKeyColon(first);
+    if (colon == std::string::npos) {
+      // Plain scalar node.
+      KTX_ASSIGN_OR_RETURN(std::string value, UnquoteScalar(first));
+      ++pos_;
+      return YamlNode::Scalar(std::move(value));
+    }
+    YamlNode map = YamlNode::Map();
+    while (pos_ < lines_.size() && lines_[pos_].indent == indent) {
+      const std::string& text = lines_[pos_].text;
+      if (text.rfind("- ", 0) == 0) {
+        break;  // sequence at same indent belongs to an outer construct
+      }
+      const std::size_t c = FindKeyColon(text);
+      if (c == std::string::npos) {
+        return InvalidArgumentError("expected 'key:' in mapping, got: " + text);
+      }
+      std::string key = text.substr(0, c);
+      std::string value = c + 1 < text.size() ? text.substr(c + 1) : std::string();
+      while (!value.empty() && value.front() == ' ') {
+        value.erase(value.begin());
+      }
+      ++pos_;
+      if (!value.empty()) {
+        KTX_ASSIGN_OR_RETURN(std::string scalar, UnquoteScalar(value));
+        map.MapSet(std::move(key), YamlNode::Scalar(std::move(scalar)));
+        continue;
+      }
+      // Nested block (or empty value).
+      if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
+        KTX_ASSIGN_OR_RETURN(YamlNode child, ParseNode(lines_[pos_].indent));
+        map.MapSet(std::move(key), std::move(child));
+      } else {
+        map.MapSet(std::move(key), YamlNode::Scalar(""));
+      }
+    }
+    return map;
+  }
+
+  // First ':' that terminates a key (keys are plain identifiers/dotted names).
+  static std::size_t FindKeyColon(const std::string& text) {
+    if (text.empty() || text.front() == '"' || text.front() == '\'') {
+      return std::string::npos;
+    }
+    const std::size_t colon = text.find(':');
+    if (colon == std::string::npos) {
+      return std::string::npos;
+    }
+    // "key:" must be followed by space or end of line.
+    if (colon + 1 < text.size() && text[colon + 1] != ' ') {
+      return std::string::npos;
+    }
+    return colon;
+  }
+
+  std::vector<Line> lines_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<YamlNode> ParseYaml(const std::string& text) {
+  std::vector<Line> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find('\n', start);
+    const std::string raw =
+        text.substr(start, end == std::string::npos ? std::string::npos : end - start);
+    start = end == std::string::npos ? text.size() + 1 : end + 1;
+    const std::string stripped = StripComment(raw);
+    std::size_t indent = 0;
+    while (indent < stripped.size() && stripped[indent] == ' ') {
+      ++indent;
+    }
+    if (indent == stripped.size()) {
+      continue;  // blank / comment-only line
+    }
+    if (stripped.find('\t') != std::string::npos) {
+      return InvalidArgumentError("tabs are not allowed in YAML indentation");
+    }
+    lines.push_back(Line{static_cast<int>(indent), stripped.substr(indent)});
+  }
+  Parser parser(std::move(lines));
+  return parser.ParseDocument();
+}
+
+}  // namespace ktx

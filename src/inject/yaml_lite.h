@@ -1,0 +1,66 @@
+// A minimal YAML subset parser for injection configuration files (paper §5).
+//
+// Supports exactly what the KTransformers rule files use:
+//   * block sequences of block mappings ("- match: ...");
+//   * nested block mappings via indentation;
+//   * scalar values: plain, single- or double-quoted strings, integers,
+//     booleans;
+//   * full-line and trailing comments (#), blank lines.
+//
+// Not supported (and not needed): flow style, anchors, multi-line scalars,
+// multiple documents.
+
+#ifndef KTX_SRC_INJECT_YAML_LITE_H_
+#define KTX_SRC_INJECT_YAML_LITE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ktx {
+
+class YamlNode {
+ public:
+  enum class Kind { kScalar, kMap, kSeq };
+
+  Kind kind() const { return kind_; }
+  bool is_scalar() const { return kind_ == Kind::kScalar; }
+  bool is_map() const { return kind_ == Kind::kMap; }
+  bool is_seq() const { return kind_ == Kind::kSeq; }
+
+  // Scalar access.
+  const std::string& scalar() const { return scalar_; }
+  StatusOr<std::int64_t> AsInt() const;
+  StatusOr<bool> AsBool() const;
+
+  // Map access (insertion order preserved).
+  const YamlNode* Find(const std::string& key) const;  // nullptr if absent
+  const std::vector<std::pair<std::string, YamlNode>>& entries() const { return map_; }
+
+  // Sequence access.
+  const std::vector<YamlNode>& items() const { return seq_; }
+  std::size_t size() const { return is_seq() ? seq_.size() : map_.size(); }
+
+  static YamlNode Scalar(std::string value);
+  static YamlNode Map();
+  static YamlNode Seq();
+
+  void MapSet(std::string key, YamlNode value);
+  void SeqPush(YamlNode value);
+
+ private:
+  Kind kind_ = Kind::kScalar;
+  std::string scalar_;
+  std::vector<std::pair<std::string, YamlNode>> map_;
+  std::vector<YamlNode> seq_;
+};
+
+// Parses a document. The root may be a sequence or a mapping.
+StatusOr<YamlNode> ParseYaml(const std::string& text);
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_INJECT_YAML_LITE_H_

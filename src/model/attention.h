@@ -1,0 +1,57 @@
+// Reference attention implementations: GQA (Qwen2-style) and MLA
+// (DeepSeek-style multi-head latent attention).
+//
+// These are the f32 ground-truth kernels. In the hybrid engine they run as
+// vcuda GPU kernels (the paper injects FlashInfer's MLA kernel here); the
+// math is identical. The MLA path materializes per-position keys/values from
+// the cached latent on every step — the paper's matrix-absorption optimization
+// changes arithmetic cost, not results, so it is modeled in the cost model
+// rather than re-implemented.
+
+#ifndef KTX_SRC_MODEL_ATTENTION_H_
+#define KTX_SRC_MODEL_ATTENTION_H_
+
+#include "src/model/config.h"
+#include "src/model/kv_cache.h"
+#include "src/tensor/tensor.h"
+
+namespace ktx {
+
+struct AttentionWeights {
+  // GQA.
+  Tensor wq;  // [heads*head_dim, hidden]
+  Tensor wk;  // [kv_heads*head_dim, hidden]
+  Tensor wv;  // [kv_heads*head_dim, hidden]
+  // MLA.
+  Tensor w_dq;   // [q_lora, hidden]
+  Tensor w_uq;   // [heads*(head_dim+rope_dim), q_lora]
+  Tensor w_dkv;  // [kv_lora+rope_dim, hidden] (joint latent + decoupled key)
+  Tensor w_uk;   // [heads*head_dim, kv_lora]
+  Tensor w_uv;   // [heads*v_head_dim, kv_lora]
+  // Both.
+  Tensor wo;  // [hidden, heads*{head_dim|v_head_dim}]
+};
+
+// Rotates `dim` leading values of vec in (even, odd) pairs by position
+// `pos` (theta base 10000) — standard RoPE.
+void ApplyRope(float* vec, std::int64_t dim, std::int64_t pos);
+
+// Processes `m` new tokens whose first absolute position is `pos0`
+// (the cache already holds positions [0, pos0)). Appends to the cache and
+// writes attention output (pre-residual) to out[m, hidden]. Causal masking.
+void AttentionForward(const MoeModelConfig& config, const AttentionWeights& w, const float* x,
+                      std::int64_t m, std::int64_t pos0, KvLayerCache* cache, float* out);
+
+// FLOP / byte estimates for the cost model (per layer, given m new tokens at
+// context length `seq`). Accounts for MLA matrix absorption on the decode
+// path when config.attention == kMla.
+struct AttentionCost {
+  double flops = 0.0;
+  double bytes = 0.0;
+};
+AttentionCost EstimateAttentionCost(const MoeModelConfig& config, std::int64_t m,
+                                    std::int64_t seq, double bytes_per_weight);
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_MODEL_ATTENTION_H_

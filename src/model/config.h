@@ -1,0 +1,88 @@
+// MoE model configurations.
+//
+// Paper-true presets (Table 1) carry the real DeepSeek-V3 / DeepSeek-V2.5 /
+// Qwen2-57B-A14B shapes — these feed the cost model and the parameter-count
+// derivations. Tiny presets shrink every dimension so the functional engine,
+// tests and accuracy experiments run in seconds on one core while exercising
+// the identical code paths (grouped gating, MLA, shared experts, deferral).
+
+#ifndef KTX_SRC_MODEL_CONFIG_H_
+#define KTX_SRC_MODEL_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ktx {
+
+enum class AttentionKind {
+  kGqa,  // grouped-query attention (Qwen2-style)
+  kMla,  // multi-head latent attention (DeepSeek-style)
+};
+
+enum class GatingKind {
+  kSoftmaxTopK,        // DeepSeek-V2 / Qwen2: softmax scores, top-k
+  kGroupedSigmoidTopK, // DeepSeek-V3: sigmoid scores, group-limited top-k
+};
+
+struct MoeModelConfig {
+  std::string name;
+
+  // Core dims.
+  std::int64_t hidden = 0;
+  std::int64_t vocab = 0;
+  int num_layers = 0;          // total transformer layers
+  int first_dense_layers = 0;  // leading layers use a dense FFN instead of MoE
+  std::int64_t dense_inter = 0;
+
+  // MoE.
+  int num_experts = 0;  // routed experts per layer
+  int top_k = 0;
+  std::int64_t moe_inter = 0;          // routed-expert intermediate size
+  int n_shared_experts = 0;            // shared experts (always active)
+  GatingKind gating = GatingKind::kSoftmaxTopK;
+  int n_group = 1;      // expert groups for grouped gating
+  int topk_group = 1;   // groups kept by grouped gating
+  float routed_scaling = 1.0f;
+
+  // Attention.
+  AttentionKind attention = AttentionKind::kGqa;
+  int num_heads = 0;
+  int num_kv_heads = 0;        // GQA only
+  std::int64_t head_dim = 0;   // per-head dim (MLA: nope part)
+  std::int64_t kv_lora_rank = 0;  // MLA latent dim
+  std::int64_t q_lora_rank = 0;   // MLA query compression (0 = direct)
+  std::int64_t rope_dim = 0;      // MLA decoupled RoPE dim
+  std::int64_t v_head_dim = 0;    // MLA value head dim
+
+  std::int64_t max_seq = 4096;
+
+  int num_moe_layers() const { return num_layers - first_dense_layers; }
+  bool is_moe_layer(int layer) const { return layer >= first_dense_layers; }
+  std::int64_t shared_inter() const { return n_shared_experts * moe_inter; }
+
+  // --- Parameter-count derivation (Table 1) ---------------------------------
+  double RoutedExpertParams() const;   // "CPU parameters"
+  double AttentionParams() const;      // per model, all layers
+  double SharedAndDenseParams() const;
+  double EmbeddingParams() const;
+  double GpuParams() const;            // everything except routed experts
+  double TotalParams() const;
+
+  // Per-token decode working set on the CPU side (bytes of routed expert
+  // weights touched), given a weight dtype byte width.
+  double CpuBytesPerToken(double bytes_per_weight) const;
+};
+
+// Paper-true shapes (Table 1 and the public model configs).
+MoeModelConfig DeepSeekV3Config();   // DS-3: 671B, 256 experts, top-8, MLA
+MoeModelConfig DeepSeekV2Config();   // DS-2: 236B, 160 experts, top-6, MLA
+MoeModelConfig Qwen2MoeConfig();     // QW-2: 57B,  64 experts, top-8, GQA
+
+// Functional-scale presets.
+MoeModelConfig TinyMoeConfig();      // unit tests: hidden 64
+MoeModelConfig TinyMlaConfig();      // unit tests with MLA + grouped gating
+MoeModelConfig SmallMoeConfig();     // accuracy benches: hidden 128, 8 layers
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_MODEL_CONFIG_H_

@@ -1,0 +1,114 @@
+#include "src/model/eval.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/cpu/activation.h"
+
+namespace ktx {
+
+namespace {
+
+// log softmax(logits)[target] computed stably.
+double LogProb(const float* logits, std::int64_t vocab, int target) {
+  float max_v = logits[0];
+  for (std::int64_t i = 1; i < vocab; ++i) {
+    max_v = std::max(max_v, logits[i]);
+  }
+  double denom = 0.0;
+  for (std::int64_t i = 0; i < vocab; ++i) {
+    denom += std::exp(static_cast<double>(logits[i]) - max_v);
+  }
+  return static_cast<double>(logits[target]) - max_v - std::log(denom);
+}
+
+}  // namespace
+
+EvalResult EvaluatePerplexity(const RefModel& model, const std::vector<int>& tokens,
+                              const ForwardOptions& options) {
+  KTX_CHECK_GE(tokens.size(), 2u);
+  KvCache cache(model.config());
+  const Tensor logits = model.Forward(tokens, &cache, options);
+  const std::int64_t vocab = logits.dim(1);
+  EvalResult result;
+  double nll = 0.0;
+  for (std::size_t t = 0; t + 1 < tokens.size(); ++t) {
+    nll -= LogProb(logits.f32() + static_cast<std::int64_t>(t) * vocab, vocab,
+                   tokens[t + 1]);
+    ++result.positions;
+  }
+  result.mean_nll = nll / static_cast<double>(result.positions);
+  result.perplexity = std::exp(result.mean_nll);
+  return result;
+}
+
+double ExecutionDivergence(const RefModel& model, const std::vector<int>& tokens,
+                           const ForwardOptions& base, const ForwardOptions& variant) {
+  KvCache ca(model.config());
+  KvCache cb(model.config());
+  const Tensor a = model.Forward(tokens, &ca, base);
+  const Tensor b = model.Forward(tokens, &cb, variant);
+  const std::int64_t vocab = a.dim(1);
+  const std::int64_t rows = a.dim(0);
+  std::vector<float> p(static_cast<std::size_t>(vocab));
+  std::vector<float> q(static_cast<std::size_t>(vocab));
+  double kl_sum = 0.0;
+  for (std::int64_t t = 0; t < rows; ++t) {
+    std::copy(a.f32() + t * vocab, a.f32() + (t + 1) * vocab, p.begin());
+    std::copy(b.f32() + t * vocab, b.f32() + (t + 1) * vocab, q.begin());
+    Softmax(p.data(), vocab);
+    Softmax(q.data(), vocab);
+    double kl = 0.0;
+    for (std::int64_t i = 0; i < vocab; ++i) {
+      if (p[static_cast<std::size_t>(i)] > 1e-12f) {
+        kl += p[static_cast<std::size_t>(i)] *
+              std::log(p[static_cast<std::size_t>(i)] /
+                       std::max(q[static_cast<std::size_t>(i)], 1e-12f));
+      }
+    }
+    kl_sum += kl;
+  }
+  return kl_sum / static_cast<double>(rows);
+}
+
+std::vector<int> SyntheticCorpus(std::int64_t vocab, std::int64_t length, double zipf_skew,
+                                 std::uint64_t seed) {
+  KTX_CHECK_GT(vocab, 1);
+  Rng rng(seed);
+  // Zipf CDF over a shuffled identity mapping so "frequent" ids are spread
+  // over the vocabulary.
+  std::vector<double> cdf(static_cast<std::size_t>(vocab));
+  double total = 0.0;
+  for (std::int64_t i = 0; i < vocab; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), zipf_skew);
+    cdf[static_cast<std::size_t>(i)] = total;
+  }
+  std::vector<int> mapping(static_cast<std::size_t>(vocab));
+  for (std::int64_t i = 0; i < vocab; ++i) {
+    mapping[static_cast<std::size_t>(i)] = static_cast<int>(i);
+  }
+  for (std::int64_t i = vocab - 1; i > 0; --i) {
+    std::swap(mapping[static_cast<std::size_t>(i)],
+              mapping[rng.NextBounded(static_cast<std::uint64_t>(i + 1))]);
+  }
+  std::vector<int> corpus;
+  corpus.reserve(static_cast<std::size_t>(length));
+  for (std::int64_t n = 0; n < length; ++n) {
+    const double r = rng.NextDouble() * total;
+    std::int64_t lo = 0;
+    std::int64_t hi = vocab - 1;
+    while (lo < hi) {
+      const std::int64_t mid = (lo + hi) / 2;
+      if (cdf[static_cast<std::size_t>(mid)] < r) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    corpus.push_back(mapping[static_cast<std::size_t>(lo)]);
+  }
+  return corpus;
+}
+
+}  // namespace ktx

@@ -1,0 +1,42 @@
+// Model quality evaluation: perplexity and cross-model divergence.
+//
+// The paper's accuracy story (Table 2, Fig. 13) is about how little Expert
+// Deferral changes the model. Besides the top-1 proxies in bench/, perplexity
+// under teacher forcing is the standard language-model quality measure, and
+// the perplexity *delta* between a modified and an unmodified execution is a
+// weight-free way to rank perturbations (deferral vs skipping vs
+// quantization) on synthetic corpora.
+
+#ifndef KTX_SRC_MODEL_EVAL_H_
+#define KTX_SRC_MODEL_EVAL_H_
+
+#include <vector>
+
+#include "src/model/reference_model.h"
+
+namespace ktx {
+
+struct EvalResult {
+  double perplexity = 0.0;      // exp(mean NLL) over predicted positions
+  double mean_nll = 0.0;        // nats/token
+  std::int64_t positions = 0;   // predictions scored
+};
+
+// Teacher-forced perplexity of `model` on `tokens` (positions 1..n-1 are
+// scored against the model's prediction from the prefix).
+EvalResult EvaluatePerplexity(const RefModel& model, const std::vector<int>& tokens,
+                              const ForwardOptions& options = {});
+
+// Mean KL(base || variant) per position between two execution modes of the
+// same model on the same tokens — the behaviour-change measure.
+double ExecutionDivergence(const RefModel& model, const std::vector<int>& tokens,
+                           const ForwardOptions& base, const ForwardOptions& variant);
+
+// A synthetic corpus with Zipf-distributed token frequencies (Wikitext-like
+// unigram statistics; the paper's workloads use Wikitext prompts).
+std::vector<int> SyntheticCorpus(std::int64_t vocab, std::int64_t length, double zipf_skew,
+                                 std::uint64_t seed);
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_MODEL_EVAL_H_

@@ -1,0 +1,22 @@
+#include "src/model/kv_cache.h"
+
+namespace ktx {
+
+KvCache::KvCache(const MoeModelConfig& config) {
+  layers_.resize(static_cast<std::size_t>(config.num_layers));
+  for (auto& layer : layers_) {
+    if (config.attention == AttentionKind::kMla) {
+      layer.ckv = Tensor({config.max_seq, config.kv_lora_rank}, DType::kF32);
+      layer.k_rope = Tensor({config.max_seq, config.rope_dim}, DType::kF32);
+      bytes_per_position_ +=
+          static_cast<std::size_t>(config.kv_lora_rank + config.rope_dim) * sizeof(float);
+    } else {
+      const std::int64_t kv_dim = config.num_kv_heads * config.head_dim;
+      layer.k = Tensor({config.max_seq, kv_dim}, DType::kF32);
+      layer.v = Tensor({config.max_seq, kv_dim}, DType::kF32);
+      bytes_per_position_ += 2 * static_cast<std::size_t>(kv_dim) * sizeof(float);
+    }
+  }
+}
+
+}  // namespace ktx

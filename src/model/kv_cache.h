@@ -1,0 +1,50 @@
+// Key/value caches for incremental decoding.
+//
+// GQA layers cache per-position keys and values ([max_seq, kv_heads*head_dim]
+// each). MLA layers cache the joint latent c_kv ([max_seq, kv_lora_rank]) and
+// the shared decoupled-RoPE key ([max_seq, rope_dim]) — the compression that
+// makes DeepSeek's KV footprint small enough for long local contexts.
+
+#ifndef KTX_SRC_MODEL_KV_CACHE_H_
+#define KTX_SRC_MODEL_KV_CACHE_H_
+
+#include <vector>
+
+#include "src/model/config.h"
+#include "src/tensor/tensor.h"
+
+namespace ktx {
+
+struct KvLayerCache {
+  // GQA
+  Tensor k;  // [max_seq, kv_heads * head_dim]
+  Tensor v;
+  // MLA
+  Tensor ckv;     // [max_seq, kv_lora_rank]
+  Tensor k_rope;  // [max_seq, rope_dim]
+};
+
+class KvCache {
+ public:
+  KvCache() = default;
+  explicit KvCache(const MoeModelConfig& config);
+
+  KvLayerCache& layer(int i) { return layers_[static_cast<std::size_t>(i)]; }
+  const KvLayerCache& layer(int i) const { return layers_[static_cast<std::size_t>(i)]; }
+
+  std::int64_t position() const { return position_; }
+  void Advance(std::int64_t tokens) { position_ += tokens; }
+  void Reset() { position_ = 0; }
+
+  // Bytes of cache state per position (capacity-planning reports).
+  std::size_t BytesPerPosition() const { return bytes_per_position_; }
+
+ private:
+  std::vector<KvLayerCache> layers_;
+  std::int64_t position_ = 0;
+  std::size_t bytes_per_position_ = 0;
+};
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_MODEL_KV_CACHE_H_

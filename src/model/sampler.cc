@@ -1,0 +1,72 @@
+#include "src/model/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/model/reference_model.h"
+
+namespace ktx {
+
+int Sampler::Sample(const Tensor& logits) {
+  KTX_CHECK_EQ(logits.rank(), 2u);
+  if (options_.temperature <= 0.0f) {
+    return ArgmaxLastToken(logits);
+  }
+  const std::int64_t vocab = logits.dim(1);
+  const float* row = logits.f32() + (logits.dim(0) - 1) * vocab;
+
+  std::vector<int> order(static_cast<std::size_t>(vocab));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) { return row[a] > row[b]; });
+
+  std::int64_t candidates = vocab;
+  if (options_.top_k > 0) {
+    candidates = std::min<std::int64_t>(candidates, options_.top_k);
+  }
+
+  // Temperature-scaled softmax over the candidate prefix.
+  std::vector<double> probs(static_cast<std::size_t>(candidates));
+  const double inv_t = 1.0 / options_.temperature;
+  const double max_logit = row[order[0]];
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < candidates; ++i) {
+    probs[static_cast<std::size_t>(i)] =
+        std::exp((row[order[static_cast<std::size_t>(i)]] - max_logit) * inv_t);
+    sum += probs[static_cast<std::size_t>(i)];
+  }
+  for (double& p : probs) {
+    p /= sum;
+  }
+
+  // Nucleus truncation on the sorted prefix.
+  if (options_.top_p < 1.0f) {
+    double mass = 0.0;
+    std::int64_t keep = 0;
+    while (keep < candidates && mass < options_.top_p) {
+      mass += probs[static_cast<std::size_t>(keep)];
+      ++keep;
+    }
+    candidates = std::max<std::int64_t>(1, keep);
+    double renorm = 0.0;
+    for (std::int64_t i = 0; i < candidates; ++i) {
+      renorm += probs[static_cast<std::size_t>(i)];
+    }
+    for (std::int64_t i = 0; i < candidates; ++i) {
+      probs[static_cast<std::size_t>(i)] /= renorm;
+    }
+  }
+
+  double r = rng_.NextDouble();
+  for (std::int64_t i = 0; i < candidates; ++i) {
+    r -= probs[static_cast<std::size_t>(i)];
+    if (r <= 0.0) {
+      return order[static_cast<std::size_t>(i)];
+    }
+  }
+  return order[static_cast<std::size_t>(candidates - 1)];
+}
+
+}  // namespace ktx

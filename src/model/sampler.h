@@ -1,0 +1,38 @@
+// Token sampling: greedy, temperature, top-k and nucleus (top-p).
+//
+// The paper's accuracy runs use greedy decoding and t=0.3 sampling
+// (HumanEval/LiveBench, §6.1); this module provides both, deterministically
+// seeded.
+
+#ifndef KTX_SRC_MODEL_SAMPLER_H_
+#define KTX_SRC_MODEL_SAMPLER_H_
+
+#include "src/common/rng.h"
+#include "src/tensor/tensor.h"
+
+namespace ktx {
+
+struct SamplerOptions {
+  float temperature = 0.0f;  // 0 = greedy
+  int top_k = 0;             // 0 = unrestricted
+  float top_p = 1.0f;        // nucleus mass; 1 = unrestricted
+  std::uint64_t seed = 1;
+};
+
+class Sampler {
+ public:
+  explicit Sampler(SamplerOptions options) : options_(options), rng_(options.seed) {}
+
+  // Samples from the last row of a [tokens, vocab] logits tensor.
+  int Sample(const Tensor& logits);
+
+  const SamplerOptions& options() const { return options_; }
+
+ private:
+  SamplerOptions options_;
+  Rng rng_;
+};
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_MODEL_SAMPLER_H_

@@ -1,0 +1,30 @@
+#include "src/model/tokenizer.h"
+
+namespace ktx {
+
+std::vector<int> ByteTokenizer::Encode(const std::string& text, bool add_bos) const {
+  std::vector<int> ids;
+  ids.reserve(text.size() + 1);
+  if (add_bos) {
+    ids.push_back(kBos);
+  }
+  for (unsigned char c : text) {
+    ids.push_back(static_cast<int>(c));
+  }
+  return ids;
+}
+
+std::string ByteTokenizer::Decode(const std::vector<int>& ids) const {
+  std::string out;
+  out.reserve(ids.size());
+  for (int id : ids) {
+    if (id >= 0 && id < 256) {
+      out.push_back(static_cast<char>(id));
+    } else if (id != kBos && id != kEos) {
+      out += "\xef\xbf\xbd";
+    }
+  }
+  return out;
+}
+
+}  // namespace ktx

@@ -1,0 +1,34 @@
+// Byte-level tokenizer.
+//
+// Real deployments pair KTransformers with the model's BPE tokenizer; for a
+// self-contained reproduction a byte-level vocabulary (ids 0-255 = raw bytes,
+// plus BOS/EOS specials) is sufficient to drive text in and out of the
+// engine. Any model config with vocab >= 258 works.
+
+#ifndef KTX_SRC_MODEL_TOKENIZER_H_
+#define KTX_SRC_MODEL_TOKENIZER_H_
+
+#include <string>
+#include <vector>
+
+namespace ktx {
+
+class ByteTokenizer {
+ public:
+  static constexpr int kBos = 256;
+  static constexpr int kEos = 257;
+  static constexpr int kVocabSize = 258;
+
+  // Encodes UTF-8 text as raw bytes, optionally wrapped in BOS.
+  std::vector<int> Encode(const std::string& text, bool add_bos = true) const;
+
+  // Decodes ids back to text; specials are dropped, out-of-range ids rendered
+  // as '\xef\xbf\xbd' (U+FFFD replacement) so corrupt streams stay visible.
+  std::string Decode(const std::vector<int>& ids) const;
+
+  int vocab_size() const { return kVocabSize; }
+};
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_MODEL_TOKENIZER_H_

@@ -1,0 +1,83 @@
+#include "src/model/weights.h"
+
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace ktx {
+
+namespace {
+
+// Fan-in-scaled init keeps activation magnitudes stable through depth, which
+// matters for the deferral/skipping perturbation experiments: the model must
+// behave like a trained network numerically (bounded activations), even
+// though its outputs are synthetic.
+Tensor Init(std::vector<std::int64_t> shape, Rng& rng) {
+  const float fan_in = static_cast<float>(shape.back());
+  return Tensor::Randn(std::move(shape), rng, 1.0f / std::sqrt(fan_in));
+}
+
+}  // namespace
+
+ModelWeights ModelWeights::Generate(const MoeModelConfig& config, std::uint64_t seed) {
+  Rng root(seed);
+  ModelWeights w;
+  {
+    Rng rng = root.Split(0xE0B);
+    w.embedding = Init({config.vocab, config.hidden}, rng);
+    w.lm_head = Init({config.vocab, config.hidden}, rng);
+    w.final_norm = Tensor::Full({config.hidden}, 1.0f);
+  }
+  w.layers.resize(static_cast<std::size_t>(config.num_layers));
+  for (int l = 0; l < config.num_layers; ++l) {
+    Rng rng = root.Split(static_cast<std::uint64_t>(l) + 1);
+    LayerWeights& lw = w.layers[static_cast<std::size_t>(l)];
+    lw.attn_norm = Tensor::Full({config.hidden}, 1.0f);
+    lw.ffn_norm = Tensor::Full({config.hidden}, 1.0f);
+
+    if (config.attention == AttentionKind::kMla) {
+      const std::int64_t qk_head = config.head_dim + config.rope_dim;
+      if (config.q_lora_rank > 0) {
+        lw.attn.w_dq = Init({config.q_lora_rank, config.hidden}, rng);
+        lw.attn.w_uq = Init({config.num_heads * qk_head, config.q_lora_rank}, rng);
+      } else {
+        lw.attn.w_uq = Init({config.num_heads * qk_head, config.hidden}, rng);
+      }
+      lw.attn.w_dkv = Init({config.kv_lora_rank + config.rope_dim, config.hidden}, rng);
+      lw.attn.w_uk = Init({config.num_heads * config.head_dim, config.kv_lora_rank}, rng);
+      lw.attn.w_uv = Init({config.num_heads * config.v_head_dim, config.kv_lora_rank}, rng);
+      lw.attn.wo = Init({config.hidden, config.num_heads * config.v_head_dim}, rng);
+    } else {
+      lw.attn.wq = Init({config.num_heads * config.head_dim, config.hidden}, rng);
+      lw.attn.wk = Init({config.num_kv_heads * config.head_dim, config.hidden}, rng);
+      lw.attn.wv = Init({config.num_kv_heads * config.head_dim, config.hidden}, rng);
+      lw.attn.wo = Init({config.hidden, config.num_heads * config.head_dim}, rng);
+    }
+
+    if (!config.is_moe_layer(l)) {
+      lw.dense_gate = Init({config.dense_inter, config.hidden}, rng);
+      lw.dense_up = Init({config.dense_inter, config.hidden}, rng);
+      lw.dense_down = Init({config.hidden, config.dense_inter}, rng);
+      continue;
+    }
+    lw.router = Init({config.num_experts, config.hidden}, rng);
+    if (config.gating == GatingKind::kGroupedSigmoidTopK) {
+      lw.router_bias = Tensor::Randn({config.num_experts}, rng, 0.01f);
+    }
+    if (config.n_shared_experts > 0) {
+      lw.shared_gate = Init({config.shared_inter(), config.hidden}, rng);
+      lw.shared_up = Init({config.shared_inter(), config.hidden}, rng);
+      lw.shared_down = Init({config.hidden, config.shared_inter()}, rng);
+    }
+    lw.expert_gate.reserve(static_cast<std::size_t>(config.num_experts));
+    for (int e = 0; e < config.num_experts; ++e) {
+      Rng er = rng.Split(static_cast<std::uint64_t>(e) + 100);
+      lw.expert_gate.push_back(Init({config.moe_inter, config.hidden}, er));
+      lw.expert_up.push_back(Init({config.moe_inter, config.hidden}, er));
+      lw.expert_down.push_back(Init({config.hidden, config.moe_inter}, er));
+    }
+  }
+  return w;
+}
+
+}  // namespace ktx

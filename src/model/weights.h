@@ -1,0 +1,53 @@
+// Synthetic model weights.
+//
+// Real DeepSeek/Qwen checkpoints are 100 GB - 1.3 TB and unavailable here;
+// weights are generated from a seed with fan-in-scaled Gaussian init so every
+// functional experiment is reproducible. All layout, quantization, packing,
+// placement and scheduling code consumes these tensors exactly as it would
+// consume a loaded checkpoint.
+
+#ifndef KTX_SRC_MODEL_WEIGHTS_H_
+#define KTX_SRC_MODEL_WEIGHTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/model/attention.h"
+#include "src/model/config.h"
+#include "src/tensor/tensor.h"
+
+namespace ktx {
+
+struct LayerWeights {
+  Tensor attn_norm;  // [hidden]
+  Tensor ffn_norm;   // [hidden]
+  AttentionWeights attn;
+
+  // Dense layers (config.first_dense_layers).
+  Tensor dense_gate;  // [dense_inter, hidden]
+  Tensor dense_up;
+  Tensor dense_down;  // [hidden, dense_inter]
+
+  // MoE layers.
+  Tensor router;       // [num_experts, hidden]
+  Tensor router_bias;  // [num_experts] (grouped gating selection bias)
+  Tensor shared_gate;  // [shared_inter, hidden]
+  Tensor shared_up;
+  Tensor shared_down;  // [hidden, shared_inter]
+  std::vector<Tensor> expert_gate;  // num_experts x [moe_inter, hidden]
+  std::vector<Tensor> expert_up;
+  std::vector<Tensor> expert_down;  // num_experts x [hidden, moe_inter]
+};
+
+struct ModelWeights {
+  Tensor embedding;   // [vocab, hidden]
+  Tensor final_norm;  // [hidden]
+  Tensor lm_head;     // [vocab, hidden]
+  std::vector<LayerWeights> layers;
+
+  static ModelWeights Generate(const MoeModelConfig& config, std::uint64_t seed);
+};
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_MODEL_WEIGHTS_H_

@@ -1,0 +1,77 @@
+#include "src/numa/topology.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace ktx {
+
+NumaTopology NumaTopology::FromCpuSpec(const CpuSpec& cpu) {
+  NumaTopology topo;
+  topo.cpu_ = cpu;
+  topo.remote_bw_gbs_ = cpu.remote_bw_gbs;
+  for (int s = 0; s < cpu.sockets; ++s) {
+    topo.nodes_.push_back(NumaNode{s, cpu.local_bw_gbs, cpu.cores_per_socket});
+  }
+  return topo;
+}
+
+NumaTopology NumaTopology::SingleNode(double bw_gbs, int cores) {
+  NumaTopology topo;
+  topo.cpu_ = Xeon8452Y();
+  topo.cpu_.sockets = 1;
+  topo.cpu_.local_bw_gbs = bw_gbs;
+  topo.cpu_.cores_per_socket = cores;
+  topo.nodes_.push_back(NumaNode{0, bw_gbs, cores});
+  topo.remote_bw_gbs_ = bw_gbs;
+  return topo;
+}
+
+double NumaTopology::EffectiveBandwidthGbs(NumaMode mode, int active_experts) const {
+  return EffectiveCpuBandwidthGbs(cpu_, mode, active_experts);
+}
+
+EpPlacement EpPlacement::RoundRobin(int num_experts, int num_nodes) {
+  KTX_CHECK_GE(num_nodes, 1);
+  EpPlacement p;
+  p.num_nodes_ = num_nodes;
+  p.node_of_expert_.resize(static_cast<std::size_t>(num_experts));
+  for (int e = 0; e < num_experts; ++e) {
+    p.node_of_expert_[static_cast<std::size_t>(e)] = e % num_nodes;
+  }
+  return p;
+}
+
+int EpPlacement::MaxLoad(const std::vector<int>& active_experts) const {
+  std::vector<int> load(static_cast<std::size_t>(num_nodes_), 0);
+  for (int e : active_experts) {
+    ++load[static_cast<std::size_t>(node_of(e))];
+  }
+  return *std::max_element(load.begin(), load.end());
+}
+
+std::size_t NumaArena::total_bytes() const {
+  return std::accumulate(bytes_.begin(), bytes_.end(), std::size_t{0});
+}
+
+double NumaArena::ImbalanceRatio() const {
+  if (bytes_.empty() || total_bytes() == 0) {
+    return 1.0;
+  }
+  const double mean = static_cast<double>(total_bytes()) / static_cast<double>(bytes_.size());
+  const double max = static_cast<double>(*std::max_element(bytes_.begin(), bytes_.end()));
+  return max / mean;
+}
+
+std::string NumaArena::Summary() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < bytes_.size(); ++i) {
+    os << "node" << i << "=" << bytes_[i] / (1024.0 * 1024.0) << "MiB ";
+  }
+  os << "imbalance=" << ImbalanceRatio();
+  return os.str();
+}
+
+}  // namespace ktx

@@ -1,0 +1,82 @@
+// NUMA topology description (paper §2.3, §3.3).
+//
+// The paper's testbed is a dual-socket machine: 220 GB/s of DRAM bandwidth per
+// socket locally, 125 GB/s across the UPI link. This module models that
+// topology explicitly — nodes, per-node memory accounting, and the placement
+// policies compared in Fig. 8 — so the tensor-parallel execution path and the
+// cost model agree on who reads what from where.
+
+#ifndef KTX_SRC_NUMA_TOPOLOGY_H_
+#define KTX_SRC_NUMA_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/cost_model.h"
+#include "src/sim/hardware.h"
+
+namespace ktx {
+
+struct NumaNode {
+  int id = 0;
+  double local_bw_gbs = 220.0;
+  int cores = 36;
+};
+
+class NumaTopology {
+ public:
+  static NumaTopology FromCpuSpec(const CpuSpec& cpu);
+  static NumaTopology SingleNode(double bw_gbs = 220.0, int cores = 36);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const NumaNode& node(int i) const { return nodes_[static_cast<std::size_t>(i)]; }
+  double remote_bw_gbs() const { return remote_bw_gbs_; }
+
+  // Aggregate bandwidth the MoE kernels see under a placement mode
+  // (delegates to the calibrated cost model).
+  double EffectiveBandwidthGbs(NumaMode mode, int active_experts) const;
+
+ private:
+  std::vector<NumaNode> nodes_;
+  double remote_bw_gbs_ = 125.0;
+  CpuSpec cpu_;
+};
+
+// Expert-parallel placement: whole experts pinned to nodes (Fig. 8a).
+class EpPlacement {
+ public:
+  static EpPlacement RoundRobin(int num_experts, int num_nodes);
+
+  int node_of(int expert) const { return node_of_expert_[static_cast<std::size_t>(expert)]; }
+  int num_nodes() const { return num_nodes_; }
+
+  // Number of active experts landing on the busiest node — the quantity that
+  // gates an EP layer's latency.
+  int MaxLoad(const std::vector<int>& active_experts) const;
+
+ private:
+  std::vector<int> node_of_expert_;
+  int num_nodes_ = 1;
+};
+
+// Per-node byte accounting, used to verify that tensor-parallel sharding
+// balances capacity and to report placement summaries.
+class NumaArena {
+ public:
+  explicit NumaArena(int num_nodes) : bytes_(static_cast<std::size_t>(num_nodes), 0) {}
+
+  void Charge(int node, std::size_t bytes) { bytes_[static_cast<std::size_t>(node)] += bytes; }
+  std::size_t bytes_on(int node) const { return bytes_[static_cast<std::size_t>(node)]; }
+  std::size_t total_bytes() const;
+  // max node bytes / mean node bytes; 1.0 is perfectly balanced.
+  double ImbalanceRatio() const;
+  std::string Summary() const;
+
+ private:
+  std::vector<std::size_t> bytes_;
+};
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_NUMA_TOPOLOGY_H_

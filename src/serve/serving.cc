@@ -1,0 +1,82 @@
+#include "src/serve/serving.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace ktx {
+
+ServingLoop::ServingLoop(HybridEngine* engine, int max_concurrent)
+    : engine_(engine), max_concurrent_(max_concurrent) {
+  KTX_CHECK(engine_ != nullptr);
+  KTX_CHECK_GE(max_concurrent_, 1);
+}
+
+std::uint64_t ServingLoop::Submit(GenerationRequest request) {
+  KTX_CHECK(!request.prompt.empty()) << "empty prompt";
+  const std::uint64_t id = next_id_++;
+  queue_.emplace_back(id, std::move(request));
+  return id;
+}
+
+void ServingLoop::AdmitFromQueue() {
+  while (!queue_.empty() && static_cast<int>(active_.size()) < max_concurrent_) {
+    auto [id, request] = std::move(queue_.front());
+    queue_.pop_front();
+    Active active(id, std::move(request));
+    if (free_sessions_.empty()) {
+      active.session = engine_->CreateSession();
+    } else {
+      active.session = free_sessions_.back();
+      free_sessions_.pop_back();
+      engine_->Reset(active.session);
+    }
+    active.result.id = id;
+    active.result.prompt_tokens = static_cast<std::int64_t>(active.request.prompt.size());
+    active.clock.Reset();
+    const Tensor logits = engine_->Prefill(active.session, active.request.prompt);
+    active.last_token = active.sampler.Sample(logits);
+    active.result.time_to_first_token_s = active.clock.ElapsedSeconds();
+    active_.push_back(std::move(active));
+    stats_.peak_concurrency =
+        std::max(stats_.peak_concurrency, static_cast<int>(active_.size()));
+  }
+}
+
+bool ServingLoop::StepOne(Active* active) {
+  if (active->request.eos_token >= 0 && active->last_token == active->request.eos_token) {
+    active->result.stopped_at_eos = true;
+    return true;
+  }
+  active->result.tokens.push_back(active->last_token);
+  ++stats_.tokens_generated;
+  if (static_cast<int>(active->result.tokens.size()) >= active->request.max_new_tokens) {
+    return true;
+  }
+  const Tensor logits = engine_->DecodeStep(active->session, active->last_token);
+  active->last_token = active->sampler.Sample(logits);
+  return false;
+}
+
+std::vector<GenerationResult> ServingLoop::RunToCompletion() {
+  completed_.clear();
+  while (!queue_.empty() || !active_.empty()) {
+    AdmitFromQueue();
+    // One round-robin sweep: one token of progress per active request.
+    for (std::size_t i = 0; i < active_.size();) {
+      ++stats_.decode_iterations;
+      if (StepOne(&active_[i])) {
+        active_[i].result.total_seconds = active_[i].clock.ElapsedSeconds();
+        free_sessions_.push_back(active_[i].session);
+        completed_.push_back(std::move(active_[i].result));
+        ++stats_.requests_completed;
+        active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+  return std::move(completed_);
+}
+
+}  // namespace ktx

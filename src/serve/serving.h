@@ -1,0 +1,101 @@
+// Low-concurrency serving loop (paper §1: "local deployments with low
+// concurrency (e.g., single or few requests per batch)").
+//
+// Requests queue FIFO; the loop admits up to `max_concurrent` generations,
+// each on its own engine session (independent KV cache over the shared
+// weights and captured decode graph), prefills on admission, then round-robin
+// decodes one token per active request per iteration. Decoding stays batch-1
+// per step — the regime every KTransformers optimization targets — while
+// interleaving gives concurrent requests fair progress.
+//
+// Single-threaded by design: the engine already parallelizes inside each
+// step (CPU worker pool + GPU stream), and the control flow here is the
+// simple dispatcher a local deployment runs.
+
+#ifndef KTX_SRC_SERVE_SERVING_H_
+#define KTX_SRC_SERVE_SERVING_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/common/stopwatch.h"
+#include "src/core/engine.h"
+#include "src/model/sampler.h"
+
+namespace ktx {
+
+struct GenerationRequest {
+  std::vector<int> prompt;
+  int max_new_tokens = 32;
+  SamplerOptions sampling;  // temperature 0 = greedy
+  int eos_token = -1;       // stop token; -1 disables
+};
+
+struct GenerationResult {
+  std::uint64_t id = 0;
+  std::vector<int> tokens;
+  bool stopped_at_eos = false;
+  std::int64_t prompt_tokens = 0;
+  // Wall-clock request metrics (this process; the paper-scale numbers come
+  // from the timed plane).
+  double time_to_first_token_s = 0.0;
+  double total_seconds = 0.0;
+};
+
+class ServingLoop {
+ public:
+  struct Stats {
+    std::int64_t requests_completed = 0;
+    std::int64_t tokens_generated = 0;
+    std::int64_t decode_iterations = 0;
+    int peak_concurrency = 0;
+  };
+
+  // The engine must outlive the loop. `max_concurrent` bounds simultaneously
+  // active generations (sessions are pooled and reused).
+  ServingLoop(HybridEngine* engine, int max_concurrent = 2);
+
+  // Enqueues a request; returns its id. Thread-compatible (call from the
+  // same thread as Run*).
+  std::uint64_t Submit(GenerationRequest request);
+
+  std::size_t pending() const { return queue_.size() + active_.size(); }
+
+  // Runs admission + round-robin decode until everything queued completes.
+  // Results are returned in completion order.
+  std::vector<GenerationResult> RunToCompletion();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Active {
+    std::uint64_t id = 0;
+    int session = -1;
+    GenerationRequest request;
+    GenerationResult result;
+    Sampler sampler;
+    int last_token = -1;
+    Stopwatch clock;
+
+    Active(std::uint64_t rid, GenerationRequest req)
+        : id(rid), request(std::move(req)), sampler(request.sampling) {}
+  };
+
+  void AdmitFromQueue();
+  // Advances one request by one token; returns true if it finished.
+  bool StepOne(Active* active);
+
+  HybridEngine* engine_;
+  int max_concurrent_;
+  std::uint64_t next_id_ = 1;
+  std::deque<std::pair<std::uint64_t, GenerationRequest>> queue_;
+  std::vector<Active> active_;
+  std::vector<int> free_sessions_;
+  std::vector<GenerationResult> completed_;
+  Stats stats_;
+};
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_SERVE_SERVING_H_

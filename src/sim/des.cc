@@ -1,0 +1,167 @@
+#include "src/sim/des.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace ktx {
+
+int EventSim::AddResource(std::string name) {
+  KTX_CHECK(!has_run_);
+  resource_names_.push_back(std::move(name));
+  return static_cast<int>(resource_names_.size()) - 1;
+}
+
+SimTaskId EventSim::AddTask(int resource, std::string name, double duration_s,
+                            std::vector<SimTaskId> deps, SimCategory category) {
+  KTX_CHECK(!has_run_) << "AddTask after Run";
+  KTX_CHECK(resource >= 0 && resource < num_resources()) << "bad resource " << resource;
+  KTX_CHECK_GE(duration_s, 0.0);
+  SimTask t;
+  t.id = static_cast<SimTaskId>(tasks_.size());
+  t.resource = resource;
+  t.name = std::move(name);
+  t.category = category;
+  t.duration = duration_s;
+  for (SimTaskId d : deps) {
+    KTX_CHECK(d >= 0 && d < t.id) << "dependency on unknown/later task " << d;
+  }
+  t.deps = std::move(deps);
+  tasks_.push_back(std::move(t));
+  return tasks_.back().id;
+}
+
+SimTaskId EventSim::AddBarrier(std::string name, std::vector<SimTaskId> deps) {
+  if (barrier_resource_ < 0) {
+    barrier_resource_ = AddResource("<barriers>");
+  }
+  return AddTask(barrier_resource_, std::move(name), 0.0, std::move(deps), SimCategory::kSync);
+}
+
+void EventSim::Run() {
+  KTX_CHECK(!has_run_);
+  has_run_ = true;
+  std::vector<double> resource_free(resource_names_.size(), 0.0);
+  // Tasks are appended in submission order and dependencies only point
+  // backwards, so a single forward pass is a valid schedule.
+  for (SimTask& t : tasks_) {
+    double ready = resource_free[static_cast<std::size_t>(t.resource)];
+    for (SimTaskId d : t.deps) {
+      ready = std::max(ready, tasks_[static_cast<std::size_t>(d)].finish);
+    }
+    t.start = ready;
+    t.finish = ready + t.duration;
+    resource_free[static_cast<std::size_t>(t.resource)] = t.finish;
+  }
+}
+
+double EventSim::Makespan() const {
+  KTX_CHECK(has_run_);
+  double end = 0.0;
+  for (const SimTask& t : tasks_) {
+    end = std::max(end, t.finish);
+  }
+  return end;
+}
+
+double EventSim::BusyTime(int resource) const {
+  KTX_CHECK(has_run_);
+  double busy = 0.0;
+  for (const SimTask& t : tasks_) {
+    if (t.resource == resource) {
+      busy += t.duration;
+    }
+  }
+  return busy;
+}
+
+double EventSim::BusyTime(int resource, SimCategory category) const {
+  KTX_CHECK(has_run_);
+  double busy = 0.0;
+  for (const SimTask& t : tasks_) {
+    if (t.resource == resource && t.category == category) {
+      busy += t.duration;
+    }
+  }
+  return busy;
+}
+
+double EventSim::Utilization(int resource) const {
+  const double makespan = Makespan();
+  return makespan > 0.0 ? BusyTime(resource) / makespan : 0.0;
+}
+
+double EventSim::UtilizationInWindow(int resource, double t0, double t1) const {
+  KTX_CHECK(has_run_);
+  KTX_CHECK_LT(t0, t1);
+  double busy = 0.0;
+  for (const SimTask& t : tasks_) {
+    if (t.resource != resource) {
+      continue;
+    }
+    busy += std::max(0.0, std::min(t.finish, t1) - std::max(t.start, t0));
+  }
+  return busy / (t1 - t0);
+}
+
+std::string EventSim::AsciiTimeline(int columns) const {
+  KTX_CHECK(has_run_);
+  const double makespan = Makespan();
+  std::ostringstream os;
+  if (makespan <= 0.0) {
+    return "(empty timeline)\n";
+  }
+  std::size_t label_width = 0;
+  for (const auto& name : resource_names_) {
+    label_width = std::max(label_width, name.size());
+  }
+  for (int r = 0; r < num_resources(); ++r) {
+    if (resource_names_[r] == "<barriers>") {
+      continue;
+    }
+    std::string row(static_cast<std::size_t>(columns), '.');
+    for (const SimTask& t : tasks_) {
+      if (t.resource != r || t.duration <= 0.0) {
+        continue;
+      }
+      int c0 = static_cast<int>(std::floor(t.start / makespan * columns));
+      int c1 = static_cast<int>(std::ceil(t.finish / makespan * columns));
+      c0 = std::clamp(c0, 0, columns - 1);
+      c1 = std::clamp(c1, c0 + 1, columns);
+      const char fill = t.category == SimCategory::kLaunch     ? 'l'
+                        : t.category == SimCategory::kTransfer ? 't'
+                                                               : '#';
+      for (int c = c0; c < c1; ++c) {
+        row[static_cast<std::size_t>(c)] = fill;
+      }
+    }
+    os << resource_names_[r];
+    os << std::string(label_width - resource_names_[r].size() + 1, ' ');
+    os << "|" << row << "|\n";
+  }
+  return os.str();
+}
+
+std::string EventSim::ToChromeTraceJson() const {
+  KTX_CHECK(has_run_);
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const SimTask& t : tasks_) {
+    if (t.duration <= 0.0) {
+      continue;
+    }
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "{\"name\":\"" << t.name << "\",\"ph\":\"X\",\"ts\":" << t.start * 1e6
+       << ",\"dur\":" << t.duration * 1e6 << ",\"pid\":0,\"tid\":" << t.resource << "}";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace ktx

@@ -1,0 +1,122 @@
+#include "src/tensor/dtype.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace ktx {
+
+std::string_view DTypeName(DType dtype) {
+  switch (dtype) {
+    case DType::kF32:
+      return "f32";
+    case DType::kBF16:
+      return "bf16";
+    case DType::kF16:
+      return "f16";
+    case DType::kI8:
+      return "i8";
+    case DType::kI4:
+      return "i4";
+    case DType::kI32:
+      return "i32";
+  }
+  return "?";
+}
+
+int DTypeBits(DType dtype) {
+  switch (dtype) {
+    case DType::kF32:
+    case DType::kI32:
+      return 32;
+    case DType::kBF16:
+    case DType::kF16:
+      return 16;
+    case DType::kI8:
+      return 8;
+    case DType::kI4:
+      return 4;
+  }
+  return 0;
+}
+
+std::size_t DTypeBytes(DType dtype, std::size_t n) {
+  return (n * static_cast<std::size_t>(DTypeBits(dtype)) + 7) / 8;
+}
+
+float FP16ToFloat(FP16 v) {
+  const std::uint16_t h = v.bits;
+  const std::uint32_t sign = (h & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1f;
+  const std::uint32_t frac = h & 0x3ff;
+  std::uint32_t out;
+  if (exp == 0) {
+    if (frac == 0) {
+      out = sign;  // +-0
+    } else {
+      // Subnormal: normalize.
+      int e = -1;
+      std::uint32_t f = frac;
+      do {
+        ++e;
+        f <<= 1;
+      } while ((f & 0x400) == 0);
+      out = sign | ((127 - 15 - e) << 23) | ((f & 0x3ff) << 13);
+    }
+  } else if (exp == 0x1f) {
+    out = sign | 0x7f800000u | (frac << 13);  // inf / nan
+  } else {
+    out = sign | ((exp - 15 + 127) << 23) | (frac << 13);
+  }
+  float f;
+  std::memcpy(&f, &out, sizeof(f));
+  return f;
+}
+
+FP16 FloatToFP16(float f) {
+  std::uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  const std::uint32_t sign = (u >> 16) & 0x8000u;
+  const std::int32_t exp = static_cast<std::int32_t>((u >> 23) & 0xff) - 127 + 15;
+  std::uint32_t frac = u & 0x7fffffu;
+  std::uint16_t bits;
+  if (((u >> 23) & 0xff) == 0xff) {
+    bits = static_cast<std::uint16_t>(sign | 0x7c00u | (frac ? 0x200u : 0));  // inf/nan
+  } else if (exp >= 0x1f) {
+    bits = static_cast<std::uint16_t>(sign | 0x7c00u);  // overflow -> inf
+  } else if (exp <= 0) {
+    if (exp < -10) {
+      bits = static_cast<std::uint16_t>(sign);  // underflow -> 0
+    } else {
+      // Subnormal with round-to-nearest-even.
+      frac |= 0x800000u;
+      const int shift = 14 - exp;
+      std::uint32_t sub = frac >> shift;
+      const std::uint32_t rem = frac & ((1u << shift) - 1);
+      const std::uint32_t half = 1u << (shift - 1);
+      if (rem > half || (rem == half && (sub & 1))) {
+        ++sub;
+      }
+      bits = static_cast<std::uint16_t>(sign | sub);
+    }
+  } else {
+    std::uint32_t mant = frac >> 13;
+    const std::uint32_t rem = frac & 0x1fffu;
+    if (rem > 0x1000u || (rem == 0x1000u && (mant & 1))) {
+      ++mant;
+      if (mant == 0x400u) {
+        mant = 0;
+        if (exp + 1 >= 0x1f) {
+          bits = static_cast<std::uint16_t>(sign | 0x7c00u);
+          return FP16{bits};
+        }
+        bits = static_cast<std::uint16_t>(sign | ((exp + 1) << 10));
+        return FP16{bits};
+      }
+    }
+    bits = static_cast<std::uint16_t>(sign | (exp << 10) | mant);
+  }
+  return FP16{bits};
+}
+
+}  // namespace ktx

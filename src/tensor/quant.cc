@@ -1,0 +1,125 @@
+#include "src/tensor/quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace ktx {
+
+namespace {
+
+int QMax(DType dtype) { return dtype == DType::kI8 ? 127 : 7; }
+int QMin(DType dtype) { return dtype == DType::kI8 ? -127 : -7; }
+
+}  // namespace
+
+StatusOr<QuantizedTensor> Quantize(const Tensor& weights, DType dtype, int group_size) {
+  if (weights.rank() != 2 || weights.dtype() != DType::kF32) {
+    return InvalidArgumentError("Quantize expects a rank-2 f32 tensor");
+  }
+  if (dtype != DType::kI8 && dtype != DType::kI4) {
+    return InvalidArgumentError("Quantize supports i8/i4 only");
+  }
+  if (group_size <= 0) {
+    return InvalidArgumentError("group_size must be positive");
+  }
+  const std::int64_t rows = weights.dim(0);
+  const std::int64_t cols = weights.dim(1);
+  if (dtype == DType::kI4 && cols % 2 != 0) {
+    return InvalidArgumentError("Int4 quantization requires an even column count");
+  }
+
+  QuantizedTensor q;
+  q.rows = rows;
+  q.cols = cols;
+  q.group_size = group_size;
+  q.dtype = dtype;
+  const std::int64_t groups = q.groups_per_row();
+  q.scales = Tensor({rows, groups}, DType::kF32);
+  q.data = Tensor({rows, cols}, dtype);
+
+  const float* src = weights.f32();
+  float* scales = q.scales.f32();
+  const int qmax = QMax(dtype);
+  const int qmin = QMin(dtype);
+
+  std::vector<std::int8_t> row_vals(static_cast<std::size_t>(cols));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* w = src + r * cols;
+    for (std::int64_t g = 0; g < groups; ++g) {
+      const std::int64_t lo = g * group_size;
+      const std::int64_t hi = std::min<std::int64_t>(cols, lo + group_size);
+      float max_abs = 0.0f;
+      for (std::int64_t i = lo; i < hi; ++i) {
+        max_abs = std::max(max_abs, std::fabs(w[i]));
+      }
+      const float scale = max_abs > 0.0f ? max_abs / static_cast<float>(qmax) : 1.0f;
+      scales[r * groups + g] = scale;
+      for (std::int64_t i = lo; i < hi; ++i) {
+        const int v = static_cast<int>(std::lrintf(w[i] / scale));
+        row_vals[static_cast<std::size_t>(i)] =
+            static_cast<std::int8_t>(std::clamp(v, qmin, qmax));
+      }
+    }
+    if (dtype == DType::kI8) {
+      std::copy(row_vals.begin(), row_vals.end(), q.data.i8() + r * cols);
+    } else {
+      PackInt4Row(row_vals.data(), cols,
+                  reinterpret_cast<std::uint8_t*>(q.data.raw()) + r * (cols / 2));
+    }
+  }
+  return q;
+}
+
+Tensor Dequantize(const QuantizedTensor& q) {
+  Tensor out({q.rows, q.cols}, DType::kF32);
+  float* dst = out.f32();
+  const float* scales = q.scales.f32();
+  const std::int64_t groups = q.groups_per_row();
+  std::vector<std::int8_t> row_vals(static_cast<std::size_t>(q.cols));
+  for (std::int64_t r = 0; r < q.rows; ++r) {
+    if (q.dtype == DType::kI8) {
+      const std::int8_t* p = q.data.i8() + r * q.cols;
+      std::copy(p, p + q.cols, row_vals.begin());
+    } else {
+      UnpackInt4Row(reinterpret_cast<const std::uint8_t*>(q.data.raw()) + r * (q.cols / 2),
+                    q.cols, row_vals.data());
+    }
+    for (std::int64_t c = 0; c < q.cols; ++c) {
+      dst[r * q.cols + c] =
+          static_cast<float>(row_vals[static_cast<std::size_t>(c)]) *
+          scales[r * groups + c / q.group_size];
+    }
+  }
+  return out;
+}
+
+void UnpackInt4Row(const std::uint8_t* packed, std::int64_t cols, std::int8_t* out) {
+  for (std::int64_t i = 0; i < cols / 2; ++i) {
+    const std::uint8_t byte = packed[i];
+    // Sign-extend each nibble: (n ^ 8) - 8 maps [0,15] -> [-8,7].
+    out[2 * i] = static_cast<std::int8_t>(((byte & 0x0f) ^ 8) - 8);
+    out[2 * i + 1] = static_cast<std::int8_t>((((byte >> 4) & 0x0f) ^ 8) - 8);
+  }
+}
+
+void PackInt4Row(const std::int8_t* values, std::int64_t cols, std::uint8_t* packed) {
+  KTX_DCHECK(cols % 2 == 0);
+  for (std::int64_t i = 0; i < cols / 2; ++i) {
+    const std::uint8_t lo = static_cast<std::uint8_t>(values[2 * i]) & 0x0f;
+    const std::uint8_t hi = static_cast<std::uint8_t>(values[2 * i + 1]) & 0x0f;
+    packed[i] = static_cast<std::uint8_t>(lo | (hi << 4));
+  }
+}
+
+float MaxQuantError(const QuantizedTensor& q) {
+  const float* scales = q.scales.f32();
+  float max_scale = 0.0f;
+  for (std::int64_t i = 0; i < q.scales.numel(); ++i) {
+    max_scale = std::max(max_scale, scales[i]);
+  }
+  return 0.5f * max_scale;
+}
+
+}  // namespace ktx

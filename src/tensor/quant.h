@@ -1,0 +1,62 @@
+// Symmetric group-wise linear quantization (paper §3.2).
+//
+// Expert weights are quantized per contiguous group of `group_size` elements
+// along the K (reduction) dimension with a shared positive scale:
+//
+//   q = clamp(round(w / scale), qmin, qmax),  scale = max|w| / qmax
+//
+// Int8 stores one int8 per element. Int4 packs two signed 4-bit values per
+// byte (low nibble = even index) so a 16x64-byte AMX tile of Int4 occupies
+// half a tile's bytes; the CPU kernels unpack nibbles to int8 on load.
+// Scales are stored *separately* from the quantized payload so the payload
+// keeps 64-byte alignment, exactly as the paper describes.
+
+#ifndef KTX_SRC_TENSOR_QUANT_H_
+#define KTX_SRC_TENSOR_QUANT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/tensor/tensor.h"
+
+namespace ktx {
+
+inline constexpr int kDefaultQuantGroup = 128;
+
+struct QuantizedTensor {
+  // Original logical shape (rows x cols); quantization groups run along cols.
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  int group_size = kDefaultQuantGroup;
+  DType dtype = DType::kI8;  // kI8 or kI4
+  // Payload: rows * cols int8 values (kI8) or rows * cols / 2 bytes (kI4).
+  Tensor data;
+  // One f32 scale per (row, group): rows * ceil(cols / group_size) entries.
+  Tensor scales;
+
+  std::int64_t groups_per_row() const { return (cols + group_size - 1) / group_size; }
+  std::size_t payload_bytes() const { return data.byte_size(); }
+};
+
+// Quantizes a rank-2 f32 tensor [rows, cols]. cols need not divide group_size;
+// the tail group has fewer elements. For kI4, cols must be even.
+StatusOr<QuantizedTensor> Quantize(const Tensor& weights, DType dtype,
+                                   int group_size = kDefaultQuantGroup);
+
+// Reconstructs the f32 tensor (for tests and reference math).
+Tensor Dequantize(const QuantizedTensor& q);
+
+// Unpacks one row of Int4 payload into int8 values (length = cols).
+void UnpackInt4Row(const std::uint8_t* packed, std::int64_t cols, std::int8_t* out);
+
+// Packs int8 values in [-8, 7] into nibbles (cols must be even).
+void PackInt4Row(const std::int8_t* values, std::int64_t cols, std::uint8_t* packed);
+
+// Worst-case quantization SNR guardrail used by property tests: returns the
+// max absolute error bound implied by the scales (0.5 * scale per element).
+float MaxQuantError(const QuantizedTensor& q);
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_TENSOR_QUANT_H_

@@ -1,0 +1,189 @@
+// Property tests for the attention reference implementations (GQA + MLA).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/cpu/gemm.h"
+#include "src/model/attention.h"
+#include "src/model/weights.h"
+
+namespace ktx {
+namespace {
+
+AttentionWeights MakeWeights(const MoeModelConfig& config, std::uint64_t seed) {
+  // Reuse the model generator so shapes always match the config.
+  return ModelWeights::Generate(config, seed).layers[0].attn;
+}
+
+TEST(RopeTest, PositionZeroIsIdentity) {
+  float v[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  float expect[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  ApplyRope(v, 8, 0);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FLOAT_EQ(v[i], expect[i]);
+  }
+}
+
+TEST(RopeTest, PreservesPairNorms) {
+  Rng rng(1);
+  float v[16];
+  for (float& f : v) {
+    f = rng.NextGaussian();
+  }
+  float norms[8];
+  for (int i = 0; i < 8; ++i) {
+    norms[i] = v[2 * i] * v[2 * i] + v[2 * i + 1] * v[2 * i + 1];
+  }
+  ApplyRope(v, 16, 1234);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NEAR(v[2 * i] * v[2 * i] + v[2 * i + 1] * v[2 * i + 1], norms[i], 1e-3f);
+  }
+}
+
+TEST(RopeTest, RelativePositionProperty) {
+  // The rotation angle is linear in position: rotating by p then q equals
+  // rotating by p+q.
+  float a[4] = {0.3f, -1.2f, 2.0f, 0.7f};
+  float b[4] = {0.3f, -1.2f, 2.0f, 0.7f};
+  ApplyRope(a, 4, 5);
+  ApplyRope(a, 4, 7);
+  ApplyRope(b, 4, 12);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-4f);
+  }
+}
+
+class AttentionKindTest : public ::testing::TestWithParam<AttentionKind> {
+ protected:
+  MoeModelConfig Config() const {
+    return GetParam() == AttentionKind::kMla ? TinyMlaConfig() : TinyMoeConfig();
+  }
+};
+
+TEST_P(AttentionKindTest, SinglePositionIsValueProjection) {
+  // With one cached position the softmax is a single 1.0 weight, so the
+  // output must equal wo * v(pos0) exactly (per head).
+  const MoeModelConfig config = Config();
+  const AttentionWeights w = MakeWeights(config, 3);
+  Rng rng(4);
+  Tensor x = Tensor::Randn({1, config.hidden}, rng, 0.5f);
+  KvCache cache(config);
+  Tensor out({1, config.hidden}, DType::kF32);
+  AttentionForward(config, w, x.f32(), 1, 0, &cache.layer(0), out.f32());
+
+  // Recompute v for position 0 and project.
+  const std::int64_t v_dim = config.attention == AttentionKind::kMla
+                                 ? config.num_heads * config.v_head_dim
+                                 : config.num_kv_heads * config.head_dim;
+  std::vector<float> v(static_cast<std::size_t>(v_dim));
+  if (config.attention == AttentionKind::kMla) {
+    std::vector<float> latent(static_cast<std::size_t>(config.kv_lora_rank + config.rope_dim));
+    RefGemm(x.f32(), 1, config.hidden, w.w_dkv, latent.data(),
+            config.kv_lora_rank + config.rope_dim);
+    RefGemm(latent.data(), 1, config.kv_lora_rank, w.w_uv, v.data(), v_dim);
+  } else {
+    RefGemm(x.f32(), 1, config.hidden, w.wv, v.data(), v_dim);
+  }
+  Tensor expect({1, config.hidden}, DType::kF32);
+  if (config.attention == AttentionKind::kMla) {
+    RefGemm(v.data(), 1, v_dim, w.wo, expect.f32(), config.hidden);
+  } else {
+    // GQA: each query head h reads kv head h/group; with kv v duplicated per
+    // group the attended value vector is v expanded to q_dim.
+    const int group = config.num_heads / config.num_kv_heads;
+    std::vector<float> expanded(
+        static_cast<std::size_t>(config.num_heads * config.head_dim));
+    for (int h = 0; h < config.num_heads; ++h) {
+      std::memcpy(expanded.data() + h * config.head_dim,
+                  v.data() + (h / group) * config.head_dim,
+                  static_cast<std::size_t>(config.head_dim) * sizeof(float));
+    }
+    RefGemm(expanded.data(), 1, config.num_heads * config.head_dim, w.wo, expect.f32(),
+            config.hidden);
+  }
+  EXPECT_LT(MaxAbsDiff(out, expect), 1e-4f);
+}
+
+TEST_P(AttentionKindTest, CausalityFutureTokensDoNotAffectPast) {
+  const MoeModelConfig config = Config();
+  const AttentionWeights w = MakeWeights(config, 5);
+  Rng rng(6);
+  Tensor x = Tensor::Randn({4, config.hidden}, rng, 0.5f);
+
+  KvCache c1(config);
+  Tensor out1({4, config.hidden}, DType::kF32);
+  AttentionForward(config, w, x.f32(), 4, 0, &c1.layer(0), out1.f32());
+
+  // Perturb the last token only.
+  Tensor x2 = x.Clone();
+  for (std::int64_t i = 0; i < config.hidden; ++i) {
+    x2.f32()[3 * config.hidden + i] += 1.0f;
+  }
+  KvCache c2(config);
+  Tensor out2({4, config.hidden}, DType::kF32);
+  AttentionForward(config, w, x2.f32(), 4, 0, &c2.layer(0), out2.f32());
+
+  // Rows 0..2 identical; row 3 changed.
+  for (std::int64_t t = 0; t < 3; ++t) {
+    for (std::int64_t i = 0; i < config.hidden; ++i) {
+      EXPECT_EQ(out1.f32()[t * config.hidden + i], out2.f32()[t * config.hidden + i])
+          << "t=" << t;
+    }
+  }
+  float diff = 0.0f;
+  for (std::int64_t i = 0; i < config.hidden; ++i) {
+    diff = std::max(diff, std::fabs(out1.f32()[3 * config.hidden + i] -
+                                    out2.f32()[3 * config.hidden + i]));
+  }
+  EXPECT_GT(diff, 1e-6f);
+}
+
+TEST_P(AttentionKindTest, IncrementalMatchesBatched) {
+  const MoeModelConfig config = Config();
+  const AttentionWeights w = MakeWeights(config, 7);
+  Rng rng(8);
+  Tensor x = Tensor::Randn({5, config.hidden}, rng, 0.5f);
+
+  KvCache batched(config);
+  Tensor out_b({5, config.hidden}, DType::kF32);
+  AttentionForward(config, w, x.f32(), 5, 0, &batched.layer(0), out_b.f32());
+
+  KvCache inc(config);
+  Tensor out_i({5, config.hidden}, DType::kF32);
+  for (std::int64_t t = 0; t < 5; ++t) {
+    AttentionForward(config, w, x.f32() + t * config.hidden, 1, t, &inc.layer(0),
+                     out_i.f32() + t * config.hidden);
+  }
+  EXPECT_LT(MaxAbsDiff(out_b, out_i), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AttentionKindTest,
+                         ::testing::Values(AttentionKind::kGqa, AttentionKind::kMla));
+
+TEST(AttentionCostTest, MonotoneInTokensAndContext) {
+  const MoeModelConfig config = DeepSeekV3Config();
+  const AttentionCost a = EstimateAttentionCost(config, 1, 128, 2.0);
+  const AttentionCost b = EstimateAttentionCost(config, 1, 4096, 2.0);
+  const AttentionCost c = EstimateAttentionCost(config, 16, 4096, 2.0);
+  EXPECT_GT(b.flops, a.flops);
+  EXPECT_GT(b.bytes, a.bytes);
+  EXPECT_GT(c.flops, b.flops);
+}
+
+TEST(AttentionCostTest, MlaCacheBytesReflectLatentCompression) {
+  // DS-3's MLA cache: (512 + 64) dims/token vs GQA's 2 * kv_heads * head_dim.
+  const MoeModelConfig mla = DeepSeekV3Config();
+  const MoeModelConfig gqa = Qwen2MoeConfig();
+  const KvCache mc(mla);
+  const KvCache gc(gqa);
+  const double mla_per_layer =
+      static_cast<double>(mc.BytesPerPosition()) / mla.num_layers;
+  const double gqa_per_layer =
+      static_cast<double>(gc.BytesPerPosition()) / gqa.num_layers;
+  EXPECT_LT(mla_per_layer, gqa_per_layer);  // latent beats even 4-head GQA
+}
+
+}  // namespace
+}  // namespace ktx

@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/core/engine.h"
+#include "src/cpu/activation.h"
+
+namespace ktx {
+namespace {
+
+struct EngineFixture {
+  MoeModelConfig config;
+  std::shared_ptr<const ModelWeights> weights;
+
+  explicit EngineFixture(const MoeModelConfig& c, std::uint64_t seed = 17)
+      : config(c),
+        weights(std::make_shared<const ModelWeights>(ModelWeights::Generate(c, seed))) {}
+
+  std::unique_ptr<HybridEngine> MakeEngine(EngineOptions opts = {}) const {
+    return std::make_unique<HybridEngine>(config, weights, opts);
+  }
+  RefModel MakeRef() const { return RefModel(config, weights); }
+};
+
+// Decode logits from the reference model under the given options, after
+// prefilling `prompt` WITHOUT deferral (matching the engine's behaviour).
+Tensor RefDecode(const RefModel& ref, const std::vector<int>& prompt, int token,
+                 const ForwardOptions& decode_opts) {
+  KvCache cache(ref.config());
+  ref.Forward(prompt, &cache);  // prefill: no deferral
+  return ref.Forward({token}, &cache, decode_opts);
+}
+
+TEST(HybridEngineTest, PrefillMatchesReference) {
+  EngineFixture f(TinyMoeConfig());
+  auto engine = f.MakeEngine();
+  const std::vector<int> prompt{3, 14, 15, 92, 65};
+  const Tensor logits = engine->Prefill(prompt);
+
+  RefModel ref = f.MakeRef();
+  KvCache cache(f.config);
+  const Tensor ref_logits = ref.Forward(prompt, &cache);
+  const Tensor ref_last = ref_logits.Slice(4, 1).Clone();
+
+  // CPU experts run in bf16; everything else is f32 — small error expected.
+  EXPECT_LT(RelativeError(logits, ref_last), 0.05f);
+  EXPECT_EQ(ArgmaxLastToken(logits), ArgmaxLastToken(ref_last));
+}
+
+TEST(HybridEngineTest, PrefillMatchesReferenceMla) {
+  EngineFixture f(TinyMlaConfig());
+  auto engine = f.MakeEngine();
+  const std::vector<int> prompt{1, 2, 3, 4, 5, 6};
+  const Tensor logits = engine->Prefill(prompt);
+
+  RefModel ref = f.MakeRef();
+  KvCache cache(f.config);
+  const Tensor ref_logits = ref.Forward(prompt, &cache);
+  EXPECT_LT(RelativeError(logits, ref_logits.Slice(5, 1).Clone()), 0.05f);
+}
+
+TEST(HybridEngineTest, ChunkedPrefillMatchesSingleShot) {
+  EngineFixture f(TinyMoeConfig());
+  EngineOptions small_chunks;
+  small_chunks.prefill_chunk = 2;
+  auto chunked = f.MakeEngine(small_chunks);
+  auto whole = f.MakeEngine();
+  const std::vector<int> prompt{7, 8, 9, 10, 11};
+  const Tensor a = chunked->Prefill(prompt);
+  const Tensor b = whole->Prefill(prompt);
+  EXPECT_LT(RelativeError(a, b), 1e-4f);
+  EXPECT_EQ(chunked->position(), 5);
+}
+
+TEST(HybridEngineTest, DecodeMatchesReferenceNoDeferral) {
+  EngineFixture f(TinyMoeConfig());
+  auto engine = f.MakeEngine();
+  const std::vector<int> prompt{3, 14, 15};
+  engine->Prefill(prompt);
+  const Tensor logits = engine->DecodeStep(42);
+
+  const Tensor ref = RefDecode(f.MakeRef(), prompt, 42, ForwardOptions{});
+  EXPECT_LT(RelativeError(logits, ref), 0.05f);
+  EXPECT_EQ(ArgmaxLastToken(logits), ArgmaxLastToken(ref));
+}
+
+TEST(HybridEngineTest, DeferralMatchesReferenceFormula) {
+  // The async, parity-buffered, FIFO-ordered engine implementation must
+  // compute exactly the §4.1 deferral formula implemented directly in the
+  // reference model.
+  EngineFixture f(TinyMlaConfig());  // top_k = 4
+  for (int deferred : {1, 2}) {
+    EngineOptions opts;
+    opts.n_deferred = deferred;
+    auto engine = f.MakeEngine(opts);
+    const std::vector<int> prompt{5, 6, 7};
+    engine->Prefill(prompt);
+    const Tensor logits = engine->DecodeStep(9);
+
+    ForwardOptions ref_opts;
+    ref_opts.n_deferred = deferred;
+    const Tensor ref = RefDecode(f.MakeRef(), prompt, 9, ref_opts);
+    EXPECT_LT(RelativeError(logits, ref), 0.05f) << "deferred=" << deferred;
+    EXPECT_EQ(ArgmaxLastToken(logits), ArgmaxLastToken(ref)) << "deferred=" << deferred;
+  }
+}
+
+TEST(HybridEngineTest, DeferralDiffersFromStandardExecution) {
+  // Sanity: deferral is a real model change, not a no-op.
+  EngineFixture f(TinyMlaConfig());
+  EngineOptions d0;
+  EngineOptions d2;
+  d2.n_deferred = 2;
+  auto e0 = f.MakeEngine(d0);
+  auto e2 = f.MakeEngine(d2);
+  const std::vector<int> prompt{5, 6, 7};
+  e0->Prefill(prompt);
+  e2->Prefill(prompt);
+  const Tensor a = e0->DecodeStep(9);
+  const Tensor b = e2->DecodeStep(9);
+  EXPECT_GT(MaxAbsDiff(a, b), 1e-6f);
+}
+
+TEST(HybridEngineTest, GraphAndEagerDecodeIdentical) {
+  EngineFixture f(TinyMoeConfig());
+  EngineOptions with_graph;
+  with_graph.use_cuda_graph = true;
+  EngineOptions no_graph;
+  no_graph.use_cuda_graph = false;
+  auto a = f.MakeEngine(with_graph);
+  auto b = f.MakeEngine(no_graph);
+  const std::vector<int> prompt{1, 2, 3};
+  a->Prefill(prompt);
+  b->Prefill(prompt);
+  for (int t : {10, 20, 30}) {
+    const Tensor la = a->DecodeStep(t);
+    const Tensor lb = b->DecodeStep(t);
+    EXPECT_EQ(MaxAbsDiff(la, lb), 0.0f) << "token " << t;
+  }
+}
+
+TEST(HybridEngineTest, GraphReplayedOncePerDecodeStep) {
+  EngineFixture f(TinyMoeConfig());
+  auto engine = f.MakeEngine();
+  engine->Prefill({1, 2});
+  const std::int64_t launches_after_prefill = engine->device().stats().micro_launches.load();
+  EXPECT_GT(launches_after_prefill, 0);
+
+  for (int i = 0; i < 5; ++i) {
+    engine->DecodeStep(40 + i);
+  }
+  // Decode adds only graph replays — zero additional per-kernel launches.
+  EXPECT_EQ(engine->device().stats().micro_launches.load(), launches_after_prefill);
+  EXPECT_EQ(engine->device().stats().graph_launches.load(), 5);
+  EXPECT_GT(engine->device().stats().graph_replayed_nodes.load(), 0);
+}
+
+TEST(HybridEngineTest, EagerDecodePaysPerKernelLaunches) {
+  EngineFixture f(TinyMoeConfig());
+  EngineOptions opts;
+  opts.use_cuda_graph = false;
+  auto engine = f.MakeEngine(opts);
+  engine->Prefill({1, 2});
+  const std::int64_t before = engine->device().stats().micro_launches.load();
+  engine->DecodeStep(3);
+  const std::int64_t per_step = engine->device().stats().micro_launches.load() - before;
+  // Every layer contributes several kernels when not captured.
+  EXPECT_GE(per_step, static_cast<std::int64_t>(f.config.num_layers) * 4);
+  EXPECT_EQ(engine->device().stats().graph_launches.load(), 0);
+}
+
+TEST(HybridEngineTest, NumaModesAgreeFunctionally) {
+  EngineFixture f(TinyMoeConfig());
+  EngineOptions tp;
+  tp.numa_mode = NumaMode::kTensorParallel;
+  EngineOptions flat;
+  flat.numa_mode = NumaMode::kNaiveInterleaved;
+  auto a = f.MakeEngine(tp);
+  auto b = f.MakeEngine(flat);
+  const std::vector<int> prompt{4, 5, 6, 7};
+  const Tensor la = a->Prefill(prompt);
+  const Tensor lb = b->Prefill(prompt);
+  EXPECT_LT(RelativeError(la, lb), 5e-3f);
+}
+
+TEST(HybridEngineTest, QuantizedEnginesTrackReference) {
+  EngineFixture f(TinyMoeConfig());
+  RefModel ref = f.MakeRef();
+  const std::vector<int> prompt{3, 14, 15, 9};
+  KvCache cache(f.config);
+  const Tensor ref_logits = ref.Forward(prompt, &cache).Slice(3, 1).Clone();
+
+  for (DType dtype : {DType::kI8, DType::kI4}) {
+    EngineOptions opts;
+    opts.cpu_weight_dtype = dtype;
+    auto engine = f.MakeEngine(opts);
+    const Tensor logits = engine->Prefill(prompt);
+    const float tol = dtype == DType::kI8 ? 0.08f : 0.35f;
+    EXPECT_LT(RelativeError(logits, ref_logits), tol) << DTypeName(dtype);
+    EXPECT_GT(CosineSimilarity(logits, ref_logits), dtype == DType::kI8 ? 0.999 : 0.97);
+  }
+}
+
+TEST(HybridEngineTest, GreedyGenerationMatchesReference) {
+  EngineFixture f(TinyMoeConfig());
+  auto engine = f.MakeEngine();
+  RefModel ref = f.MakeRef();
+  const std::vector<int> prompt{3, 1, 4, 1, 5};
+  const std::vector<int> engine_tokens = engine->GenerateGreedy(prompt, 6);
+  const std::vector<int> ref_tokens = ref.GenerateGreedy(prompt, 6);
+  // bf16 expert weights can flip near-tie argmaxes; require strong agreement.
+  int agree = 0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    agree += engine_tokens[i] == ref_tokens[i] ? 1 : 0;
+  }
+  EXPECT_GE(agree, 5) << "engine/reference token disagreement too high";
+}
+
+TEST(HybridEngineTest, ResetAllowsFreshSession) {
+  EngineFixture f(TinyMoeConfig());
+  auto engine = f.MakeEngine();
+  const std::vector<int> prompt{8, 9, 10};
+  const Tensor first = engine->Prefill(prompt);
+  engine->DecodeStep(11);
+  engine->Reset();
+  EXPECT_EQ(engine->position(), 0);
+  const Tensor second = engine->Prefill(prompt);
+  EXPECT_EQ(MaxAbsDiff(first, second), 0.0f);
+}
+
+TEST(HybridEngineTest, CountersTrackActivity) {
+  EngineFixture f(TinyMoeConfig());
+  auto engine = f.MakeEngine();
+  engine->Prefill({1, 2, 3, 4});
+  engine->DecodeStep(5);
+  engine->DecodeStep(6);
+  EXPECT_EQ(engine->counters().prefill_tokens, 4);
+  EXPECT_EQ(engine->counters().decode_steps, 2);
+  // 2 MoE layers per pass, 1 request each (no deferral): 3 passes total.
+  EXPECT_EQ(engine->counters().moe_requests,
+            static_cast<std::int64_t>(f.config.num_moe_layers()) * 3);
+  const MoeStats stats = engine->moe_stats();
+  EXPECT_GT(stats.useful_flops, 0.0);
+}
+
+
+TEST(HybridEngineTest, SetDeferralRetunesAndRecaptures) {
+  EngineFixture f(TinyMlaConfig());
+  auto engine = f.MakeEngine();
+  const std::vector<int> prompt{5, 6, 7};
+  engine->Prefill(prompt);
+  engine->DecodeStep(9);  // captures the d=0 graph
+
+  engine->SetDeferral(2);
+  const Tensor retuned = engine->DecodeStep(10);
+
+  // The recaptured graph must match eager execution of the identical history
+  // (d=0 for step 9, then d=2 for step 10).
+  EngineOptions eager;
+  eager.use_cuda_graph = false;
+  auto witness = f.MakeEngine(eager);
+  witness->Prefill(prompt);
+  witness->DecodeStep(9);
+  witness->SetDeferral(2);
+  EXPECT_EQ(MaxAbsDiff(retuned, witness->DecodeStep(10)), 0.0f);
+  // Retuning changed the model: step 10 differs from a d=0 continuation.
+  auto unchanged = f.MakeEngine();
+  unchanged->Prefill(prompt);
+  unchanged->DecodeStep(9);
+  EXPECT_GT(MaxAbsDiff(retuned, unchanged->DecodeStep(10)), 1e-6f);
+  // Graph replays continue after the re-capture.
+  engine->DecodeStep(11);
+  EXPECT_EQ(engine->device().stats().graph_launches.load(), 3);
+}
+
+TEST(HybridEngineTest, RejectsExcessiveDeferral) {
+  EngineFixture f(TinyMoeConfig());  // top_k = 3
+  EngineOptions opts;
+  opts.n_deferred = 2;  // would leave only 1 immediate expert
+  EXPECT_DEATH({ auto engine = f.MakeEngine(opts); }, "immediate");
+}
+
+TEST(AsyncServiceTest, RequestsCompleteInFifoOrder) {
+  // Build a minimal NumaMoe and verify FIFO completion — the property the
+  // deferral sync protocol depends on.
+  Rng rng(5);
+  std::vector<Tensor> gate;
+  std::vector<Tensor> up;
+  std::vector<Tensor> down;
+  for (int e = 0; e < 4; ++e) {
+    gate.push_back(Tensor::Randn({32, 32}, rng, 0.3f));
+    up.push_back(Tensor::Randn({32, 32}, rng, 0.3f));
+    down.push_back(Tensor::Randn({32, 32}, rng, 0.3f));
+  }
+  auto packed = PackedExperts::Pack(gate, up, down, DType::kBF16);
+  ASSERT_TRUE(packed.ok());
+  ThreadPool pool(2);
+  NumaMoe::Options nopts;
+  nopts.mode = NumaMode::kNaiveInterleaved;
+  auto moe = std::make_shared<const NumaMoe>(
+      std::make_shared<const PackedExperts>(std::move(*packed)), nullptr, &pool, nopts);
+  AsyncMoeService service(moe);
+
+  Tensor x = Tensor::Randn({2, 32}, rng);
+  MoeRouting routing;
+  routing.tokens = 2;
+  routing.top_k = 2;
+  routing.expert_ids = {0, 1, 2, 3};
+  routing.weights = {0.5f, 0.5f, 0.5f, 0.5f};
+  Tensor y1({2, 32}, DType::kF32);
+  Tensor y2({2, 32}, DType::kF32);
+
+  MoeRequest r1;
+  r1.x = x.f32();
+  r1.tokens = 2;
+  r1.routing = &routing;
+  r1.slot_begin = 0;
+  r1.slot_end = 1;
+  r1.y = y1.f32();
+  MoeRequest r2 = {};
+  r2.x = x.f32();
+  r2.tokens = 2;
+  r2.routing = &routing;
+  r2.slot_begin = 1;
+  r2.slot_end = 2;
+  r2.y = y2.f32();
+
+  service.Submit(&r1);
+  service.Submit(&r2);
+  r2.Wait();
+  // FIFO: r2 done implies r1 done.
+  EXPECT_TRUE(r1.done.load());
+  EXPECT_EQ(service.completed(), 2);
+
+  // Combined result equals a single all-slot forward.
+  Tensor both({2, 32}, DType::kF32);
+  moe->Forward(x.f32(), 2, routing, 0, 2, both.f32());
+  AddInPlace(y1.f32(), y2.f32(), y1.numel());
+  EXPECT_LT(MaxAbsDiff(y1, both), 1e-4f);
+}
+
+}  // namespace
+}  // namespace ktx

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "src/model/eval.h"
+
+namespace ktx {
+namespace {
+
+RefModel MakeModel(std::uint64_t seed = 70) {
+  const MoeModelConfig config = SmallMoeConfig();
+  return RefModel(config,
+                  std::make_shared<const ModelWeights>(ModelWeights::Generate(config, seed)));
+}
+
+TEST(CorpusTest, DeterministicAndInRange) {
+  const auto a = SyntheticCorpus(512, 200, 1.0, 9);
+  const auto b = SyntheticCorpus(512, 200, 1.0, 9);
+  EXPECT_EQ(a, b);
+  for (int t : a) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 512);
+  }
+}
+
+TEST(CorpusTest, SkewConcentratesMass) {
+  auto top_share = [](double skew) {
+    const auto corpus = SyntheticCorpus(256, 4000, skew, 3);
+    std::map<int, int> counts;
+    for (int t : corpus) {
+      ++counts[t];
+    }
+    int max_count = 0;
+    for (const auto& [tok, c] : counts) {
+      max_count = std::max(max_count, c);
+    }
+    return static_cast<double>(max_count) / corpus.size();
+  };
+  EXPECT_GT(top_share(1.5), 3.0 * top_share(0.0));
+}
+
+TEST(PerplexityTest, RandomModelNearUniform) {
+  // An untrained model's perplexity sits near the vocabulary size.
+  const RefModel model = MakeModel();
+  const auto corpus = SyntheticCorpus(model.config().vocab, 32, 1.0, 5);
+  const EvalResult r = EvaluatePerplexity(model, corpus);
+  EXPECT_EQ(r.positions, 31);
+  EXPECT_GT(r.perplexity, model.config().vocab * 0.3);
+  EXPECT_LT(r.perplexity, model.config().vocab * 3.0);
+  EXPECT_NEAR(std::log(r.perplexity), r.mean_nll, 1e-9);
+}
+
+TEST(PerplexityTest, DeferralShiftsPerplexityLessThanSkipping) {
+  // The Fig. 13 claim in perplexity form: |Δppl| under deferral is smaller
+  // than under skipping at the same affected-expert count.
+  const RefModel model = MakeModel(71);
+  const auto corpus = SyntheticCorpus(model.config().vocab, 40, 1.0, 6);
+  const double base = EvaluatePerplexity(model, corpus).mean_nll;
+
+  ForwardOptions defer;
+  defer.n_deferred = 5;
+  ForwardOptions skip = defer;
+  skip.expert_skipping = true;
+  const double d_delta = std::fabs(EvaluatePerplexity(model, corpus, defer).mean_nll - base);
+  const double s_delta = std::fabs(EvaluatePerplexity(model, corpus, skip).mean_nll - base);
+  EXPECT_LT(d_delta, s_delta);
+}
+
+TEST(DivergenceTest, IdenticalOptionsDivergeZero) {
+  const RefModel model = MakeModel(72);
+  const auto corpus = SyntheticCorpus(model.config().vocab, 24, 1.0, 7);
+  EXPECT_EQ(ExecutionDivergence(model, corpus, ForwardOptions{}, ForwardOptions{}), 0.0);
+}
+
+TEST(DivergenceTest, OrderedByPerturbationSeverity) {
+  const RefModel model = MakeModel(73);
+  const auto corpus = SyntheticCorpus(model.config().vocab, 24, 1.0, 8);
+  const ForwardOptions base;
+  ForwardOptions defer2;
+  defer2.n_deferred = 2;
+  ForwardOptions defer6;
+  defer6.n_deferred = 6;
+  ForwardOptions skip6 = defer6;
+  skip6.expert_skipping = true;
+  const double d2 = ExecutionDivergence(model, corpus, base, defer2);
+  const double d6 = ExecutionDivergence(model, corpus, base, defer6);
+  const double s6 = ExecutionDivergence(model, corpus, base, skip6);
+  EXPECT_LT(d2, d6);
+  EXPECT_LT(d6, s6);
+  EXPECT_GT(d2, 0.0);
+}
+
+}  // namespace
+}  // namespace ktx

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "src/common/flags.h"
+
+namespace ktx {
+namespace {
+
+FlagParser Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  auto parser = FlagParser::Parse(static_cast<int>(args.size()), args.data());
+  EXPECT_TRUE(parser.ok());
+  return std::move(*parser);
+}
+
+TEST(FlagsTest, KeyEqualsValue) {
+  const FlagParser f = Parse({"--model=ds3", "--steps=16"});
+  EXPECT_EQ(f.GetString("model", ""), "ds3");
+  EXPECT_EQ(f.GetInt("steps", 0), 16);
+}
+
+TEST(FlagsTest, KeySpaceValue) {
+  const FlagParser f = Parse({"--model", "qw2", "--temperature", "0.3"});
+  EXPECT_EQ(f.GetString("model", ""), "qw2");
+  EXPECT_DOUBLE_EQ(f.GetDouble("temperature", 0.0), 0.3);
+}
+
+TEST(FlagsTest, BooleanForms) {
+  const FlagParser f = Parse({"--timeline", "--no-graph", "--verbose=false"});
+  EXPECT_TRUE(f.GetBool("timeline", false));
+  EXPECT_FALSE(f.GetBool("graph", true));
+  EXPECT_FALSE(f.GetBool("verbose", true));
+  EXPECT_TRUE(f.GetBool("absent", true));
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  const FlagParser f = Parse({"run", "--k=1", "file.yaml"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "run");
+  EXPECT_EQ(f.positional()[1], "file.yaml");
+}
+
+TEST(FlagsTest, DefaultsOnMissingAndMalformed) {
+  const FlagParser f = Parse({"--count=abc"});
+  EXPECT_EQ(f.GetInt("count", 7), 7);       // unparseable -> default
+  EXPECT_EQ(f.GetInt("missing", 3), 3);
+  EXPECT_EQ(f.GetString("missing", "x"), "x");
+}
+
+TEST(FlagsTest, UnusedDetection) {
+  const FlagParser f = Parse({"--used=1", "--typo=2"});
+  EXPECT_EQ(f.GetInt("used", 0), 1);
+  const auto unused = f.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(FlagsTest, RejectsBareDashes) {
+  const char* args[] = {"prog", "--"};
+  EXPECT_FALSE(FlagParser::Parse(2, args).ok());
+}
+
+TEST(FlagsTest, LastWinsOnDuplicates) {
+  const FlagParser f = Parse({"--k=1", "--k=2"});
+  EXPECT_EQ(f.GetInt("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace ktx

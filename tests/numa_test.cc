@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/numa/tensor_parallel.h"
+#include "src/numa/topology.h"
+
+namespace ktx {
+namespace {
+
+TEST(TopologyTest, FromCpuSpecHasTwoNodes) {
+  const NumaTopology topo = NumaTopology::FromCpuSpec(Xeon8452Y());
+  EXPECT_EQ(topo.num_nodes(), 2);
+  EXPECT_EQ(topo.node(0).local_bw_gbs, 220.0);
+  EXPECT_EQ(topo.remote_bw_gbs(), 125.0);
+}
+
+TEST(TopologyTest, EffectiveBandwidthDelegation) {
+  const NumaTopology topo = NumaTopology::FromCpuSpec(Xeon8452Y());
+  EXPECT_GT(topo.EffectiveBandwidthGbs(NumaMode::kTensorParallel, 8),
+            topo.EffectiveBandwidthGbs(NumaMode::kNaiveInterleaved, 8));
+}
+
+TEST(EpPlacementTest, RoundRobinBalancesStatically) {
+  const EpPlacement p = EpPlacement::RoundRobin(8, 2);
+  int node0 = 0;
+  for (int e = 0; e < 8; ++e) {
+    node0 += p.node_of(e) == 0 ? 1 : 0;
+  }
+  EXPECT_EQ(node0, 4);
+}
+
+TEST(EpPlacementTest, MaxLoadDetectsSkew) {
+  const EpPlacement p = EpPlacement::RoundRobin(8, 2);
+  EXPECT_EQ(p.MaxLoad({0, 1, 2, 3}), 2);        // perfectly split
+  EXPECT_EQ(p.MaxLoad({0, 2, 4, 6}), 4);        // all on node 0
+}
+
+TEST(NumaArenaTest, ImbalanceRatio) {
+  NumaArena arena(2);
+  arena.Charge(0, 100);
+  arena.Charge(1, 100);
+  EXPECT_DOUBLE_EQ(arena.ImbalanceRatio(), 1.0);
+  arena.Charge(0, 200);
+  EXPECT_NEAR(arena.ImbalanceRatio(), 300.0 / 200.0, 1e-12);
+  EXPECT_EQ(arena.total_bytes(), 400u);
+}
+
+class TpFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(21);
+    for (int e = 0; e < kExperts; ++e) {
+      Rng er = rng.Split(static_cast<std::uint64_t>(e));
+      gate_.push_back(Tensor::Randn({kInter, kHidden}, er, 0.3f));
+      up_.push_back(Tensor::Randn({kInter, kHidden}, er, 0.3f));
+      down_.push_back(Tensor::Randn({kHidden, kInter}, er, 0.3f));
+    }
+    x_ = Tensor::Randn({kTokens, kHidden}, rng, 0.5f);
+    routing_.tokens = kTokens;
+    routing_.top_k = 2;
+    for (std::int64_t t = 0; t < kTokens; ++t) {
+      routing_.expert_ids.push_back(static_cast<int>(t) % kExperts);
+      routing_.expert_ids.push_back(static_cast<int>(t + 1) % kExperts);
+      routing_.weights.push_back(0.6f);
+      routing_.weights.push_back(0.4f);
+    }
+  }
+
+  static constexpr int kExperts = 4;
+  static constexpr std::int64_t kHidden = 64;
+  static constexpr std::int64_t kInter = 64;  // 2 shards x 32? must be 16-aligned: 32 each
+  static constexpr std::int64_t kTokens = 6;
+  std::vector<Tensor> gate_, up_, down_;
+  Tensor x_;
+  MoeRouting routing_;
+};
+
+TEST_F(TpFixture, ShardingPreservesResults) {
+  auto tp = TpExperts::Build(gate_, up_, down_, DType::kBF16, 2);
+  ASSERT_TRUE(tp.ok());
+  EXPECT_EQ(tp->shards(), 2);
+  EXPECT_EQ(tp->inter_per_shard(), kInter / 2);
+
+  ThreadPool pool(2);
+  NumaMoe::Options opts;
+  opts.mode = NumaMode::kTensorParallel;
+  NumaMoe moe(nullptr, std::make_shared<const TpExperts>(std::move(*tp)), &pool, opts);
+
+  Tensor out({kTokens, kHidden}, DType::kF32);
+  moe.Forward(x_.f32(), kTokens, routing_, 0, 2, out.f32());
+
+  Tensor ref({kTokens, kHidden}, DType::kF32);
+  RefMoeForward(gate_, up_, down_, x_.f32(), kTokens, routing_, 0, 2, ref.f32());
+  EXPECT_LT(RelativeError(out, ref), 0.03f);
+}
+
+TEST_F(TpFixture, TpMatchesFlatExecution) {
+  auto tp = TpExperts::Build(gate_, up_, down_, DType::kBF16, 2);
+  auto flat = PackedExperts::Pack(gate_, up_, down_, DType::kBF16);
+  ASSERT_TRUE(tp.ok() && flat.ok());
+  ThreadPool pool(2);
+
+  NumaMoe::Options tp_opts;
+  tp_opts.mode = NumaMode::kTensorParallel;
+  NumaMoe tp_moe(nullptr, std::make_shared<const TpExperts>(std::move(*tp)), &pool, tp_opts);
+
+  NumaMoe::Options flat_opts;
+  flat_opts.mode = NumaMode::kNaiveInterleaved;
+  NumaMoe flat_moe(std::make_shared<const PackedExperts>(std::move(*flat)), nullptr, &pool,
+                   flat_opts);
+
+  Tensor a({kTokens, kHidden}, DType::kF32);
+  Tensor b({kTokens, kHidden}, DType::kF32);
+  tp_moe.Forward(x_.f32(), kTokens, routing_, 0, 2, a.f32());
+  flat_moe.Forward(x_.f32(), kTokens, routing_, 0, 2, b.f32());
+  // Same math, different partitioning/accumulation order (and per-shard
+  // bf16 tiles), so near-equal.
+  EXPECT_LT(RelativeError(a, b), 5e-3f);
+}
+
+TEST_F(TpFixture, ChargeArenaIsBalanced) {
+  auto tp = TpExperts::Build(gate_, up_, down_, DType::kBF16, 2);
+  ASSERT_TRUE(tp.ok());
+  NumaArena arena(2);
+  tp->ChargeArena(&arena);
+  EXPECT_NEAR(arena.ImbalanceRatio(), 1.0, 1e-9);
+  EXPECT_GT(arena.total_bytes(), 0u);
+}
+
+TEST_F(TpFixture, RejectsUnalignedShardSlices) {
+  // inter=64 over 3 shards does not divide; over 4 shards the slice (16) is
+  // fine; over 8 the slice (8) breaks 16-alignment.
+  EXPECT_FALSE(TpExperts::Build(gate_, up_, down_, DType::kBF16, 3).ok());
+  EXPECT_TRUE(TpExperts::Build(gate_, up_, down_, DType::kBF16, 4).ok());
+  EXPECT_FALSE(TpExperts::Build(gate_, up_, down_, DType::kBF16, 8).ok());
+}
+
+TEST_F(TpFixture, QuantizedShardsStayAccurate) {
+  auto tp = TpExperts::Build(gate_, up_, down_, DType::kI8, 2);
+  ASSERT_TRUE(tp.ok());
+  ThreadPool pool(1);
+  NumaMoe::Options opts;
+  opts.mode = NumaMode::kTensorParallel;
+  NumaMoe moe(nullptr, std::make_shared<const TpExperts>(std::move(*tp)), &pool, opts);
+  Tensor out({kTokens, kHidden}, DType::kF32);
+  moe.Forward(x_.f32(), kTokens, routing_, 0, 2, out.f32());
+  Tensor ref({kTokens, kHidden}, DType::kF32);
+  RefMoeForward(gate_, up_, down_, x_.f32(), kTokens, routing_, 0, 2, ref.f32());
+  EXPECT_LT(RelativeError(out, ref), 0.06f);
+}
+
+}  // namespace
+}  // namespace ktx

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "src/core/placement.h"
+#include "src/core/strategy_sim.h"
+
+namespace ktx {
+namespace {
+
+TEST(PlacementTest, PaperDeploymentsFitTheirGpus) {
+  // §6.1: BF16 on the A100-40GB; DS-3 Int4 / DS-2 Int8 / QW-2 Int8 on the
+  // RTX 4080-16GB. All six must fit a single GPU.
+  EXPECT_TRUE(PlanPlacement(DeepSeekV3Config(), DType::kBF16, DType::kBF16, A100_40GB(), 8192)
+                  .fits_one_gpu);
+  EXPECT_TRUE(PlanPlacement(DeepSeekV3Config(), DType::kI4, DType::kI4, RTX4080_16GB(), 8192)
+                  .fits_one_gpu);
+  EXPECT_TRUE(PlanPlacement(DeepSeekV2Config(), DType::kBF16, DType::kBF16, A100_40GB(), 8192)
+                  .fits_one_gpu);
+  EXPECT_TRUE(PlanPlacement(DeepSeekV2Config(), DType::kI8, DType::kI8, RTX4080_16GB(), 8192)
+                  .fits_one_gpu);
+  EXPECT_TRUE(PlanPlacement(Qwen2MoeConfig(), DType::kBF16, DType::kBF16, A100_40GB(), 8192)
+                  .fits_one_gpu);
+  EXPECT_TRUE(PlanPlacement(Qwen2MoeConfig(), DType::kI8, DType::kI8, RTX4080_16GB(), 8192)
+                  .fits_one_gpu);
+}
+
+TEST(PlacementTest, Bf16Ds3DoesNotFitA4080) {
+  const PlacementPlan plan =
+      PlanPlacement(DeepSeekV3Config(), DType::kBF16, DType::kBF16, RTX4080_16GB(), 8192);
+  EXPECT_FALSE(plan.fits_one_gpu);
+  EXPECT_GT(plan.pipeline_gpus_needed, 1);
+  EXPECT_FALSE(plan.Summary().empty());
+}
+
+TEST(PlacementTest, MlaKvCacheIsCompact) {
+  // DS-3's MLA latent cache at 8K context is under a GB despite 61 layers.
+  const PlacementPlan plan =
+      PlanPlacement(DeepSeekV3Config(), DType::kBF16, DType::kBF16, A100_40GB(), 8192);
+  EXPECT_LT(plan.kv_cache_bytes, 1e9);
+  EXPECT_GT(plan.kv_cache_bytes, 1e8);
+}
+
+TEST(PlacementTest, KvCacheScalesWithContext) {
+  const PlacementPlan a =
+      PlanPlacement(DeepSeekV3Config(), DType::kBF16, DType::kBF16, A100_40GB(), 1024);
+  const PlacementPlan b =
+      PlanPlacement(DeepSeekV3Config(), DType::kBF16, DType::kBF16, A100_40GB(), 8192);
+  EXPECT_NEAR(b.kv_cache_bytes / a.kv_cache_bytes, 8.0, 1e-9);
+  EXPECT_EQ(a.gpu_weight_bytes, b.gpu_weight_bytes);
+}
+
+TEST(PlacementTest, CpuBytesTrackRoutedExpertPrecision) {
+  const PlacementPlan bf16 =
+      PlanPlacement(DeepSeekV3Config(), DType::kBF16, DType::kBF16, A100_40GB(), 1024);
+  const PlacementPlan i4 =
+      PlanPlacement(DeepSeekV3Config(), DType::kI4, DType::kBF16, A100_40GB(), 1024);
+  EXPECT_NEAR(bf16.cpu_weight_bytes / i4.cpu_weight_bytes, 4.0, 1e-9);
+}
+
+TEST(KvOffloadSimTest, OffloadCostGrowsWithContext) {
+  SimWorkload w;
+  w.model = DeepSeekV3Config();
+  w.model.max_seq = 32768;
+  w.decode_steps = 4;
+  StrategySpec offload = KTransformersStrategy(0);
+  offload.kv_cache_offload = true;
+  const StrategySpec resident = KTransformersStrategy(0);
+
+  w.prompt_len = 1024;
+  const double slow_short = SimulateDecode(resident, w).tokens_per_second /
+                            SimulateDecode(offload, w).tokens_per_second;
+  w.prompt_len = 16384;
+  const double slow_long = SimulateDecode(resident, w).tokens_per_second /
+                           SimulateDecode(offload, w).tokens_per_second;
+  EXPECT_GE(slow_short, 0.999);  // never faster than resident
+  EXPECT_GT(slow_long, slow_short);
+  EXPECT_GT(slow_long, 1.1);  // PCIe traffic bites at long contexts
+}
+
+}  // namespace
+}  // namespace ktx

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/engine.h"
+#include "src/core/profiling.h"
+
+namespace ktx {
+namespace {
+
+MoeRouting MakeRouting(std::vector<int> ids, int top_k) {
+  MoeRouting r;
+  r.top_k = top_k;
+  r.tokens = static_cast<std::int64_t>(ids.size()) / top_k;
+  r.expert_ids = std::move(ids);
+  r.weights.assign(r.expert_ids.size(), 1.0f);
+  return r;
+}
+
+TEST(ExpertProfilerTest, CountsActivations) {
+  ExpertProfiler profiler(2, 4);
+  profiler.Record(0, MakeRouting({0, 1, 0, 2}, 2), 0, 2);
+  profiler.Record(1, MakeRouting({3, 3}, 2), 0, 2);
+  EXPECT_EQ(profiler.count(0, 0), 2);
+  EXPECT_EQ(profiler.count(0, 1), 1);
+  EXPECT_EQ(profiler.count(0, 3), 0);
+  EXPECT_EQ(profiler.count(1, 3), 2);
+  EXPECT_EQ(profiler.total(), 6);
+}
+
+TEST(ExpertProfilerTest, SlotWindowRespected) {
+  ExpertProfiler profiler(1, 4);
+  profiler.Record(0, MakeRouting({0, 1, 2, 3}, 4), 1, 3);  // slots 1..2 only
+  EXPECT_EQ(profiler.count(0, 0), 0);
+  EXPECT_EQ(profiler.count(0, 1), 1);
+  EXPECT_EQ(profiler.count(0, 2), 1);
+  EXPECT_EQ(profiler.count(0, 3), 0);
+}
+
+TEST(ExpertProfilerTest, RankingAndCoverage) {
+  ExpertProfiler profiler(1, 3);
+  profiler.Record(0, MakeRouting({0, 0, 0, 1}, 1), 0, 1);
+  const auto ranked = profiler.RankedExperts();
+  EXPECT_EQ(ranked[0], (std::pair<int, int>{0, 0}));
+  EXPECT_EQ(ranked[1], (std::pair<int, int>{0, 1}));
+  EXPECT_NEAR(profiler.CoverageFraction(1), 0.75, 1e-12);
+  EXPECT_NEAR(profiler.CoverageFraction(2), 1.0, 1e-12);
+  EXPECT_EQ(profiler.CoverageFraction(0), 0.0);
+}
+
+TEST(HotExpertPlanTest, PacksBudgetGreedily) {
+  MoeModelConfig config = TinyMoeConfig();  // hidden 64, inter 64
+  ExpertProfiler profiler(config.num_moe_layers(), config.num_experts);
+  profiler.Record(0, MakeRouting({5, 5, 5, 2}, 1), 0, 1);
+  const double per_expert = 3.0 * 64 * 64 * 2.0;  // bf16
+  const HotExpertPlan one =
+      HotExpertPlan::Plan(profiler, config, per_expert * 1.5, DType::kBF16);
+  ASSERT_EQ(one.gpu_experts.size(), 1u);
+  EXPECT_EQ(one.gpu_experts[0], (std::pair<int, int>{0, 5}));
+  EXPECT_NEAR(one.coverage, 0.75, 1e-12);
+
+  const HotExpertPlan two =
+      HotExpertPlan::Plan(profiler, config, per_expert * 2.5, DType::kBF16);
+  EXPECT_EQ(two.gpu_experts.size(), 2u);
+  EXPECT_NEAR(two.coverage, 1.0, 1e-12);
+
+  // Never-activated experts are not packed even with infinite budget.
+  const HotExpertPlan all = HotExpertPlan::Plan(profiler, config, 1e18, DType::kBF16);
+  EXPECT_EQ(all.gpu_experts.size(), 2u);
+}
+
+TEST(ProfilerEngineIntegrationTest, EngineRecordsRoutingDecisions) {
+  const MoeModelConfig config = TinyMoeConfig();
+  auto weights =
+      std::make_shared<const ModelWeights>(ModelWeights::Generate(config, 3));
+  ExpertProfiler profiler(config.num_moe_layers(), config.num_experts);
+  EngineOptions options;
+  options.profiler = &profiler;
+  HybridEngine engine(config, weights, options);
+  engine.Prefill({1, 2, 3, 4, 5});
+  engine.DecodeStep(6);
+  engine.DecodeStep(7);
+  // 7 tokens x top_k slots x num_moe_layers activations recorded.
+  EXPECT_EQ(profiler.total(),
+            7LL * config.top_k * config.num_moe_layers());
+  // Coverage over all experts is complete.
+  EXPECT_NEAR(profiler.CoverageFraction(config.num_moe_layers() * config.num_experts), 1.0,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace ktx

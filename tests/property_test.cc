@@ -1,0 +1,191 @@
+// Cross-module property tests: invariants that must hold for all parameter
+// combinations, checked with parameterized sweeps.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "src/common/rng.h"
+#include "src/core/strategy_sim.h"
+#include "src/cpu/moe_cpu.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/des.h"
+
+namespace ktx {
+namespace {
+
+// --- Cost model: every kernel class, every dtype -------------------------------
+
+class CostModelSweep
+    : public ::testing::TestWithParam<std::tuple<CpuKernelClass, DType>> {};
+
+TEST_P(CostModelSweep, TimeIsPositiveAndMonotoneInWork) {
+  const auto [kc, dtype] = GetParam();
+  const CpuSpec cpu = Xeon8452Y();
+  double prev = 0.0;
+  for (std::int64_t m : {1, 4, 16, 64, 256}) {
+    const double t = CpuGemmSeconds(kc, m, 2048, 7168, dtype, cpu, 220.0, 0.5);
+    EXPECT_GT(t, 0.0);
+    EXPECT_GE(t, prev * 0.999);  // more rows never make it faster
+    prev = t;
+  }
+}
+
+TEST_P(CostModelSweep, NeverBeatsTheRoofline) {
+  const auto [kc, dtype] = GetParam();
+  const CpuSpec cpu = Xeon8452Y();
+  const double bw = 220.0;
+  for (std::int64_t m : {1, 8, 128}) {
+    const double t = CpuGemmSeconds(kc, m, 2048, 7168, dtype, cpu, bw, 0.5);
+    const double bytes = static_cast<double>(DTypeBytes(dtype, 2048 * 7168));
+    EXPECT_GE(t, bytes / (bw * 1e9) * 0.99)
+        << "faster than the memory roofline at m=" << m;
+  }
+}
+
+TEST_P(CostModelSweep, QuantizationNeverSlowsDown) {
+  const auto [kc, dtype] = GetParam();
+  if (dtype == DType::kBF16) {
+    GTEST_SKIP();
+  }
+  const CpuSpec cpu = Xeon8452Y();
+  for (std::int64_t m : {1, 16, 256}) {
+    const double quant = CpuGemmSeconds(kc, m, 2048, 7168, dtype, cpu, 220.0, 0.5);
+    const double bf16 = CpuGemmSeconds(kc, m, 2048, 7168, DType::kBF16, cpu, 220.0, 0.5);
+    EXPECT_LE(quant, bf16 * 1.001) << "m=" << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, CostModelSweep,
+    ::testing::Combine(::testing::Values(CpuKernelClass::kKtAmx, CpuKernelClass::kKtAvx512,
+                                         CpuKernelClass::kOneDnnAmx,
+                                         CpuKernelClass::kGenericAvx512,
+                                         CpuKernelClass::kLlamaCppAvx512),
+                       ::testing::Values(DType::kBF16, DType::kI8, DType::kI4)));
+
+// --- DES: schedule sanity under random DAGs ------------------------------------
+
+TEST(DesPropertyTest, MakespanBoundsHoldForRandomDags) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    EventSim sim;
+    sim.AddResource("a");
+    sim.AddResource("b");
+    std::vector<SimTaskId> ids;
+    double critical_lower = 0.0;  // longest single task
+    double busy[2] = {0.0, 0.0};
+    for (int i = 0; i < 50; ++i) {
+      const int res = static_cast<int>(rng.NextBounded(2));
+      const double dur = rng.Uniform(0.1, 2.0);
+      std::vector<SimTaskId> deps;
+      if (!ids.empty() && rng.NextBounded(3) == 0) {
+        deps.push_back(ids[rng.NextBounded(ids.size())]);
+      }
+      ids.push_back(sim.AddTask(res, "t", dur, deps));
+      critical_lower = std::max(critical_lower, dur);
+      busy[res] += dur;
+    }
+    sim.Run();
+    const double makespan = sim.Makespan();
+    // Makespan >= both resource busy times (serial lanes), >= longest task,
+    // <= sum of all work (fully serialized upper bound).
+    EXPECT_GE(makespan, busy[0] - 1e-9);
+    EXPECT_GE(makespan, busy[1] - 1e-9);
+    EXPECT_GE(makespan, critical_lower);
+    EXPECT_LE(makespan, busy[0] + busy[1] + 1e-9);
+    // Every task starts after its deps and never overlaps on its resource.
+    for (SimTaskId id : ids) {
+      const SimTask& t = sim.task(id);
+      for (SimTaskId d : t.deps) {
+        EXPECT_GE(t.start, sim.task(d).finish - 1e-12);
+      }
+    }
+  }
+}
+
+// --- Fused MoE: band size is a pure performance knob ----------------------------
+
+class MoeBandSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(MoeBandSweep, BandBlocksDoNotChangeResults) {
+  Rng rng(77);
+  std::vector<Tensor> gate;
+  std::vector<Tensor> up;
+  std::vector<Tensor> down;
+  for (int e = 0; e < 4; ++e) {
+    gate.push_back(Tensor::Randn({96, 64}, rng, 0.3f));
+    up.push_back(Tensor::Randn({96, 64}, rng, 0.3f));
+    down.push_back(Tensor::Randn({64, 96}, rng, 0.3f));
+  }
+  auto packed = PackedExperts::Pack(gate, up, down, DType::kBF16);
+  ASSERT_TRUE(packed.ok());
+  auto shared = std::make_shared<const PackedExperts>(std::move(*packed));
+
+  MoeRouting routing;
+  routing.tokens = 5;
+  routing.top_k = 2;
+  for (std::int64_t t = 0; t < 5; ++t) {
+    routing.expert_ids.push_back(static_cast<int>(t) % 4);
+    routing.expert_ids.push_back(static_cast<int>(t + 1) % 4);
+    routing.weights.push_back(0.7f);
+    routing.weights.push_back(0.3f);
+  }
+  Tensor x = Tensor::Randn({5, 64}, rng, 0.5f);
+
+  ThreadPool pool(2);
+  MoeOptions base_opts;
+  base_opts.band_blocks = 1;
+  CpuMoe reference(shared, &pool, base_opts);
+  Tensor expect({5, 64}, DType::kF32);
+  reference.Forward(x.f32(), 5, routing, expect.f32());
+
+  MoeOptions opts;
+  opts.band_blocks = GetParam();
+  CpuMoe moe(shared, &pool, opts);
+  Tensor out({5, 64}, DType::kF32);
+  moe.Forward(x.f32(), 5, routing, out.f32());
+  EXPECT_LT(MaxAbsDiff(out, expect), 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bands, MoeBandSweep, ::testing::Values(1, 2, 3, 4, 8, 64));
+
+// --- Strategy sim: throughput monotone in hardware ------------------------------
+
+TEST(StrategyPropertyTest, FasterHardwareNeverHurts) {
+  SimWorkload base;
+  base.model = DeepSeekV3Config();
+  base.prompt_len = 32;
+  base.decode_steps = 4;
+  const double tps = SimulateDecode(KTransformersStrategy(3), base).tokens_per_second;
+
+  SimWorkload more_bw = base;
+  more_bw.cpu.local_bw_gbs *= 2.0;
+  EXPECT_GE(SimulateDecode(KTransformersStrategy(3), more_bw).tokens_per_second,
+            tps * 0.999);
+
+  SimWorkload better_gpu = base;
+  better_gpu.gpu.mem_bw_gbs *= 2.0;
+  better_gpu.gpu.bf16_tflops *= 2.0;
+  EXPECT_GE(SimulateDecode(KTransformersStrategy(3), better_gpu).tokens_per_second,
+            tps * 0.999);
+}
+
+TEST(StrategyPropertyTest, DeferralNeverHurtsDecodeThroughput) {
+  for (const auto& model : {DeepSeekV3Config(), DeepSeekV2Config(), Qwen2MoeConfig()}) {
+    SimWorkload w;
+    w.model = model;
+    w.prompt_len = 32;
+    w.decode_steps = 4;
+    double prev = 0.0;
+    for (int d = 0; d <= model.top_k - 2; ++d) {
+      const double tps = SimulateDecode(KTransformersStrategy(d), w).tokens_per_second;
+      EXPECT_GE(tps, prev * 0.999) << model.name << " d=" << d;
+      prev = tps;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ktx

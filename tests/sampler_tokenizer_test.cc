@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/model/sampler.h"
+#include "src/model/tokenizer.h"
+
+namespace ktx {
+namespace {
+
+// --- Tokenizer ------------------------------------------------------------------
+
+TEST(ByteTokenizerTest, EncodeDecodeRoundTrip) {
+  const ByteTokenizer tok;
+  const std::string text = "Hello, MoE \xe4\xb8\x96\xe7\x95\x8c!";
+  const std::vector<int> ids = tok.Encode(text);
+  EXPECT_EQ(ids.front(), ByteTokenizer::kBos);
+  EXPECT_EQ(ids.size(), text.size() + 1);
+  EXPECT_EQ(tok.Decode(ids), text);  // BOS dropped on decode
+}
+
+TEST(ByteTokenizerTest, NoBosOption) {
+  const ByteTokenizer tok;
+  const std::vector<int> ids = tok.Encode("ab", /*add_bos=*/false);
+  EXPECT_EQ(ids, (std::vector<int>{'a', 'b'}));
+}
+
+TEST(ByteTokenizerTest, OutOfRangeIdsBecomeReplacementChar) {
+  const ByteTokenizer tok;
+  EXPECT_EQ(tok.Decode({'a', 9999, 'b'}), "a\xef\xbf\xbd"
+                                          "b");
+  EXPECT_EQ(tok.Decode({ByteTokenizer::kEos}), "");
+}
+
+// --- Sampler --------------------------------------------------------------------
+
+Tensor MakeLogits(std::initializer_list<float> values) {
+  Tensor t({1, static_cast<std::int64_t>(values.size())}, DType::kF32);
+  std::int64_t i = 0;
+  for (float v : values) {
+    t.f32()[i++] = v;
+  }
+  return t;
+}
+
+TEST(SamplerTest, GreedyPicksArgmax) {
+  Sampler sampler(SamplerOptions{});
+  EXPECT_EQ(sampler.Sample(MakeLogits({0.1f, 5.0f, -2.0f, 1.0f})), 1);
+}
+
+TEST(SamplerTest, TemperatureSamplingIsSeedDeterministic) {
+  SamplerOptions opts;
+  opts.temperature = 0.8f;
+  opts.seed = 99;
+  Sampler a(opts);
+  Sampler b(opts);
+  const Tensor logits = MakeLogits({1.0f, 2.0f, 3.0f, 0.5f});
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.Sample(logits), b.Sample(logits));
+  }
+}
+
+TEST(SamplerTest, TopKRestrictsSupport) {
+  SamplerOptions opts;
+  opts.temperature = 2.0f;  // flat enough to hit everything otherwise
+  opts.top_k = 2;
+  Sampler sampler(opts);
+  const Tensor logits = MakeLogits({5.0f, 4.0f, -10.0f, -10.0f});
+  for (int i = 0; i < 200; ++i) {
+    const int tok = sampler.Sample(logits);
+    EXPECT_TRUE(tok == 0 || tok == 1) << tok;
+  }
+}
+
+TEST(SamplerTest, TopPRestrictsToNucleus) {
+  SamplerOptions opts;
+  opts.temperature = 1.0f;
+  opts.top_p = 0.5f;  // the single dominant token owns > 0.5 mass
+  Sampler sampler(opts);
+  const Tensor logits = MakeLogits({10.0f, 1.0f, 1.0f, 1.0f});
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(sampler.Sample(logits), 0);
+  }
+}
+
+TEST(SamplerTest, DistributionTracksTemperature) {
+  // At low temperature, the top token dominates; at high temperature the
+  // empirical distribution flattens.
+  const Tensor logits = MakeLogits({2.0f, 1.0f, 0.0f});
+  auto frequency_of_top = [&](float temperature) {
+    SamplerOptions opts;
+    opts.temperature = temperature;
+    opts.seed = 7;
+    Sampler sampler(opts);
+    int hits = 0;
+    constexpr int kTrials = 3000;
+    for (int i = 0; i < kTrials; ++i) {
+      hits += sampler.Sample(logits) == 0 ? 1 : 0;
+    }
+    return static_cast<double>(hits) / kTrials;
+  };
+  const double cold = frequency_of_top(0.3f);
+  const double hot = frequency_of_top(3.0f);
+  EXPECT_GT(cold, 0.9);
+  EXPECT_LT(hot, 0.6);
+  EXPECT_GT(hot, 1.0 / 3.0 - 0.05);
+}
+
+TEST(SamplerTest, MatchesSoftmaxProbabilities) {
+  // Empirical frequencies ~ softmax(logits / T) within sampling error.
+  SamplerOptions opts;
+  opts.temperature = 1.0f;
+  opts.seed = 3;
+  Sampler sampler(opts);
+  const Tensor logits = MakeLogits({1.0f, 0.0f});
+  const double p0 = std::exp(1.0) / (std::exp(1.0) + 1.0);
+  int hits = 0;
+  constexpr int kTrials = 5000;
+  for (int i = 0; i < kTrials; ++i) {
+    hits += sampler.Sample(logits) == 0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, p0, 0.03);
+}
+
+}  // namespace
+}  // namespace ktx

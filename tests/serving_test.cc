@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/serve/serving.h"
+
+namespace ktx {
+namespace {
+
+struct Fixture {
+  MoeModelConfig config = TinyMoeConfig();
+  std::shared_ptr<const ModelWeights> weights =
+      std::make_shared<const ModelWeights>(ModelWeights::Generate(TinyMoeConfig(), 60));
+  std::unique_ptr<HybridEngine> engine =
+      std::make_unique<HybridEngine>(config, weights, EngineOptions{});
+};
+
+GenerationRequest Req(std::vector<int> prompt, int max_new = 6) {
+  GenerationRequest r;
+  r.prompt = std::move(prompt);
+  r.max_new_tokens = max_new;
+  return r;
+}
+
+TEST(ServingTest, SingleRequestMatchesDirectGeneration) {
+  Fixture f;
+  ServingLoop loop(f.engine.get(), 1);
+  loop.Submit(Req({3, 1, 4}, 6));
+  const auto results = loop.RunToCompletion();
+  ASSERT_EQ(results.size(), 1u);
+
+  HybridEngine direct(f.config, f.weights, EngineOptions{});
+  EXPECT_EQ(results[0].tokens, direct.GenerateGreedy({3, 1, 4}, 6));
+  EXPECT_EQ(results[0].prompt_tokens, 3);
+}
+
+TEST(ServingTest, InterleavedRequestsMatchIsolatedRuns) {
+  // Round-robin interleaving across sessions must not change any request's
+  // output (the session-isolation guarantee, end to end).
+  Fixture f;
+  ServingLoop loop(f.engine.get(), 3);
+  loop.Submit(Req({1, 2}, 5));
+  loop.Submit(Req({7, 8, 9}, 5));
+  loop.Submit(Req({4}, 5));
+  const auto results = loop.RunToCompletion();
+  ASSERT_EQ(results.size(), 3u);
+
+  for (const auto& [id, prompt] :
+       {std::pair<std::uint64_t, std::vector<int>>{1, {1, 2}},
+        std::pair<std::uint64_t, std::vector<int>>{2, {7, 8, 9}},
+        std::pair<std::uint64_t, std::vector<int>>{3, {4}}}) {
+    HybridEngine solo(f.config, f.weights, EngineOptions{});
+    const std::vector<int> expect = solo.GenerateGreedy(prompt, 5);
+    const auto it = std::find_if(results.begin(), results.end(),
+                                 [&](const GenerationResult& r) { return r.id == id; });
+    ASSERT_NE(it, results.end());
+    EXPECT_EQ(it->tokens, expect) << "request " << id;
+  }
+}
+
+TEST(ServingTest, ConcurrencyLimitQueuesExcessRequests) {
+  Fixture f;
+  ServingLoop loop(f.engine.get(), 2);
+  for (int i = 0; i < 5; ++i) {
+    loop.Submit(Req({i + 1}, 3));
+  }
+  const auto results = loop.RunToCompletion();
+  EXPECT_EQ(results.size(), 5u);
+  EXPECT_EQ(loop.stats().peak_concurrency, 2);
+  EXPECT_EQ(loop.stats().requests_completed, 5);
+  EXPECT_EQ(loop.stats().tokens_generated, 15);
+}
+
+TEST(ServingTest, SessionsAreReusedAcrossRequests) {
+  Fixture f;
+  ServingLoop loop(f.engine.get(), 1);
+  for (int i = 0; i < 4; ++i) {
+    loop.Submit(Req({i + 2}, 2));
+  }
+  loop.RunToCompletion();
+  // One serving slot -> at most one extra session beyond the built-in one.
+  EXPECT_LE(f.engine->num_sessions(), 2);
+}
+
+TEST(ServingTest, EosStopsGeneration) {
+  Fixture f;
+  // Find what greedy generates first, then use it as the EOS token: the
+  // request must stop immediately with zero emitted tokens after it.
+  HybridEngine probe(f.config, f.weights, EngineOptions{});
+  const std::vector<int> probe_out = probe.GenerateGreedy({5, 5}, 3);
+  ASSERT_FALSE(probe_out.empty());
+
+  ServingLoop loop(f.engine.get(), 1);
+  GenerationRequest r = Req({5, 5}, 10);
+  r.eos_token = probe_out[0];
+  loop.Submit(std::move(r));
+  const auto results = loop.RunToCompletion();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].stopped_at_eos);
+  EXPECT_TRUE(results[0].tokens.empty());
+}
+
+TEST(ServingTest, SampledRequestsAreSeedDeterministic) {
+  Fixture f;
+  auto run_once = [&] {
+    HybridEngine engine(f.config, f.weights, EngineOptions{});
+    ServingLoop loop(&engine, 2);
+    GenerationRequest r = Req({9, 1}, 8);
+    r.sampling.temperature = 0.7f;
+    r.sampling.seed = 42;
+    loop.Submit(std::move(r));
+    return loop.RunToCompletion()[0].tokens;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace ktx

@@ -1,0 +1,118 @@
+// Multi-session serving and speculative-verify tests.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/engine.h"
+
+namespace ktx {
+namespace {
+
+struct Fixture {
+  MoeModelConfig config = TinyMoeConfig();
+  std::shared_ptr<const ModelWeights> weights =
+      std::make_shared<const ModelWeights>(ModelWeights::Generate(TinyMoeConfig(), 44));
+};
+
+TEST(SessionTest, SessionsAreIsolated) {
+  Fixture f;
+  HybridEngine engine(f.config, f.weights, EngineOptions{});
+  const int s1 = engine.CreateSession();
+  ASSERT_EQ(s1, 1);
+
+  // Interleave two conversations; each must behave as if it were alone.
+  const std::vector<int> prompt_a{1, 2, 3};
+  const std::vector<int> prompt_b{9, 8, 7, 6};
+  engine.Prefill(0, prompt_a);
+  engine.Prefill(s1, prompt_b);
+  const Tensor a1 = engine.DecodeStep(0, 10);
+  const Tensor b1 = engine.DecodeStep(s1, 20);
+  const Tensor a2 = engine.DecodeStep(0, 11);
+  const Tensor b2 = engine.DecodeStep(s1, 21);
+  EXPECT_EQ(engine.position(0), 5);
+  EXPECT_EQ(engine.position(s1), 6);
+
+  // Replay conversation A alone on a fresh engine: identical logits.
+  HybridEngine solo(f.config, f.weights, EngineOptions{});
+  solo.Prefill(prompt_a);
+  EXPECT_EQ(MaxAbsDiff(solo.DecodeStep(10), a1), 0.0f);
+  EXPECT_EQ(MaxAbsDiff(solo.DecodeStep(11), a2), 0.0f);
+
+  HybridEngine solo_b(f.config, f.weights, EngineOptions{});
+  solo_b.Prefill(prompt_b);
+  EXPECT_EQ(MaxAbsDiff(solo_b.DecodeStep(20), b1), 0.0f);
+  EXPECT_EQ(MaxAbsDiff(solo_b.DecodeStep(21), b2), 0.0f);
+}
+
+TEST(SessionTest, SharedGraphServesAllSessions) {
+  Fixture f;
+  HybridEngine engine(f.config, f.weights, EngineOptions{});
+  const int s1 = engine.CreateSession();
+  engine.Prefill(0, {1});
+  engine.Prefill(s1, {2});
+  engine.DecodeStep(0, 3);  // captures the graph
+  engine.DecodeStep(s1, 4);
+  engine.DecodeStep(0, 5);
+  // One capture, three replays.
+  EXPECT_EQ(engine.device().stats().graph_launches.load(), 3);
+}
+
+TEST(SessionTest, ResetIsPerSession) {
+  Fixture f;
+  HybridEngine engine(f.config, f.weights, EngineOptions{});
+  const int s1 = engine.CreateSession();
+  engine.Prefill(0, {1, 2});
+  engine.Prefill(s1, {3, 4, 5});
+  engine.Reset(0);
+  EXPECT_EQ(engine.position(0), 0);
+  EXPECT_EQ(engine.position(s1), 3);
+}
+
+TEST(SessionTest, VerifyStepMatchesSequentialDecode) {
+  // Verifying a draft run in one pass must produce the same logits as
+  // decoding those tokens one by one (teacher forcing).
+  Fixture f;
+  EngineOptions opts;
+  opts.n_deferred = 1;
+  HybridEngine batched(f.config, f.weights, opts);
+  HybridEngine serial(f.config, f.weights, opts);
+  const std::vector<int> prompt{2, 4, 6};
+  batched.Prefill(prompt);
+  serial.Prefill(prompt);
+
+  const std::vector<int> draft{11, 12, 13, 14};
+  const Tensor verify = batched.VerifyStep(0, draft);
+  ASSERT_EQ(verify.dim(0), 4);
+  for (std::size_t i = 0; i < draft.size(); ++i) {
+    const Tensor step = serial.DecodeStep(draft[i]);
+    const Tensor row = verify.Slice(static_cast<std::int64_t>(i), 1).Clone();
+    EXPECT_LT(RelativeError(row, step), 1e-4f) << "draft position " << i;
+  }
+  EXPECT_EQ(batched.position(), serial.position());
+}
+
+TEST(SessionTest, VerifyStepUsesAmxForWideDrafts) {
+  // A long draft pushes tokens/expert above the ARI threshold, flipping the
+  // kernel dispatch to AMX — the speculative-decoding synergy.
+  Fixture f;
+  HybridEngine engine(f.config, f.weights, EngineOptions{});
+  engine.Prefill({1});
+  std::vector<int> draft(32);
+  for (int i = 0; i < 32; ++i) {
+    draft[static_cast<std::size_t>(i)] = (i * 7) % f.config.vocab;
+  }
+  const MoeStats before = engine.moe_stats();
+  engine.VerifyStep(0, draft);
+  const MoeStats after = engine.moe_stats();
+  EXPECT_GT(after.amx_calls, before.amx_calls);
+}
+
+TEST(SessionTest, OutOfRangeSessionThrows) {
+  Fixture f;
+  HybridEngine engine(f.config, f.weights, EngineOptions{});
+  EXPECT_THROW(engine.Prefill(5, {1}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ktx

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/cost_model.h"
+#include "src/sim/des.h"
+#include "src/sim/hardware.h"
+
+namespace ktx {
+namespace {
+
+// --- Cost model -------------------------------------------------------------
+
+TEST(CostModelTest, NumaBandwidthOrdering) {
+  const CpuSpec cpu = Xeon8452Y();
+  const double single = EffectiveCpuBandwidthGbs(cpu, NumaMode::kSingleSocket, 8);
+  const double naive = EffectiveCpuBandwidthGbs(cpu, NumaMode::kNaiveInterleaved, 8);
+  const double ep = EffectiveCpuBandwidthGbs(cpu, NumaMode::kExpertParallel, 8);
+  const double tp = EffectiveCpuBandwidthGbs(cpu, NumaMode::kTensorParallel, 8);
+  EXPECT_LT(single, naive);
+  EXPECT_LT(naive, ep);  // EP beats naive but suffers imbalance
+  EXPECT_LT(ep, tp);     // TP keeps everything local and balanced
+  EXPECT_NEAR(single, 220.0, 1e-9);
+}
+
+TEST(CostModelTest, NaiveDualSocketMatchesSection23) {
+  // §2.3: 6.9 ms -> 5.8 ms, i.e. a ~1.19x effective-bandwidth gain.
+  const CpuSpec cpu = Xeon8452Y();
+  const double gain = EffectiveCpuBandwidthGbs(cpu, NumaMode::kNaiveInterleaved, 8) /
+                      EffectiveCpuBandwidthGbs(cpu, NumaMode::kSingleSocket, 8);
+  EXPECT_NEAR(gain, 6.9 / 5.8, 1e-9);
+}
+
+TEST(CostModelTest, TensorParallelGainOverNaiveNear163) {
+  // §3.3 / §6.4: NUMA-aware TP improves decoding by up to 1.63x over the
+  // NUMA-oblivious baseline. Decode is bandwidth-bound, so the bandwidth
+  // ratio is the throughput ratio.
+  const CpuSpec cpu = Xeon8452Y();
+  const double ratio = EffectiveCpuBandwidthGbs(cpu, NumaMode::kTensorParallel, 8) /
+                       EffectiveCpuBandwidthGbs(cpu, NumaMode::kNaiveInterleaved, 8);
+  EXPECT_NEAR(ratio, 1.63, 0.05);
+}
+
+TEST(CostModelTest, DecodeGemmIsBandwidthBound) {
+  // A 1-token expert GEMM at DS-3 shapes moves ~29 MB of bf16 weights; its
+  // time must track bytes/bandwidth, not flops.
+  const CpuSpec cpu = Xeon8452Y();
+  const double t = CpuGemmSeconds(CpuKernelClass::kKtAmx, 1, 2048, 7168, DType::kBF16, cpu,
+                                  220.0, 0.5);
+  const double bytes = 2048.0 * 7168.0 * 2.0;
+  EXPECT_NEAR(t, bytes / (220e9 * 0.93), t * 0.01);
+}
+
+TEST(CostModelTest, Avx512BeatsAmxAtLowTokens) {
+  // Fig. 7: the AVX-512 kernel wins at <= 4 tokens per expert.
+  const CpuSpec cpu = Xeon8452Y();
+  for (std::int64_t m : {1, 2, 4}) {
+    const double amx = CpuGemmSeconds(CpuKernelClass::kKtAmx, m, 2048, 7168, DType::kBF16,
+                                      cpu, 220.0, 0.5) +
+                       CpuOpOverheadSeconds(CpuKernelClass::kKtAmx);
+    const double avx = CpuGemmSeconds(CpuKernelClass::kKtAvx512, m, 2048, 7168, DType::kBF16,
+                                      cpu, 220.0, 0.5) +
+                       CpuOpOverheadSeconds(CpuKernelClass::kKtAvx512);
+    EXPECT_LT(avx, amx) << "m=" << m;
+  }
+}
+
+TEST(CostModelTest, AmxBeatsAvx512AtHighTokens) {
+  const CpuSpec cpu = Xeon8452Y();
+  for (std::int64_t m : {64, 256, 1024}) {
+    const double amx = CpuGemmSeconds(CpuKernelClass::kKtAmx, m, 2048, 7168, DType::kBF16,
+                                      cpu, 220.0, 0.5);
+    const double avx = CpuGemmSeconds(CpuKernelClass::kKtAvx512, m, 2048, 7168, DType::kBF16,
+                                      cpu, 220.0, 0.5);
+    EXPECT_LT(amx, avx) << "m=" << m;
+  }
+}
+
+TEST(CostModelTest, KtAmxSaturatesNearPaperPeak) {
+  // Fig. 3: the KTransformers AMX kernel reaches ~21.3 TFLOPS per socket at
+  // high arithmetic intensity (here: both sockets -> ~2x).
+  const CpuSpec cpu = Xeon8452Y();
+  const double tflops = CpuGemmTflops(CpuKernelClass::kKtAmx, 4096, 2048, 7168, DType::kBF16,
+                                      cpu, 440.0, 1.0);
+  EXPECT_GT(tflops, 0.9 * 2 * cpu.kt_amx_tflops);
+  EXPECT_LE(tflops, 2 * cpu.kt_amx_tflops * 1.01);
+}
+
+TEST(CostModelTest, KernelClassOrderingAtHighAri) {
+  // Fig. 3 ordering: KT-AMX > oneDNN-AMX > AVX-512 at high tokens/expert.
+  const CpuSpec cpu = Xeon8452Y();
+  const double kt = CpuGemmTflops(CpuKernelClass::kKtAmx, 1024, 2048, 7168, DType::kBF16, cpu,
+                                  220.0, 0.5);
+  const double onednn = CpuGemmTflops(CpuKernelClass::kOneDnnAmx, 1024, 2048, 7168,
+                                      DType::kBF16, cpu, 220.0, 0.5);
+  const double avx = CpuGemmTflops(CpuKernelClass::kGenericAvx512, 1024, 2048, 7168,
+                                   DType::kBF16, cpu, 220.0, 0.5);
+  EXPECT_GT(kt, 3.0 * onednn);  // ~3.98x in the paper
+  EXPECT_GT(onednn, avx);
+}
+
+TEST(CostModelTest, QuantizedWeightsReduceMemoryTime) {
+  const CpuSpec cpu = Xeon8452Y();
+  const double bf16 = CpuGemmSeconds(CpuKernelClass::kKtAvx512, 1, 2048, 7168, DType::kBF16,
+                                     cpu, 220.0, 0.5);
+  const double i8 = CpuGemmSeconds(CpuKernelClass::kKtAvx512, 1, 2048, 7168, DType::kI8, cpu,
+                                   220.0, 0.5);
+  const double i4 = CpuGemmSeconds(CpuKernelClass::kKtAvx512, 1, 2048, 7168, DType::kI4, cpu,
+                                   220.0, 0.5);
+  EXPECT_NEAR(i8 / bf16, 0.5, 0.05);
+  EXPECT_NEAR(i4 / bf16, 0.25, 0.05);
+}
+
+TEST(CostModelTest, GpuRoofline) {
+  const GpuSpec gpu = A100_40GB();
+  // Tiny op: memory bound.
+  const double t1 = GpuOpSeconds(1e6, 1e6, gpu);
+  EXPECT_NEAR(t1, 1e6 / (gpu.mem_bw_gbs * 1e9 * 0.8), t1 * 1e-6);
+  // Huge-flop op: compute bound.
+  const double t2 = GpuOpSeconds(1e12, 1e6, gpu);
+  EXPECT_NEAR(t2, 1e12 / (gpu.bf16_tflops * 1e12 * 0.6), t2 * 1e-6);
+}
+
+TEST(CostModelTest, PcieLatencyPlusBandwidth) {
+  const PcieSpec pcie;
+  const double t = PcieSeconds(32e9 * 0.8, pcie);  // one second of payload
+  EXPECT_NEAR(t, 1.0 + 8e-6, 1e-9);
+}
+
+// --- Discrete-event simulator -----------------------------------------------
+
+TEST(EventSimTest, SerialResourceFifo) {
+  EventSim sim;
+  const int r = sim.AddResource("cpu");
+  const SimTaskId a = sim.AddTask(r, "a", 1.0);
+  const SimTaskId b = sim.AddTask(r, "b", 2.0);
+  sim.Run();
+  EXPECT_DOUBLE_EQ(sim.task(a).finish, 1.0);
+  EXPECT_DOUBLE_EQ(sim.task(b).start, 1.0);
+  EXPECT_DOUBLE_EQ(sim.Makespan(), 3.0);
+}
+
+TEST(EventSimTest, CrossResourceDependency) {
+  EventSim sim;
+  const int cpu = sim.AddResource("cpu");
+  const int gpu = sim.AddResource("gpu");
+  const SimTaskId a = sim.AddTask(cpu, "a", 2.0);
+  const SimTaskId b = sim.AddTask(gpu, "b", 1.0, {a});
+  sim.Run();
+  EXPECT_DOUBLE_EQ(sim.task(b).start, 2.0);
+  EXPECT_DOUBLE_EQ(sim.Makespan(), 3.0);
+}
+
+TEST(EventSimTest, IndependentResourcesOverlap) {
+  EventSim sim;
+  const int cpu = sim.AddResource("cpu");
+  const int gpu = sim.AddResource("gpu");
+  sim.AddTask(cpu, "a", 2.0);
+  sim.AddTask(gpu, "b", 2.0);
+  sim.Run();
+  EXPECT_DOUBLE_EQ(sim.Makespan(), 2.0);
+  EXPECT_DOUBLE_EQ(sim.Utilization(cpu), 1.0);
+  EXPECT_DOUBLE_EQ(sim.Utilization(gpu), 1.0);
+}
+
+TEST(EventSimTest, BarrierJoinsBranches) {
+  EventSim sim;
+  const int cpu = sim.AddResource("cpu");
+  const int gpu = sim.AddResource("gpu");
+  const SimTaskId a = sim.AddTask(cpu, "a", 1.0);
+  const SimTaskId b = sim.AddTask(gpu, "b", 3.0);
+  const SimTaskId j = sim.AddBarrier("join", {a, b});
+  const SimTaskId c = sim.AddTask(cpu, "c", 1.0, {j});
+  sim.Run();
+  EXPECT_DOUBLE_EQ(sim.task(c).start, 3.0);
+}
+
+TEST(EventSimTest, CategoryAccounting) {
+  EventSim sim;
+  const int gpu = sim.AddResource("gpu");
+  sim.AddTask(gpu, "launch", 0.5, {}, SimCategory::kLaunch);
+  sim.AddTask(gpu, "kernel", 1.5, {}, SimCategory::kCompute);
+  sim.Run();
+  EXPECT_DOUBLE_EQ(sim.BusyTime(gpu, SimCategory::kLaunch), 0.5);
+  EXPECT_DOUBLE_EQ(sim.BusyTime(gpu, SimCategory::kCompute), 1.5);
+  EXPECT_DOUBLE_EQ(sim.BusyTime(gpu), 2.0);
+}
+
+TEST(EventSimTest, UtilizationInWindow) {
+  EventSim sim;
+  const int r = sim.AddResource("cpu");
+  sim.AddTask(r, "a", 1.0);
+  sim.Run();
+  EXPECT_DOUBLE_EQ(sim.UtilizationInWindow(r, 0.0, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(sim.UtilizationInWindow(r, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(sim.UtilizationInWindow(r, 1.0, 2.0), 0.0);
+}
+
+TEST(EventSimTest, ChromeTraceJsonWellFormed) {
+  EventSim sim;
+  const int r = sim.AddResource("cpu");
+  sim.AddTask(r, "a", 1.0);
+  sim.Run();
+  const std::string json = sim.ToChromeTraceJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"name\":\"a\""), std::string::npos);
+}
+
+TEST(EventSimTest, AsciiTimelineRendersRows) {
+  EventSim sim;
+  const int cpu = sim.AddResource("cpu");
+  const int gpu = sim.AddResource("gpu");
+  sim.AddTask(cpu, "a", 1.0);
+  sim.AddTask(gpu, "b", 1.0, {}, SimCategory::kLaunch);
+  sim.Run();
+  const std::string art = sim.AsciiTimeline(40);
+  EXPECT_NE(art.find("cpu"), std::string::npos);
+  EXPECT_NE(art.find("gpu"), std::string::npos);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('l'), std::string::npos);
+}
+
+// Pipelined decode sketch: with deferral-style overlap the makespan shrinks.
+TEST(EventSimTest, OverlapReducesMakespanVsSerial) {
+  // Serial: CPU(2) -> GPU(1) -> CPU(2) -> GPU(1) = 6.
+  EventSim serial;
+  const int c1 = serial.AddResource("cpu");
+  const int g1 = serial.AddResource("gpu");
+  SimTaskId prev = serial.AddTask(c1, "cpu0", 2.0);
+  prev = serial.AddTask(g1, "gpu0", 1.0, {prev});
+  prev = serial.AddTask(c1, "cpu1", 2.0, {prev});
+  prev = serial.AddTask(g1, "gpu1", 1.0, {prev});
+  serial.Run();
+
+  // Overlapped: gpu_k depends only on a 1.0-long immediate part of cpu_k.
+  EventSim overlap;
+  const int c2 = overlap.AddResource("cpu");
+  const int g2 = overlap.AddResource("gpu");
+  const SimTaskId imm0 = overlap.AddTask(c2, "imm0", 1.0);
+  overlap.AddTask(c2, "def0", 1.0, {imm0});
+  const SimTaskId gpu0 = overlap.AddTask(g2, "gpu0", 1.0, {imm0});
+  const SimTaskId imm1 = overlap.AddTask(c2, "imm1", 1.0, {gpu0});
+  overlap.AddTask(c2, "def1", 1.0, {imm1});
+  overlap.AddTask(g2, "gpu1", 1.0, {imm1});
+  overlap.Run();
+
+  EXPECT_LT(overlap.Makespan(), serial.Makespan());
+}
+
+}  // namespace
+}  // namespace ktx

@@ -1,0 +1,295 @@
+// ktx — command-line driver for the KTransformers reproduction.
+//
+// Subcommands:
+//   info      [--model ds3|ds2|qw2]                 model config + placement
+//   simulate  [--model ...] [--system ...] [--phase prefill|decode]
+//             [--prompt-len N] [--steps N] [--cpu-dtype bf16|i8|i4]
+//             [--deferral N|auto] [--timeline]      paper-scale performance
+//   generate  [--prompt TEXT] [--tokens N] [--temperature T] [--seed S]
+//             [--deferral N] [--cpu-dtype ...]      functional text generation
+//   inject    --rules FILE [--model ...]            apply a YAML rule file
+//   eval      [--deferral N] [--skipping] [--corpus-len N] [--seed S]
+//             perplexity + behaviour-change of deferral/skipping (proxy)
+//
+// Examples:
+//   ktx_cli info --model ds3
+//   ktx_cli simulate --model ds3 --system kt --phase decode --deferral auto
+//   ktx_cli generate --prompt "hello experts" --temperature 0.3
+//   ktx_cli inject --rules rules.yaml --model ds3
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "src/baselines/baselines.h"
+#include "src/common/flags.h"
+#include "src/core/placement.h"
+#include "src/core/strategy_sim.h"
+#include "src/inject/inject.h"
+#include "src/model/eval.h"
+#include "src/model/sampler.h"
+#include "src/model/tokenizer.h"
+
+namespace {
+
+int Usage() {
+  std::printf("usage: ktx_cli <info|simulate|generate|inject|eval> [flags]\n"
+              "run with a subcommand; see the header of tools/ktx_cli.cc\n");
+  return 2;
+}
+
+ktx::StatusOr<ktx::MoeModelConfig> ModelFor(const std::string& name) {
+  if (name == "ds3") {
+    return ktx::DeepSeekV3Config();
+  }
+  if (name == "ds2") {
+    return ktx::DeepSeekV2Config();
+  }
+  if (name == "qw2") {
+    return ktx::Qwen2MoeConfig();
+  }
+  if (name == "tiny") {
+    return ktx::TinyMoeConfig();
+  }
+  if (name == "small") {
+    return ktx::SmallMoeConfig();
+  }
+  return ktx::InvalidArgumentError("unknown --model '" + name +
+                                   "' (want ds3|ds2|qw2|tiny|small)");
+}
+
+ktx::StatusOr<ktx::DType> DtypeFor(const std::string& name) {
+  if (name == "bf16") {
+    return ktx::DType::kBF16;
+  }
+  if (name == "i8") {
+    return ktx::DType::kI8;
+  }
+  if (name == "i4") {
+    return ktx::DType::kI4;
+  }
+  return ktx::InvalidArgumentError("unknown dtype '" + name + "' (want bf16|i8|i4)");
+}
+
+int CmdInfo(const ktx::FlagParser& flags) {
+  auto model = ModelFor(flags.GetString("model", "ds3"));
+  if (!model.ok()) {
+    std::printf("%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  const ktx::MoeModelConfig& m = *model;
+  std::printf("%s\n", m.name.c_str());
+  std::printf("  hidden %lld, %d layers (%d dense), vocab %lld\n",
+              static_cast<long long>(m.hidden), m.num_layers, m.first_dense_layers,
+              static_cast<long long>(m.vocab));
+  std::printf("  %d routed experts (top-%d, inter %lld), %d shared\n", m.num_experts,
+              m.top_k, static_cast<long long>(m.moe_inter), m.n_shared_experts);
+  std::printf("  params: total %.1fB = GPU %.1fB + CPU %.1fB\n", m.TotalParams() / 1e9,
+              m.GpuParams() / 1e9, m.RoutedExpertParams() / 1e9);
+  std::printf("  CPU traffic per decoded token (bf16): %.1f GB\n",
+              m.CpuBytesPerToken(2.0) / 1e9);
+  for (const auto& [gpu, dtype] :
+       {std::pair{ktx::A100_40GB(), ktx::DType::kBF16},
+        std::pair{ktx::RTX4080_16GB(), ktx::DType::kI4}}) {
+    const ktx::PlacementPlan plan = ktx::PlanPlacement(m, dtype, dtype, gpu, 8192);
+    std::printf("  on %s at %s: %s\n", gpu.name.c_str(),
+                std::string(ktx::DTypeName(dtype)).c_str(), plan.Summary().c_str());
+  }
+  return 0;
+}
+
+int CmdSimulate(const ktx::FlagParser& flags) {
+  auto model = ModelFor(flags.GetString("model", "ds3"));
+  auto dtype = DtypeFor(flags.GetString("cpu-dtype", "bf16"));
+  if (!model.ok() || !dtype.ok()) {
+    std::printf("%s\n",
+                (!model.ok() ? model.status() : dtype.status()).ToString().c_str());
+    return 1;
+  }
+  ktx::SimWorkload w;
+  w.model = *model;
+  w.cpu_dtype = *dtype;
+  w.prompt_len = flags.GetInt("prompt-len", 512);
+  w.decode_steps = static_cast<int>(flags.GetInt("steps", 16));
+  if (flags.GetString("gpu", "a100") == "4080") {
+    w.gpu = ktx::RTX4080_16GB();
+  }
+
+  const std::string system = flags.GetString("system", "kt");
+  ktx::StrategySpec strat;
+  if (system == "fiddler") {
+    strat = ktx::FiddlerStrategy();
+  } else if (system == "llamacpp") {
+    strat = ktx::LlamaCppStrategy();
+  } else if (system == "kt") {
+    const std::string deferral = flags.GetString("deferral", "0");
+    const int d = deferral == "auto" ? ktx::ChooseDeferredExperts(w)
+                                     : static_cast<int>(std::atoi(deferral.c_str()));
+    strat = ktx::KTransformersStrategy(d);
+    if (deferral == "auto") {
+      std::printf("deferral heuristic picked %d\n", d);
+    }
+  } else {
+    std::printf("unknown --system '%s' (want fiddler|llamacpp|kt)\n", system.c_str());
+    return 1;
+  }
+
+  const std::string phase = flags.GetString("phase", "decode");
+  const ktx::SimReport r = phase == "prefill" ? ktx::SimulatePrefill(strat, w)
+                                              : ktx::SimulateDecode(strat, w);
+  std::printf("%s / %s / %s: %.2f tok/s (cpu %.0f%%, gpu %.0f%%, launch share %.0f%%)\n",
+              w.model.name.c_str(), strat.name.c_str(), phase.c_str(), r.tokens_per_second,
+              r.cpu_utilization * 100, r.gpu_utilization * 100,
+              r.launch_overhead_share * 100);
+  if (flags.GetBool("timeline", false)) {
+    std::printf("%s", r.sim->AsciiTimeline(100).c_str());
+  }
+  const std::string trace = flags.GetString("trace", "");
+  if (!trace.empty()) {
+    std::ofstream out(trace);
+    out << r.sim->ToChromeTraceJson();
+    std::printf("chrome trace written to %s\n", trace.c_str());
+  }
+  return 0;
+}
+
+int CmdGenerate(const ktx::FlagParser& flags) {
+  auto dtype = DtypeFor(flags.GetString("cpu-dtype", "i8"));
+  if (!dtype.ok()) {
+    std::printf("%s\n", dtype.status().ToString().c_str());
+    return 1;
+  }
+  ktx::MoeModelConfig config = ktx::SmallMoeConfig();
+  config.vocab = ktx::ByteTokenizer::kVocabSize;
+  auto weights = std::make_shared<const ktx::ModelWeights>(
+      ktx::ModelWeights::Generate(config, static_cast<std::uint64_t>(flags.GetInt("seed", 1))));
+  ktx::EngineOptions options;
+  options.cpu_weight_dtype = *dtype;
+  options.n_deferred = static_cast<int>(flags.GetInt("deferral", 2));
+  ktx::HybridEngine engine(config, weights, options);
+
+  const ktx::ByteTokenizer tokenizer;
+  const std::string prompt = flags.GetString("prompt", "mixture of experts");
+  ktx::SamplerOptions sopts;
+  sopts.temperature = static_cast<float>(flags.GetDouble("temperature", 0.0));
+  sopts.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  ktx::Sampler sampler(sopts);
+
+  ktx::Tensor logits = engine.Prefill(tokenizer.Encode(prompt));
+  std::vector<int> generated;
+  const int max_tokens = static_cast<int>(flags.GetInt("tokens", 32));
+  for (int i = 0; i < max_tokens; ++i) {
+    const int next = sampler.Sample(logits);
+    if (next == ktx::ByteTokenizer::kEos) {
+      break;
+    }
+    generated.push_back(next);
+    logits = engine.DecodeStep(next);
+  }
+  std::printf("prompt: %s\n", prompt.c_str());
+  std::printf("tokens:");
+  for (int t : generated) {
+    std::printf(" %d", t);
+  }
+  std::printf("\n(random-seeded weights: ids are byte values without learned structure)\n");
+  return 0;
+}
+
+int CmdInject(const ktx::FlagParser& flags) {
+  const std::string path = flags.GetString("rules", "");
+  if (path.empty()) {
+    std::printf("inject needs --rules FILE\n");
+    return 1;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::printf("cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto model = ModelFor(flags.GetString("model", "ds3"));
+  if (!model.ok()) {
+    std::printf("%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  auto rules = ktx::ParseRules(buffer.str());
+  if (!rules.ok()) {
+    std::printf("rule error: %s\n", rules.status().ToString().c_str());
+    return 1;
+  }
+  auto tree = ktx::BuildModuleTree(*model);
+  auto report = ktx::ApplyRules(tree.get(), *rules);
+  if (!report.ok()) {
+    std::printf("apply error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%d rules; visited %d modules, replaced %d\n",
+              static_cast<int>(rules->size()), report->modules_visited,
+              report->modules_replaced);
+  auto options = ktx::EngineOptionsFromYaml(buffer.str());
+  if (options.ok()) {
+    std::printf("engine: cpu=%s gpu=%s deferral=%d\n",
+                std::string(ktx::DTypeName(options->cpu_weight_dtype)).c_str(),
+                std::string(ktx::DTypeName(options->gpu_weight_dtype)).c_str(),
+                options->n_deferred);
+  }
+  return 0;
+}
+
+int CmdEval(const ktx::FlagParser& flags) {
+  ktx::MoeModelConfig config = ktx::SmallMoeConfig();
+  auto weights = std::make_shared<const ktx::ModelWeights>(ktx::ModelWeights::Generate(
+      config, static_cast<std::uint64_t>(flags.GetInt("seed", 99))));
+  const ktx::RefModel model(config, weights);
+  const std::vector<int> corpus = ktx::SyntheticCorpus(
+      config.vocab, flags.GetInt("corpus-len", 48), 1.0,
+      static_cast<std::uint64_t>(flags.GetInt("seed", 99)) + 1);
+
+  const ktx::EvalResult base = ktx::EvaluatePerplexity(model, corpus);
+  std::printf("baseline: ppl %.2f (%.4f nats/token, %lld positions)\n", base.perplexity,
+              base.mean_nll, static_cast<long long>(base.positions));
+
+  ktx::ForwardOptions opts;
+  opts.n_deferred = static_cast<int>(flags.GetInt("deferral", 3));
+  opts.expert_skipping = flags.GetBool("skipping", false);
+  const ktx::EvalResult variant = ktx::EvaluatePerplexity(model, corpus, opts);
+  const double kl = ktx::ExecutionDivergence(model, corpus, ktx::ForwardOptions{}, opts);
+  std::printf("%s %d experts: ppl %.2f (delta %+.4f nats), mean KL %.5f\n",
+              opts.expert_skipping ? "skipping" : "deferring", opts.n_deferred,
+              variant.perplexity, variant.mean_nll - base.mean_nll, kl);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  auto flags = ktx::FlagParser::Parse(argc - 1, argv + 1);
+  if (!flags.ok()) {
+    std::printf("%s\n", flags.status().ToString().c_str());
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  int rc;
+  if (cmd == "info") {
+    rc = CmdInfo(*flags);
+  } else if (cmd == "simulate") {
+    rc = CmdSimulate(*flags);
+  } else if (cmd == "generate") {
+    rc = CmdGenerate(*flags);
+  } else if (cmd == "inject") {
+    rc = CmdInject(*flags);
+  } else if (cmd == "eval") {
+    rc = CmdEval(*flags);
+  } else {
+    return Usage();
+  }
+  for (const std::string& key : flags->unused()) {
+    std::printf("warning: unused flag --%s\n", key.c_str());
+  }
+  return rc;
+}
