@@ -1,0 +1,167 @@
+// MoE decode hot-path microbenchmark (§3.2 / §3.3 substrate).
+//
+// Two measurements on the decode-shaped fixture (64 experts, hidden 256,
+// inter 192, top_k 8, bf16, 4 worker threads):
+//
+//   * forward latency — median wall time of CpuMoe::Forward at decode batch
+//     sizes 1/2/4/8 on the chained zero-allocation path;
+//   * dispatch overhead — ns/task to push an all-empty batch through (a) the
+//     legacy closure TaskQueue path (std::function vector, pool queue mutex)
+//     and (b) the POD TaskDesc path drained by ParallelRun's atomic cursor.
+//     The ratio is the substrate win independent of GEMM throughput.
+//
+// Results are printed and also written to BENCH_moe_hotpath.json in the
+// current working directory (run from the repo root).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/task_queue.h"
+#include "src/cpu/moe_cpu.h"
+
+namespace {
+
+double MedianUs(std::vector<double>& v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+// Best-of-N: the noise-robust statistic for pure-overhead measurements on a
+// shared/oversubscribed machine, where the median is dominated by scheduler
+// preemption rather than the code under test.
+double MinUs(const std::vector<double>& v) { return *std::min_element(v.begin(), v.end()); }
+
+void EmptyTask(void*, const ktx::TaskDesc&) {}
+
+}  // namespace
+
+int main() {
+  using namespace ktx;
+  const int num_experts = 64;
+  const std::int64_t hidden = 256;
+  const std::int64_t inter = 192;
+  const int top_k = 8;
+  constexpr int kWarmup = 20;
+  constexpr int kIters = 300;
+
+  Rng rng(42);
+  std::vector<Tensor> gate, up, down;
+  for (int e = 0; e < num_experts; ++e) {
+    Rng er = rng.Split(static_cast<std::uint64_t>(e));
+    gate.push_back(Tensor::Randn({inter, hidden}, er, 0.3f));
+    up.push_back(Tensor::Randn({inter, hidden}, er, 0.3f));
+    down.push_back(Tensor::Randn({hidden, inter}, er, 0.3f));
+  }
+  auto packed = PackedExperts::Pack(gate, up, down, DType::kBF16);
+  if (!packed.ok()) {
+    std::fprintf(stderr, "pack failed\n");
+    return 1;
+  }
+  auto pe = std::make_shared<const PackedExperts>(std::move(*packed));
+  ThreadPool pool(4);
+  MoeOptions opts;
+  opts.schedule = ScheduleKind::kDynamic;
+  CpuMoe moe(pe, &pool, opts);
+  moe.Reserve(/*max_tokens=*/8, /*max_slots=*/top_k);
+
+  std::printf("=== MoE decode hot path (64 experts, h=256, i=192, top_k=8, bf16, 4 threads) ===\n");
+  std::vector<std::pair<std::int64_t, double>> forward_rows;
+  for (std::int64_t tokens : {1, 2, 4, 8}) {
+    MoeRouting routing;
+    routing.tokens = tokens;
+    routing.top_k = top_k;
+    for (std::int64_t t = 0; t < tokens; ++t) {
+      for (int s = 0; s < top_k; ++s) {
+        routing.expert_ids.push_back(static_cast<int>((t * top_k + s * 7) % num_experts));
+        routing.weights.push_back(1.0f / top_k);
+      }
+    }
+    Tensor x = Tensor::Randn({tokens, hidden}, rng, 0.5f);
+    Tensor y({tokens, hidden}, DType::kF32);
+    for (int w = 0; w < kWarmup; ++w) {
+      moe.Forward(x.f32(), tokens, routing, y.f32());
+    }
+    std::vector<double> us;
+    us.reserve(kIters);
+    for (int it = 0; it < kIters; ++it) {
+      const auto t0 = std::chrono::steady_clock::now();
+      moe.Forward(x.f32(), tokens, routing, y.f32());
+      const auto t1 = std::chrono::steady_clock::now();
+      us.push_back(std::chrono::duration<double, std::micro>(t1 - t0).count());
+    }
+    const double med = MedianUs(us);
+    forward_rows.emplace_back(tokens, med);
+    std::printf("forward tokens=%lld median_us=%.2f\n", static_cast<long long>(tokens), med);
+  }
+
+  // Dispatch overhead: all-empty batches isolate the scheduling substrate.
+  std::printf("\n=== Dispatch overhead, empty tasks (closure path vs POD descriptor path) ===\n");
+  TaskQueue q(&pool);
+  struct DispatchRow {
+    std::size_t n;
+    double closure_ns, desc_ns;
+  };
+  std::vector<DispatchRow> dispatch_rows;
+  for (std::size_t n : {std::size_t{64}, std::size_t{256}, std::size_t{1024}}) {
+    std::vector<double> closure_us;
+    for (int it = 0; it < 200; ++it) {
+      std::vector<SubTask> batch;
+      batch.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.push_back(SubTask{[] {}, 1.0});
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      q.Run(std::move(batch), ScheduleKind::kDynamic);
+      const auto t1 = std::chrono::steady_clock::now();
+      closure_us.push_back(std::chrono::duration<double, std::micro>(t1 - t0).count());
+    }
+    std::vector<TaskDesc> descs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      descs[i].fn = &EmptyTask;
+      descs[i].i0 = static_cast<std::int64_t>(i);
+    }
+    std::vector<double> desc_us;
+    for (int it = 0; it < 200; ++it) {
+      const auto t0 = std::chrono::steady_clock::now();
+      q.Run(descs.data(), n, ScheduleKind::kDynamic);
+      const auto t1 = std::chrono::steady_clock::now();
+      desc_us.push_back(std::chrono::duration<double, std::micro>(t1 - t0).count());
+    }
+    const double closure_ns = MinUs(closure_us) * 1000.0 / static_cast<double>(n);
+    const double desc_ns = MinUs(desc_us) * 1000.0 / static_cast<double>(n);
+    const double closure_med_ns = MedianUs(closure_us) * 1000.0 / static_cast<double>(n);
+    const double desc_med_ns = MedianUs(desc_us) * 1000.0 / static_cast<double>(n);
+    dispatch_rows.push_back({n, closure_ns, desc_ns});
+    std::printf("dispatch n=%zu closure_ns_per_task=%.1f desc_ns_per_task=%.1f (%.2fx)"
+                "  [medians %.1f / %.1f]\n",
+                n, closure_ns, desc_ns, closure_ns / desc_ns, closure_med_ns, desc_med_ns);
+  }
+
+  std::FILE* f = std::fopen("BENCH_moe_hotpath.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"fixture\": {\"experts\": %d, \"hidden\": %lld, \"inter\": %lld, "
+                    "\"top_k\": %d, \"dtype\": \"bf16\", \"threads\": 4},\n",
+                 num_experts, static_cast<long long>(hidden), static_cast<long long>(inter),
+                 top_k);
+    std::fprintf(f, "  \"forward_median_us\": {");
+    for (std::size_t i = 0; i < forward_rows.size(); ++i) {
+      std::fprintf(f, "%s\"%lld\": %.2f", i ? ", " : "",
+                   static_cast<long long>(forward_rows[i].first), forward_rows[i].second);
+    }
+    std::fprintf(f, "},\n  \"dispatch_ns_per_task\": [\n");
+    for (std::size_t i = 0; i < dispatch_rows.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"n\": %zu, \"closure\": %.1f, \"descriptor\": %.1f}%s\n",
+                   dispatch_rows[i].n, dispatch_rows[i].closure_ns, dispatch_rows[i].desc_ns,
+                   i + 1 < dispatch_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_moe_hotpath.json\n");
+  }
+  return 0;
+}

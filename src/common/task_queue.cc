@@ -29,6 +29,30 @@ void TaskQueue::Run(std::vector<SubTask> tasks, ScheduleKind schedule) {
   });
 }
 
+namespace {
+
+void RunDescRange(void* ctx, std::size_t begin, std::size_t end) {
+  const auto* tasks = static_cast<const TaskDesc*>(ctx);
+  for (std::size_t i = begin; i < end; ++i) {
+    tasks[i].fn(tasks[i].ctx, tasks[i]);
+  }
+}
+
+}  // namespace
+
+void TaskQueue::Run(const TaskDesc* tasks, std::size_t n, ScheduleKind schedule) {
+  if (n == 0) {
+    return;
+  }
+  std::size_t chunk = 1;  // dynamic: one descriptor per claim
+  if (schedule == ScheduleKind::kStatic) {
+    // Same contiguous block partition as the closure path / SimulateMakespan.
+    const std::size_t blocks = std::min(pool_->num_threads(), n);
+    chunk = (n + blocks - 1) / blocks;
+  }
+  pool_->ParallelRun(&RunDescRange, const_cast<TaskDesc*>(tasks), n, chunk);
+}
+
 double TaskQueue::SimulateMakespan(const std::vector<double>& costs, std::size_t num_threads,
                                    ScheduleKind schedule) {
   if (costs.empty() || num_threads == 0) {

@@ -7,16 +7,26 @@
 // queue that worker threads drain dynamically — measured at up to 1.83x
 // prefill speedup (Fig. 14, "d").
 //
-// TaskQueue models exactly that: callers describe (task, cost) pairs, choose a
-// schedule (static block-partition vs dynamic chunked), and Run() executes the
-// batch across a ThreadPool. The cost accounting is also consumed by the DES
-// when benchmarks replay the same schedules at paper scale.
+// TaskQueue models exactly that, with two front ends:
+//
+//   * the POD path: callers describe the batch as an array of TaskDesc
+//     descriptors (plain function pointer + context, no type erasure) that
+//     pool workers drain directly through ThreadPool::ParallelRun's atomic
+//     chunked cursor. Dispatching a batch performs zero heap allocations and
+//     never takes the pool's queue mutex — this is what the MoE decode hot
+//     path uses every layer, every token.
+//   * the legacy closure path: a vector of std::function SubTasks, kept for
+//     callers that build batches dynamically and don't care about dispatch
+//     overhead.
+//
+// The cost accounting is also consumed by the DES when benchmarks replay the
+// same schedules at paper scale.
 
 #ifndef KTX_SRC_COMMON_TASK_QUEUE_H_
 #define KTX_SRC_COMMON_TASK_QUEUE_H_
 
-#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -29,8 +39,22 @@ enum class ScheduleKind {
   kDynamic,  // shared atomic cursor; threads grab the next subtask when free
 };
 
+// Type-erased subtask (legacy closure path).
 struct SubTask {
   std::function<void()> fn;
+  double cost = 1.0;  // relative cost, used only for simulation/accounting
+};
+
+// POD subtask descriptor. `fn` receives the context pointer and the
+// descriptor itself; the int64/int32 payload fields carry whatever the task
+// family needs (band ranges, group ids) without heap-allocated captures.
+struct TaskDesc {
+  using Fn = void (*)(void* ctx, const TaskDesc& task);
+  Fn fn = nullptr;
+  void* ctx = nullptr;
+  std::int64_t i0 = 0;
+  std::int64_t i1 = 0;
+  std::int32_t tag = 0;
   double cost = 1.0;  // relative cost, used only for simulation/accounting
 };
 
@@ -38,8 +62,14 @@ class TaskQueue {
  public:
   explicit TaskQueue(ThreadPool* pool) : pool_(pool) {}
 
-  // Executes `tasks` to completion under the given schedule.
+  // Executes `tasks` to completion under the given schedule (closure path).
   void Run(std::vector<SubTask> tasks, ScheduleKind schedule);
+
+  // Executes the descriptor array to completion under the given schedule.
+  // Allocation-free: workers claim descriptors straight off an atomic cursor
+  // (kDynamic claims one at a time; kStatic claims contiguous slabs matching
+  // the block partition SimulateMakespan models).
+  void Run(const TaskDesc* tasks, std::size_t n, ScheduleKind schedule);
 
   // Computes the makespan (in cost units) a given schedule would achieve with
   // `num_threads` workers over tasks of the given costs. This is the analytic

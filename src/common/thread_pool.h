@@ -1,8 +1,34 @@
-// Fixed-size worker pool with a parallel-for primitive.
+// Fixed-size worker pool with two parallel-for primitives.
 //
 // This is the execution substrate for the CPU-side kernels: the fused MoE
 // operator partitions expert weight matrices into tasks and the pool's workers
 // drain them (statically or through the dynamic TaskQueue, see task_queue.h).
+//
+// Two dispatch paths exist:
+//
+//   * Submit()/ParallelFor() — the general path. Submit funnels a type-erased
+//     closure through a mutex-guarded queue; ParallelFor layers a shared
+//     atomic cursor on top of ParallelRun.
+//   * ParallelRun() — the hot path used by the MoE decode loop. The work is
+//     described by one function pointer + context pointer; workers claim index
+//     chunks from a generation-tagged atomic cursor. A complete dispatch
+//     performs zero heap allocations and never takes the queue mutex (the
+//     pool mutex is touched once, empty, to publish the wakeup).
+//
+// ParallelRun protocol (all state lives in pool members, so late workers can
+// never dereference a dead stack frame):
+//
+//   * `run_cursor_` packs (generation << kRunIndexBits) | next_index. Even
+//     generations mean "idle", odd mean "open".
+//   * The fields (fn, ctx, n, chunk) mutate only while the generation is
+//     even; ParallelRun publishes them with the release store that flips the
+//     generation odd.
+//   * Workers claim chunks by CAS on the full packed word. A successful CAS
+//     proves the generation did not change since the fields were read, so a
+//     straggler from a previous run can never execute with torn fields — its
+//     CAS fails (generations only grow; no ABA).
+//   * The caller participates, then spins until `run_done_ == n`, then flips
+//     the generation back to even.
 
 #ifndef KTX_SRC_COMMON_THREAD_POOL_H_
 #define KTX_SRC_COMMON_THREAD_POOL_H_
@@ -10,6 +36,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -19,6 +46,9 @@ namespace ktx {
 
 class ThreadPool {
  public:
+  // A plain-function work body: executes indices [begin, end) against `ctx`.
+  using RunFn = void (*)(void* ctx, std::size_t begin, std::size_t end);
+
   // Creates `num_threads` workers (>=1). Workers are joined on destruction.
   explicit ThreadPool(std::size_t num_threads);
   ~ThreadPool();
@@ -35,11 +65,34 @@ class ThreadPool {
   // The calling thread participates. fn receives (index).
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  // Runs fn(ctx, begin, end) over a partition of [0, n) across the pool and
+  // blocks until every index has executed. The calling thread participates.
+  // Workers claim `chunk` indices at a time from a shared cursor. Allocation-
+  // free and lock-free on the claim path; concurrent callers serialize on an
+  // internal mutex. Must not be called from inside a ParallelRun body of the
+  // same pool.
+  void ParallelRun(RunFn fn, void* ctx, std::size_t n, std::size_t chunk = 1);
+
+  // Stable slot of the current thread within this pool: workers get
+  // [0, num_threads), every other thread gets -1. Kernel code uses this to
+  // index per-worker scratch (the caller of ParallelRun maps -1 to the extra
+  // slot num_threads).
+  int CurrentSlot() const;
+
   // Blocks until every submitted task has finished.
   void Wait();
 
  private:
-  void WorkerLoop();
+  static constexpr int kRunIndexBits = 40;
+  static constexpr std::uint64_t kRunIndexMask = (std::uint64_t{1} << kRunIndexBits) - 1;
+
+  void WorkerLoop(std::size_t slot);
+  // Claims and executes chunks of the currently open run (if any). Returns
+  // true if at least one chunk was executed.
+  bool HelpRun();
+  // True if an open run still has unclaimed indices (cheap peek, used as the
+  // worker wakeup predicate).
+  bool RunHasWork() const;
 
   std::vector<std::thread> threads_;
   std::mutex mu_;
@@ -49,6 +102,15 @@ class ThreadPool {
   std::size_t next_ = 0;  // index of next task to run in queue_
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+
+  // ParallelRun slot; see the protocol note at the top of the file.
+  std::mutex run_mu_;  // serializes ParallelRun callers only
+  std::atomic<std::uint64_t> run_cursor_{0};
+  std::atomic<RunFn> run_fn_{nullptr};
+  std::atomic<void*> run_ctx_{nullptr};
+  std::atomic<std::size_t> run_n_{0};
+  std::atomic<std::size_t> run_chunk_{1};
+  std::atomic<std::size_t> run_done_{0};
 };
 
 }  // namespace ktx

@@ -22,6 +22,10 @@ void AsyncMoeService::Submit(MoeRequest* request) {
   }
 }
 
+void AsyncMoeService::Reserve(std::int64_t max_tokens, int max_slots) const {
+  moe_->Reserve(max_tokens, max_slots);
+}
+
 MoeStats AsyncMoeService::stats_snapshot() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   return stats_;

@@ -62,6 +62,10 @@ class AsyncMoeService {
   // Thread-safe for a single producer (the vcuda stream worker).
   void Submit(MoeRequest* request);
 
+  // Pre-sizes the executor's forward workspaces (see CpuMoe::Reserve). Call
+  // before steady-state decode; must not race with in-flight requests.
+  void Reserve(std::int64_t max_tokens, int max_slots) const;
+
   // Cumulative executed request count (tests / stats).
   std::int64_t completed() const { return completed_.load(); }
   MoeStats stats_snapshot() const;

@@ -77,6 +77,9 @@ HybridEngine::HybridEngine(MoeModelConfig config, std::shared_ptr<const ModelWei
   pool_ = std::make_unique<ThreadPool>(static_cast<std::size_t>(options_.cpu_threads));
   BuildCpuExperts();
   service_ = std::make_unique<AsyncMoeService>(numa_moe_);
+  // Pre-size the MoE forward workspaces at the decode shape so the steady
+  // decode loop performs zero heap allocations from the first token.
+  service_->Reserve(/*max_tokens=*/8, /*max_slots=*/config_.top_k);
 }
 
 HybridEngine::~HybridEngine() {

@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
-#include <vector>
 
 #include "src/common/logging.h"
 #include "src/cpu/cpu_features.h"
+#include "src/cpu/gemm.h"
+#include "src/cpu/gemm_scratch.h"
 
 #if defined(KTX_HAVE_NATIVE_SIMD)
 #include <immintrin.h>
@@ -17,22 +18,22 @@ namespace ktx {
 #if !defined(KTX_HAVE_NATIVE_SIMD)
 
 void NativeAmxGemm(const float*, std::int64_t, std::int64_t, const PackedMatrix&, float*,
-                   std::int64_t, bool, std::int64_t, std::int64_t) {
+                   std::int64_t, bool, std::int64_t, std::int64_t, void*, std::size_t) {
   KTX_LOG(Fatal) << "native AMX kernel called but the build disabled native SIMD";
 }
 
 void NativeAvx512Gemm(const float*, std::int64_t, std::int64_t, const PackedMatrix&, float*,
-                      std::int64_t, bool, std::int64_t, std::int64_t) {
+                      std::int64_t, bool, std::int64_t, std::int64_t, void*, std::size_t) {
   KTX_LOG(Fatal) << "native AVX-512 kernel called but the build disabled native SIMD";
 }
 
 void NativeAvx2GemmBf16(const float*, std::int64_t, std::int64_t, const PackedMatrix&, float*,
-                        std::int64_t, bool, std::int64_t, std::int64_t) {
+                        std::int64_t, bool, std::int64_t, std::int64_t, void*, std::size_t) {
   KTX_LOG(Fatal) << "native AVX2 kernel called but the build disabled native SIMD";
 }
 
 void NativeAvx2GemmInt8(const float*, std::int64_t, std::int64_t, const PackedMatrix&, float*,
-                        std::int64_t, bool, std::int64_t, std::int64_t) {
+                        std::int64_t, bool, std::int64_t, std::int64_t, void*, std::size_t) {
   KTX_LOG(Fatal) << "native AVX2 kernel called but the build disabled native SIMD";
 }
 
@@ -74,11 +75,12 @@ void StoreAcc(const float (&acc)[kTileRows][kNBlock], float* y, std::int64_t ldy
 __attribute__((target("amx-tile,amx-bf16,amx-int8")))
 void AmxGemmImpl(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
                  float* y, std::int64_t ldy, bool accumulate, std::int64_t nb0,
-                 std::int64_t nb1) {
+                 std::int64_t nb1, void* scratch, std::size_t scratch_bytes) {
   ConfigureTiles();
   const std::int64_t k_blocks = w.k_blocks();
-  std::vector<TileReg> a_tiles(static_cast<std::size_t>(k_blocks));
-  std::vector<float> x_scales(static_cast<std::size_t>(kTileRows * k_blocks));
+  ScratchCarver carver = AcquireGemmScratch(scratch, scratch_bytes, GemmScratchBytes(w));
+  TileReg* a_tiles = carver.Take<TileReg>(static_cast<std::size_t>(k_blocks));
+  float* x_scales = carver.Take<float>(static_cast<std::size_t>(kTileRows * k_blocks));
   alignas(64) float cbuf[kTileRows][kNBlock];
   alignas(64) std::int32_t ibuf[kTileRows][kNBlock];
   TileReg b_unpacked;
@@ -101,8 +103,7 @@ void AmxGemmImpl(const float* x, std::int64_t m, std::int64_t ldx, const PackedM
         StoreAcc(cbuf, y, ldy, m0, rows, nb * kNBlock, w.n(), accumulate);
       }
     } else {
-      ComputeActivationScalesInt8(x + m0 * ldx, rows, ldx, w.k(), w.k_block(),
-                                  x_scales.data());
+      ComputeActivationScalesInt8(x + m0 * ldx, rows, ldx, w.k(), w.k_block(), x_scales);
       for (std::int64_t kb = 0; kb < k_blocks; ++kb) {
         float row_scales[kTileRows] = {};
         for (int i = 0; i < rows; ++i) {
@@ -142,10 +143,11 @@ void AmxGemmImpl(const float* x, std::int64_t m, std::int64_t ldx, const PackedM
 __attribute__((target("avx512f,avx512bw,avx512vl,avx512bf16,avx512vnni")))
 void Avx512GemmBf16Impl(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
                         float* y, std::int64_t ldy, bool accumulate, std::int64_t nb0,
-                        std::int64_t nb1) {
+                        std::int64_t nb1, void* scratch, std::size_t scratch_bytes) {
   const std::int64_t k_blocks = w.k_blocks();
   const std::int64_t k_pad = k_blocks * kKBlockBf16;
-  std::vector<std::uint16_t> xb(static_cast<std::size_t>(k_pad), 0);
+  ScratchCarver carver = AcquireGemmScratch(scratch, scratch_bytes, GemmScratchBytes(w));
+  std::uint16_t* xb = carver.Take<std::uint16_t>(static_cast<std::size_t>(k_pad));
   for (std::int64_t i = 0; i < m; ++i) {
     const float* row = x + i * ldx;
     for (std::int64_t c = 0; c < w.k(); ++c) {
@@ -158,7 +160,7 @@ void Avx512GemmBf16Impl(const float* x, std::int64_t m, std::int64_t ldx, const 
       __m512 acc = _mm512_setzero_ps();
       for (std::int64_t kb = 0; kb < k_blocks; ++kb) {
         const auto* brow = reinterpret_cast<const std::uint16_t*>(w.tile_ptr(nb, kb));
-        const std::uint16_t* xp = xb.data() + kb * kKBlockBf16;
+        const std::uint16_t* xp = xb + kb * kKBlockBf16;
         for (int p = 0; p < kTileRows; ++p) {
           const std::uint32_t pair = static_cast<std::uint32_t>(xp[2 * p]) |
                                      (static_cast<std::uint32_t>(xp[2 * p + 1]) << 16);
@@ -184,19 +186,20 @@ void Avx512GemmBf16Impl(const float* x, std::int64_t m, std::int64_t ldx, const 
 __attribute__((target("avx512f,avx512bw,avx512vl,avx512bf16,avx512vnni")))
 void Avx512GemmInt8Impl(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
                         float* y, std::int64_t ldy, bool accumulate, std::int64_t nb0,
-                        std::int64_t nb1) {
+                        std::int64_t nb1, void* scratch, std::size_t scratch_bytes) {
   const std::int64_t k_blocks = w.k_blocks();
   const std::int64_t k_pad = k_blocks * kKBlockInt8;
-  std::vector<float> scales(static_cast<std::size_t>(k_blocks));
-  std::vector<std::uint8_t> xu(static_cast<std::size_t>(k_pad), 128);  // q + 128
+  ScratchCarver carver = AcquireGemmScratch(scratch, scratch_bytes, GemmScratchBytes(w));
+  float* scales = carver.Take<float>(static_cast<std::size_t>(k_blocks));
+  std::uint8_t* xu = carver.Take<std::uint8_t>(static_cast<std::size_t>(k_pad));  // q + 128
   TileReg b_unpacked;
   alignas(64) float wscale[kNBlock];
   alignas(64) std::int32_t wsum[kNBlock];
 
   for (std::int64_t i = 0; i < m; ++i) {
     const float* row = x + i * ldx;
-    ComputeActivationScalesInt8(row, 1, ldx, w.k(), w.k_block(), scales.data());
-    std::fill(xu.begin(), xu.end(), static_cast<std::uint8_t>(128));
+    ComputeActivationScalesInt8(row, 1, ldx, w.k(), w.k_block(), scales);
+    std::fill(xu, xu + k_pad, static_cast<std::uint8_t>(128));
     for (std::int64_t c = 0; c < w.k(); ++c) {
       const float s = scales[static_cast<std::size_t>(c / w.k_block())];
       const float inv = s > 0.0f ? 1.0f / s : 0.0f;
@@ -215,7 +218,7 @@ void Avx512GemmInt8Impl(const float* x, std::int64_t m, std::int64_t ldx, const 
           UnpackInt4Tile(w.tile_ptr(nb, kb), &b_unpacked);
           brow = b_unpacked.data[0];
         }
-        const std::uint8_t* xp = xu.data() + kb * kKBlockInt8;
+        const std::uint8_t* xp = xu + kb * kKBlockInt8;
         __m512i acci = _mm512_setzero_si512();
         for (int p = 0; p < kTileRows; ++p) {
           std::uint32_t quad;
@@ -254,10 +257,11 @@ void Avx512GemmInt8Impl(const float* x, std::int64_t m, std::int64_t ldx, const 
 __attribute__((target("avx2,fma")))
 void Avx2GemmBf16Impl(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
                       float* y, std::int64_t ldy, bool accumulate, std::int64_t nb0,
-                      std::int64_t nb1) {
+                      std::int64_t nb1, void* scratch, std::size_t scratch_bytes) {
   const std::int64_t k_blocks = w.k_blocks();
   const std::int64_t k_pad = k_blocks * kKBlockBf16;
-  std::vector<std::uint16_t> xb(static_cast<std::size_t>(k_pad), 0);
+  ScratchCarver carver = AcquireGemmScratch(scratch, scratch_bytes, GemmScratchBytes(w));
+  std::uint16_t* xb = carver.Take<std::uint16_t>(static_cast<std::size_t>(k_pad));
   const __m256i hi_mask = _mm256_set1_epi32(static_cast<int>(0xFFFF0000u));
   for (std::int64_t i = 0; i < m; ++i) {
     const float* row = x + i * ldx;
@@ -272,7 +276,7 @@ void Avx2GemmBf16Impl(const float* x, std::int64_t m, std::int64_t ldx, const Pa
       __m256 acc_hi = _mm256_setzero_ps();  // outputs j = 8..15
       for (std::int64_t kb = 0; kb < k_blocks; ++kb) {
         const auto* brow = reinterpret_cast<const std::uint16_t*>(w.tile_ptr(nb, kb));
-        const std::uint16_t* xp = xb.data() + kb * kKBlockBf16;
+        const std::uint16_t* xp = xb + kb * kKBlockBf16;
         for (int p = 0; p < kTileRows; ++p) {
           std::uint32_t lo_bits = static_cast<std::uint32_t>(xp[2 * p]) << 16;
           std::uint32_t hi_bits = static_cast<std::uint32_t>(xp[2 * p + 1]) << 16;
@@ -319,16 +323,18 @@ void Avx2GemmBf16Impl(const float* x, std::int64_t m, std::int64_t ldx, const Pa
 __attribute__((target("avx2,fma")))
 void Avx2GemmInt8Impl(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
                       float* y, std::int64_t ldy, bool accumulate, std::int64_t nb0,
-                      std::int64_t nb1) {
+                      std::int64_t nb1, void* scratch, std::size_t scratch_bytes) {
   const std::int64_t k_blocks = w.k_blocks();
-  std::vector<float> scales(static_cast<std::size_t>(k_blocks));
-  std::vector<std::int8_t> xq(static_cast<std::size_t>(k_blocks * kKBlockInt8), 0);
+  const std::int64_t k_pad = k_blocks * kKBlockInt8;
+  ScratchCarver carver = AcquireGemmScratch(scratch, scratch_bytes, GemmScratchBytes(w));
+  float* scales = carver.Take<float>(static_cast<std::size_t>(k_blocks));
+  std::int8_t* xq = carver.Take<std::int8_t>(static_cast<std::size_t>(k_pad));
   TileReg b_unpacked;
 
   for (std::int64_t i = 0; i < m; ++i) {
     const float* row = x + i * ldx;
-    ComputeActivationScalesInt8(row, 1, ldx, w.k(), w.k_block(), scales.data());
-    std::fill(xq.begin(), xq.end(), static_cast<std::int8_t>(0));
+    ComputeActivationScalesInt8(row, 1, ldx, w.k(), w.k_block(), scales);
+    std::fill(xq, xq + k_pad, static_cast<std::int8_t>(0));
     for (std::int64_t c = 0; c < w.k(); ++c) {
       const float sc = scales[static_cast<std::size_t>(c / w.k_block())];
       const float inv = sc > 0.0f ? 1.0f / sc : 0.0f;
@@ -347,7 +353,7 @@ void Avx2GemmInt8Impl(const float* x, std::int64_t m, std::int64_t ldx, const Pa
           UnpackInt4Tile(w.tile_ptr(nb, kb), &b_unpacked);
           brow_base = b_unpacked.data[0];
         }
-        const std::int8_t* xp = xq.data() + kb * kKBlockInt8;
+        const std::int8_t* xp = xq + kb * kKBlockInt8;
         // acc[h] holds adjacent-pair partials: lanes (2t, 2t+1) sum to output
         // j = h*4 + t within this 16-output band.
         __m256i acc[4] = {_mm256_setzero_si256(), _mm256_setzero_si256(),
@@ -388,36 +394,40 @@ void Avx2GemmInt8Impl(const float* x, std::int64_t m, std::int64_t ldx, const Pa
 
 void NativeAmxGemm(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
                    float* y, std::int64_t ldy, bool accumulate, std::int64_t nb_begin,
-                   std::int64_t nb_end) {
+                   std::int64_t nb_end, void* scratch, std::size_t scratch_bytes) {
   KTX_CHECK(NativeAmxAvailable());
-  AmxGemmImpl(x, m, ldx, w, y, ldy, accumulate, nb_begin, nb_end);
+  AmxGemmImpl(x, m, ldx, w, y, ldy, accumulate, nb_begin, nb_end, scratch, scratch_bytes);
 }
 
 void NativeAvx512Gemm(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
                       float* y, std::int64_t ldy, bool accumulate, std::int64_t nb_begin,
-                      std::int64_t nb_end) {
+                      std::int64_t nb_end, void* scratch, std::size_t scratch_bytes) {
   KTX_CHECK(NativeAvx512Available());
   if (w.dtype() == DType::kBF16) {
-    Avx512GemmBf16Impl(x, m, ldx, w, y, ldy, accumulate, nb_begin, nb_end);
+    Avx512GemmBf16Impl(x, m, ldx, w, y, ldy, accumulate, nb_begin, nb_end, scratch,
+                       scratch_bytes);
   } else {
-    Avx512GemmInt8Impl(x, m, ldx, w, y, ldy, accumulate, nb_begin, nb_end);
+    Avx512GemmInt8Impl(x, m, ldx, w, y, ldy, accumulate, nb_begin, nb_end, scratch,
+                       scratch_bytes);
   }
 }
 
 void NativeAvx2GemmBf16(const float* x, std::int64_t m, std::int64_t ldx,
                         const PackedMatrix& w, float* y, std::int64_t ldy, bool accumulate,
-                        std::int64_t nb_begin, std::int64_t nb_end) {
+                        std::int64_t nb_begin, std::int64_t nb_end, void* scratch,
+                        std::size_t scratch_bytes) {
   KTX_CHECK(NativeAvx2Available());
   KTX_CHECK(w.dtype() == DType::kBF16) << "bf16 entry point called with quantized weights";
-  Avx2GemmBf16Impl(x, m, ldx, w, y, ldy, accumulate, nb_begin, nb_end);
+  Avx2GemmBf16Impl(x, m, ldx, w, y, ldy, accumulate, nb_begin, nb_end, scratch, scratch_bytes);
 }
 
 void NativeAvx2GemmInt8(const float* x, std::int64_t m, std::int64_t ldx,
                         const PackedMatrix& w, float* y, std::int64_t ldy, bool accumulate,
-                        std::int64_t nb_begin, std::int64_t nb_end) {
+                        std::int64_t nb_begin, std::int64_t nb_end, void* scratch,
+                        std::size_t scratch_bytes) {
   KTX_CHECK(NativeAvx2Available());
   KTX_CHECK(w.dtype() == DType::kI8 || w.dtype() == DType::kI4);
-  Avx2GemmInt8Impl(x, m, ldx, w, y, ldy, accumulate, nb_begin, nb_end);
+  Avx2GemmInt8Impl(x, m, ldx, w, y, ldy, accumulate, nb_begin, nb_end, scratch, scratch_bytes);
 }
 
 #endif  // KTX_HAVE_NATIVE_SIMD

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/common/align.h"
 #include "src/common/logging.h"
 #include "src/cpu/amx_native.h"
 #include "src/cpu/cpu_features.h"
+#include "src/cpu/gemm_scratch.h"
 
 namespace ktx {
 
@@ -47,21 +49,22 @@ void EmulatedGemmBf16(const float* x, std::int64_t m, std::int64_t ldx, const Pa
 // k-block because scales change across blocks.
 void EmulatedGemmInt8(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
                       float* y, std::int64_t ldy, bool accumulate, std::int64_t nb0,
-                      std::int64_t nb1) {
+                      std::int64_t nb1, void* scratch, std::size_t scratch_bytes) {
   const std::int64_t n = w.n();
   const std::int64_t k = w.k();
   const std::int64_t k_blocks = w.k_blocks();
-  std::vector<float> x_scales(static_cast<std::size_t>(kTileRows * k_blocks));
+  ScratchCarver carver = AcquireGemmScratch(scratch, scratch_bytes, GemmScratchBytes(w));
+  float* x_scales = carver.Take<float>(static_cast<std::size_t>(kTileRows * k_blocks));
   for (std::int64_t m0 = 0; m0 < m; m0 += kTileRows) {
     const int rows = static_cast<int>(std::min<std::int64_t>(kTileRows, m - m0));
-    ComputeActivationScalesInt8(x + m0 * ldx, rows, ldx, k, w.k_block(), x_scales.data());
+    ComputeActivationScalesInt8(x + m0 * ldx, rows, ldx, k, w.k_block(), x_scales);
     for (std::int64_t nb = nb0; nb < nb1; ++nb) {
       AccTile acc;
       acc.Zero();
       for (std::int64_t kb = 0; kb < k_blocks; ++kb) {
         float row_scales[kTileRows] = {};
         for (int i = 0; i < rows; ++i) {
-          row_scales[i] = x_scales[static_cast<std::size_t>(i * k_blocks + kb)];
+          row_scales[i] = x_scales[i * k_blocks + kb];
         }
         TileReg a;
         BuildActivationTileInt8(x + m0 * ldx, ldx, rows, kb * kKBlockInt8, k, row_scales, &a);
@@ -96,11 +99,11 @@ void EmulatedGemmInt8(const float* x, std::int64_t m, std::int64_t ldx, const Pa
 
 void EmulatedGemm(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
                   float* y, std::int64_t ldy, bool accumulate, std::int64_t nb0,
-                  std::int64_t nb1) {
+                  std::int64_t nb1, void* scratch, std::size_t scratch_bytes) {
   if (w.dtype() == DType::kBF16) {
     EmulatedGemmBf16(x, m, ldx, w, y, ldy, accumulate, nb0, nb1);
   } else {
-    EmulatedGemmInt8(x, m, ldx, w, y, ldy, accumulate, nb0, nb1);
+    EmulatedGemmInt8(x, m, ldx, w, y, ldy, accumulate, nb0, nb1, scratch, scratch_bytes);
   }
 }
 
@@ -109,6 +112,28 @@ bool NativeFor(KernelKind kind) {
 }
 
 }  // namespace
+
+std::size_t GemmScratchBytes(const PackedMatrix& w) {
+  // Conservative max over every kernel implementation and dtype:
+  //   * emulated/native AMX: k_blocks activation tiles + kTileRows x k_blocks
+  //     activation scales;
+  //   * AVX-512 / AVX2 row kernels: one repacked activation row (<= k_blocks *
+  //     kKBlockInt8 bytes) + k_blocks per-block scales.
+  // Plus alignment slop for the (at most four) 64-byte-aligned carves.
+  const auto k_blocks = static_cast<std::size_t>(w.k_blocks());
+  return k_blocks * (sizeof(TileReg) + kTileRows * sizeof(float) +
+                     static_cast<std::size_t>(kKBlockInt8) + sizeof(float)) +
+         4 * kCacheLineBytes;
+}
+
+void* GemmThreadScratch(std::size_t bytes) {
+  // Grow-only, doubling: at most O(log max-demand) allocations per thread.
+  thread_local AlignedBuffer buf;
+  if (buf.size() < bytes) {
+    buf = AlignedBuffer(std::max(bytes, buf.size() * 2));
+  }
+  return buf.data();
+}
 
 bool KernelAvailable(KernelKind kind, KernelImpl impl) {
   switch (impl) {
@@ -137,9 +162,11 @@ void GemmPacked(const float* x, std::int64_t m, std::int64_t ldx, const PackedMa
     if (impl == KernelImpl::kEmulated && opts.kind == KernelKind::kAvx512 &&
         NativeAvx2Available()) {
       if (w.dtype() == DType::kBF16) {
-        NativeAvx2GemmBf16(x, m, ldx, w, y, ldy, opts.accumulate, nb0, nb1);
+        NativeAvx2GemmBf16(x, m, ldx, w, y, ldy, opts.accumulate, nb0, nb1, opts.scratch,
+                           opts.scratch_bytes);
       } else {
-        NativeAvx2GemmInt8(x, m, ldx, w, y, ldy, opts.accumulate, nb0, nb1);
+        NativeAvx2GemmInt8(x, m, ldx, w, y, ldy, opts.accumulate, nb0, nb1, opts.scratch,
+                           opts.scratch_bytes);
       }
       return;
     }
@@ -147,16 +174,19 @@ void GemmPacked(const float* x, std::int64_t m, std::int64_t ldx, const PackedMa
   if (impl == KernelImpl::kNative) {
     KTX_CHECK(NativeFor(opts.kind)) << "native kernel requested but unavailable";
     if (opts.kind == KernelKind::kAmx) {
-      NativeAmxGemm(x, m, ldx, w, y, ldy, opts.accumulate, nb0, nb1);
+      NativeAmxGemm(x, m, ldx, w, y, ldy, opts.accumulate, nb0, nb1, opts.scratch,
+                    opts.scratch_bytes);
     } else {
-      NativeAvx512Gemm(x, m, ldx, w, y, ldy, opts.accumulate, nb0, nb1);
+      NativeAvx512Gemm(x, m, ldx, w, y, ldy, opts.accumulate, nb0, nb1, opts.scratch,
+                       opts.scratch_bytes);
     }
     return;
   }
   // The emulated AVX-512 kernel computes the identical sequence of bf16/int8
   // MACs as the emulated AMX kernel (it replaces the tile instruction with
   // finer-grained row passes), so both kinds share one emulation.
-  EmulatedGemm(x, m, ldx, w, y, ldy, opts.accumulate, nb0, nb1);
+  EmulatedGemm(x, m, ldx, w, y, ldy, opts.accumulate, nb0, nb1, opts.scratch,
+               opts.scratch_bytes);
 }
 
 void RefGemm(const float* x, std::int64_t m, std::int64_t ldx, const Tensor& w, float* y,

@@ -17,6 +17,7 @@
 #ifndef KTX_SRC_CPU_GEMM_H_
 #define KTX_SRC_CPU_GEMM_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "src/cpu/layout.h"
@@ -44,6 +45,15 @@ struct GemmOptions {
   // default covers the whole matrix. Output columns keep absolute indices.
   std::int64_t nb_begin = 0;
   std::int64_t nb_end = -1;  // -1: all n-blocks
+  // Caller-provided scratch region for the kernel's per-call temporaries
+  // (activation repack buffers, quantization scales, emulated tile registers).
+  // Must hold at least GemmScratchBytes(w) bytes and be private to the calling
+  // thread for the duration of the call. When absent or too small the kernel
+  // falls back to a thread-local buffer — correct, but the buffer is a heap
+  // allocation on first use per thread, which the zero-allocation decode path
+  // cannot afford.
+  void* scratch = nullptr;
+  std::size_t scratch_bytes = 0;
 };
 
 // y[m][n] (f32, leading dim ldy) = x[m][k] (f32, leading dim ldx) * W^T,
@@ -64,6 +74,17 @@ inline KernelKind SelectKernel(std::int64_t tokens_per_expert, std::int64_t thre
 
 // True if the requested (kind, impl) combination can execute on this host.
 bool KernelAvailable(KernelKind kind, KernelImpl impl);
+
+// Upper bound on the scratch bytes any kernel (any kind/impl/dtype) needs for
+// one GemmPacked call against `w`. Callers that preallocate per-worker scratch
+// size it with this so a single region serves every dispatch decision.
+std::size_t GemmScratchBytes(const PackedMatrix& w);
+
+// Grow-only thread-local scratch: returns a 64-byte-aligned region of at least
+// `bytes` bytes owned by the calling thread. Fallback for callers that did not
+// provide GemmOptions::scratch; allocates at most O(log max-size) times per
+// thread lifetime.
+void* GemmThreadScratch(std::size_t bytes);
 
 }  // namespace ktx
 

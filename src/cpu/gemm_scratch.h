@@ -1,0 +1,58 @@
+// Internal scratch-carving helper shared by the GEMM kernel translation units.
+//
+// The kernels need small per-call temporaries (repacked activation rows,
+// quantization scales, emulated tile registers). On the zero-allocation decode
+// path these live in a per-worker region the MoE workspace owns and passes in
+// through GemmOptions::scratch; ScratchCarver slices that region into typed,
+// 64-byte-aligned runs. Direct callers that pass no scratch fall back to the
+// grow-only thread-local buffer behind GemmThreadScratch().
+
+#ifndef KTX_SRC_CPU_GEMM_SCRATCH_H_
+#define KTX_SRC_CPU_GEMM_SCRATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/align.h"
+#include "src/common/logging.h"
+#include "src/cpu/gemm.h"
+
+namespace ktx {
+
+class ScratchCarver {
+ public:
+  ScratchCarver(void* base, std::size_t bytes)
+      : p_(static_cast<std::uint8_t*>(base)), end_(p_ + bytes) {}
+
+  // Returns a 64-byte-aligned run of `count` Ts. The contents are
+  // unspecified — every kernel fully overwrites what it reads. Capacity is the
+  // caller's contract (GemmScratchBytes bounds every kernel's demand).
+  template <typename T>
+  T* Take(std::size_t count) {
+    auto addr = reinterpret_cast<std::uintptr_t>(p_);
+    addr = (addr + (kCacheLineBytes - 1)) & ~std::uintptr_t{kCacheLineBytes - 1};
+    auto* out = reinterpret_cast<std::uint8_t*>(addr);
+    KTX_CHECK(out + count * sizeof(T) <= end_) << "gemm scratch region overflow";
+    p_ = out + count * sizeof(T);
+    return reinterpret_cast<T*>(out);
+  }
+
+ private:
+  std::uint8_t* p_;
+  std::uint8_t* end_;
+};
+
+// Picks the caller-provided region when it is large enough, otherwise the
+// thread-local fallback. `need` is the calling kernel's own requirement and is
+// always <= GemmScratchBytes(w).
+inline ScratchCarver AcquireGemmScratch(void* scratch, std::size_t scratch_bytes,
+                                        std::size_t need) {
+  if (scratch == nullptr || scratch_bytes < need) {
+    return ScratchCarver(GemmThreadScratch(need), need);
+  }
+  return ScratchCarver(scratch, scratch_bytes);
+}
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_CPU_GEMM_SCRATCH_H_

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <mutex>
+#include <thread>
 
+#include "src/common/align.h"
 #include "src/common/logging.h"
 #include "src/cpu/activation.h"
 
@@ -43,209 +46,508 @@ std::size_t PackedExperts::total_bytes() const {
   return total;
 }
 
-CpuMoe::CpuMoe(std::shared_ptr<const PackedExperts> experts, ThreadPool* pool,
-               MoeOptions options)
-    : experts_(std::move(experts)), pool_(pool), options_(options) {
-  KTX_CHECK(experts_ != nullptr);
-  KTX_CHECK(pool_ != nullptr);
-  KTX_CHECK_GE(options_.band_blocks, 1);
-}
+namespace moe_detail {
+
+// Token rows per reduce task (single writer per output row).
+inline constexpr std::int64_t kReduceBand = 32;
+
+// Grow-only typed span over an aligned allocation. Contents are rebuilt every
+// Forward call, so growth discards them (no copy); doubling keeps the
+// allocation count logarithmic in the high-water mark.
+template <typename T>
+class ScratchVec {
+ public:
+  void EnsureCapacity(std::size_t n) {
+    if (n > cap_) {
+      const std::size_t grown = std::max(n, 2 * cap_);
+      buf_ = AlignedBuffer(grown * sizeof(T));
+      cap_ = grown;
+    }
+  }
+  T* data() { return buf_.as<T>(); }
+  const T* data() const { return buf_.as<T>(); }
+  T& operator[](std::size_t i) { return data()[i]; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+  std::size_t capacity() const { return cap_; }
+
+ private:
+  AlignedBuffer buf_;
+  std::size_t cap_ = 0;
+};
+
+}  // namespace moe_detail
+
+// All state of one fused forward pass, persistent across calls. Synchronization
+// during the chained phase uses std::atomic_ref over the plain arrays — the
+// struct itself stays assignable storage and the buffers stay reusable memory.
+//
+// Task numbering for one call (G groups, bands_a/bands_b bands per group,
+// n_r reduce bands):
+//   [0, n_a)            Gate/Up + SwiGLU   task i -> group i / bands_a
+//   [n_a, n_a + n_b)    Down               task n_a + j -> group j / bands_b
+//   [n_a + n_b, total)  weighted reduce    task n_a + n_b + r -> token band r
+// The chained schedule drains `ready`, a slot array of task ids: slots
+// [0, n_a) are implicitly the Gate/Up tasks; each later slot is published
+// (release store) by the completion event that makes its task runnable and
+// claimed in cursor order by ParallelRun with chunk = 1.
+struct MoeWorkspace {
+  std::mutex mu;  // serializes Forward/Reserve on one CpuMoe
+
+  // --- grouping: token rows per activated expert, first-appearance order ---
+  moe_detail::ScratchVec<std::int32_t> group_of_expert;  // [num_experts], -1 between calls
+  moe_detail::ScratchVec<std::int32_t> group_expert;     // [G]
+  moe_detail::ScratchVec<std::int32_t> group_kind;       // [G] KernelKind
+  moe_detail::ScratchVec<std::int64_t> group_count;      // [G]
+  moe_detail::ScratchVec<std::int64_t> group_off;        // [G] first staging row
+  moe_detail::ScratchVec<std::int64_t> group_fill;       // [G] pass-2 cursor
+  moe_detail::ScratchVec<std::int64_t> token_rows;       // [rows] ascending per group
+  moe_detail::ScratchVec<float> gate_w;                  // [rows]
+
+  // --- per-token contribution index; fixes the reduce summation order ---
+  moe_detail::ScratchVec<std::int64_t> contrib_src;  // [tokens * S] staging row
+  moe_detail::ScratchVec<float> contrib_w;           // [tokens * S]
+  moe_detail::ScratchVec<std::int32_t> token_fill;   // [tokens]
+
+  // --- staging buffers, all groups flattened row-major ---
+  moe_detail::ScratchVec<float> x_gathered;  // [rows, hidden]
+  moe_detail::ScratchVec<float> gate_up;     // [rows, 2*inter]
+  moe_detail::ScratchVec<float> act;         // [rows, inter]
+  moe_detail::ScratchVec<float> out;         // [rows, hidden]
+
+  // --- chained execution state ---
+  moe_detail::ScratchVec<std::int32_t> ready;           // [n_b + n_r] task ids, -1 unfilled
+  moe_detail::ScratchVec<std::int32_t> a_remaining;     // [G] Gate/Up bands left
+  moe_detail::ScratchVec<std::int32_t> b_remaining;     // [G] Down bands left
+  moe_detail::ScratchVec<std::int32_t> band_remaining;  // [n_r] contributions left
+  std::int64_t ready_tail = 0;                          // next slot (global id), atomic_ref
+  std::int64_t amx_calls = 0;                           // atomic_ref, relaxed
+  std::int64_t avx512_calls = 0;                        // atomic_ref, relaxed
+
+  // --- per-worker GEMM scratch (slot num_threads serves non-pool callers) ---
+  moe_detail::ScratchVec<std::byte> gemm_scratch;
+  std::size_t scratch_stride = 0;
+  int scratch_slots = 0;
+
+  // --- call constants, set before dispatch ---
+  const PackedExperts* experts = nullptr;
+  ThreadPool* pool = nullptr;
+  const float* x = nullptr;
+  float* y = nullptr;
+  std::int64_t hidden = 0;
+  std::int64_t inter = 0;
+  std::int64_t tokens = 0;
+  std::int64_t slots = 0;  // slot window width S
+  std::int64_t num_groups = 0;
+  std::int64_t nb_inter = 0;
+  std::int64_t nb_hidden = 0;
+  std::int64_t bands_a = 0;
+  std::int64_t bands_b = 0;
+  std::int64_t n_a = 0;
+  std::int64_t n_b = 0;
+  std::int64_t n_r = 0;
+  std::int64_t band_blocks = 0;
+  KernelImpl impl = KernelImpl::kAuto;
+  std::int64_t phase_base = 0;  // static schedule: task id of the phase's first task
+};
 
 namespace {
 
-// Token rows routed to one expert within the active slot window.
-struct ExpertGroup {
-  int expert = -1;
-  std::vector<std::int64_t> token_rows;
-  std::vector<float> gate_weights;
-};
+using moe_detail::kReduceBand;
+
+std::int64_t CeilDiv(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
+
+// Grows every workspace buffer to cover batches of `tokens` tokens over slot
+// windows of `slots` slots. No-op (and allocation-free) at or below the
+// high-water mark.
+void EnsureCapacity(MoeWorkspace* ws, const PackedExperts& ex, ThreadPool* pool,
+                    std::int64_t band_blocks, std::int64_t tokens, std::int64_t slots) {
+  const std::int64_t hidden = ex.hidden();
+  const std::int64_t inter = ex.inter();
+  const auto num_experts = static_cast<std::size_t>(ex.num_experts());
+  const auto rows = static_cast<std::size_t>(tokens * slots);
+  const std::size_t g_max = std::min<std::size_t>(num_experts, rows);
+  const auto bands_b =
+      static_cast<std::size_t>(CeilDiv(ex.expert(0).down.n_blocks(), band_blocks));
+  const auto n_r = static_cast<std::size_t>(CeilDiv(tokens, kReduceBand));
+
+  if (ws->group_of_expert.capacity() < num_experts) {
+    ws->group_of_expert.EnsureCapacity(num_experts);
+    std::memset(ws->group_of_expert.data(), 0xFF,
+                ws->group_of_expert.capacity() * sizeof(std::int32_t));
+  }
+  ws->group_expert.EnsureCapacity(g_max);
+  ws->group_kind.EnsureCapacity(g_max);
+  ws->group_count.EnsureCapacity(g_max);
+  ws->group_off.EnsureCapacity(g_max);
+  ws->group_fill.EnsureCapacity(g_max);
+  ws->token_rows.EnsureCapacity(rows);
+  ws->gate_w.EnsureCapacity(rows);
+  ws->contrib_src.EnsureCapacity(rows);
+  ws->contrib_w.EnsureCapacity(rows);
+  ws->token_fill.EnsureCapacity(static_cast<std::size_t>(tokens));
+  ws->x_gathered.EnsureCapacity(rows * static_cast<std::size_t>(hidden));
+  ws->gate_up.EnsureCapacity(rows * static_cast<std::size_t>(2 * inter));
+  ws->act.EnsureCapacity(rows * static_cast<std::size_t>(inter));
+  ws->out.EnsureCapacity(rows * static_cast<std::size_t>(hidden));
+  ws->ready.EnsureCapacity(g_max * bands_b + n_r);
+  ws->a_remaining.EnsureCapacity(g_max);
+  ws->b_remaining.EnsureCapacity(g_max);
+  ws->band_remaining.EnsureCapacity(n_r);
+
+  if (ws->scratch_stride == 0) {
+    ws->scratch_stride = AlignUp(std::max(GemmScratchBytes(ex.expert(0).gate),
+                                          GemmScratchBytes(ex.expert(0).down)),
+                                 kCacheLineBytes);
+  }
+  ws->scratch_slots = static_cast<int>(pool->num_threads()) + 1;
+  ws->gemm_scratch.EnsureCapacity(static_cast<std::size_t>(ws->scratch_slots) *
+                                  ws->scratch_stride);
+}
+
+void* TaskScratch(MoeWorkspace* ws) {
+  const int cur = ws->pool->CurrentSlot();
+  const int idx = cur < 0 ? ws->scratch_slots - 1 : cur;
+  return ws->gemm_scratch.data() + static_cast<std::size_t>(idx) * ws->scratch_stride;
+}
+
+void CountKernelCalls(MoeWorkspace* ws, KernelKind kind, std::int64_t calls) {
+  std::int64_t& counter = kind == KernelKind::kAmx ? ws->amx_calls : ws->avx512_calls;
+  std::atomic_ref<std::int64_t>(counter).fetch_add(calls, std::memory_order_relaxed);
+}
+
+// Gate + Up projections for one (group, inter-band), SwiGLU in the same task
+// so both projections stream the same gathered activations.
+void ExecGateUp(MoeWorkspace* ws, std::int64_t idx) {
+  const auto g = static_cast<std::size_t>(idx / ws->bands_a);
+  const std::int64_t b0 = (idx % ws->bands_a) * ws->band_blocks;
+  const std::int64_t b1 = std::min(ws->nb_inter, b0 + ws->band_blocks);
+  const PackedExpert& w = ws->experts->expert(ws->group_expert[g]);
+  const std::int64_t te = ws->group_count[g];
+  const std::int64_t off = ws->group_off[g];
+  const std::int64_t hidden = ws->hidden;
+  const std::int64_t inter = ws->inter;
+  GemmOptions opts;
+  opts.kind = static_cast<KernelKind>(ws->group_kind[g]);
+  opts.impl = ws->impl;
+  opts.nb_begin = b0;
+  opts.nb_end = b1;
+  opts.scratch = TaskScratch(ws);
+  opts.scratch_bytes = ws->scratch_stride;
+  const float* xg = ws->x_gathered.data() + off * hidden;
+  float* gu = ws->gate_up.data() + off * 2 * inter;
+  // Gate into columns [0, inter), Up into [inter, 2*inter).
+  GemmPacked(xg, te, hidden, w.gate, gu, 2 * inter, opts);
+  GemmPacked(xg, te, hidden, w.up, gu + inter, 2 * inter, opts);
+  const std::int64_t c0 = b0 * kNBlock;
+  const std::int64_t c1 = std::min(inter, b1 * kNBlock);
+  float* act = ws->act.data() + off * inter;
+  for (std::int64_t r = 0; r < te; ++r) {
+    SiluMul(gu + r * 2 * inter + c0, gu + r * 2 * inter + inter + c0, act + r * inter + c0,
+            c1 - c0);
+  }
+  CountKernelCalls(ws, opts.kind, 2);
+}
+
+// Down projection for one (group, hidden-band) into the staged output rows.
+void ExecDown(MoeWorkspace* ws, std::int64_t idx) {
+  const auto g = static_cast<std::size_t>(idx / ws->bands_b);
+  const std::int64_t b0 = (idx % ws->bands_b) * ws->band_blocks;
+  const std::int64_t b1 = std::min(ws->nb_hidden, b0 + ws->band_blocks);
+  const PackedExpert& w = ws->experts->expert(ws->group_expert[g]);
+  const std::int64_t te = ws->group_count[g];
+  const std::int64_t off = ws->group_off[g];
+  GemmOptions opts;
+  opts.kind = static_cast<KernelKind>(ws->group_kind[g]);
+  opts.impl = ws->impl;
+  opts.nb_begin = b0;
+  opts.nb_end = b1;
+  opts.scratch = TaskScratch(ws);
+  opts.scratch_bytes = ws->scratch_stride;
+  GemmPacked(ws->act.data() + off * ws->inter, te, ws->inter, w.down,
+             ws->out.data() + off * ws->hidden, ws->hidden, opts);
+  CountKernelCalls(ws, opts.kind, 1);
+}
+
+// Weighted scatter-add for one token band. The contribution index fixes the
+// per-token summation order (group-major), so the result does not depend on
+// which schedule or thread count produced the staged rows.
+void ExecReduce(MoeWorkspace* ws, std::int64_t idx) {
+  const std::int64_t t0 = idx * kReduceBand;
+  const std::int64_t t1 = std::min(ws->tokens, t0 + kReduceBand);
+  const std::int64_t hidden = ws->hidden;
+  for (std::int64_t t = t0; t < t1; ++t) {
+    const std::int64_t base = t * ws->slots;
+    for (std::int64_t j = 0; j < ws->slots; ++j) {
+      const std::int64_t src = ws->contrib_src[static_cast<std::size_t>(base + j)];
+      AxpyInPlace(ws->y + t * hidden, ws->out.data() + src * hidden,
+                  ws->contrib_w[static_cast<std::size_t>(base + j)], hidden);
+    }
+  }
+}
+
+void ExecuteTask(MoeWorkspace* ws, std::int64_t id) {
+  if (id < ws->n_a) {
+    ExecGateUp(ws, id);
+  } else if (id < ws->n_a + ws->n_b) {
+    ExecDown(ws, id - ws->n_a);
+  } else {
+    ExecReduce(ws, id - ws->n_a - ws->n_b);
+  }
+}
+
+// Publishes task `id` into the next ready slot. The release store pairs with
+// the acquire load in ChainedBody; the slot index was reserved through
+// ready_tail, which only hands out as many slots as there are pushes.
+void PushReady(MoeWorkspace* ws, std::int64_t slot_pos, std::int64_t id) {
+  std::atomic_ref<std::int32_t> slot(ws->ready[static_cast<std::size_t>(slot_pos - ws->n_a)]);
+  slot.store(static_cast<std::int32_t>(id), std::memory_order_release);
+}
+
+// Executes one task and performs the cross-phase chaining bookkeeping.
+//
+// Ordering argument: every write a successor task must observe is sequenced
+// before the predecessor's acq_rel fetch_sub on the shared countdown; the
+// final decrement reads from the whole release sequence, so the pushing thread
+// observes all predecessors' writes, and its release store into `ready` hands
+// them to whichever thread claims the slot (acquire load).
+void ChainedStep(MoeWorkspace* ws, std::int64_t id) {
+  ExecuteTask(ws, id);
+  if (id < ws->n_a) {
+    const auto g = static_cast<std::size_t>(id / ws->bands_a);
+    std::atomic_ref<std::int32_t> rem(ws->a_remaining[g]);
+    if (rem.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last Gate/Up band of group g: its Down tasks become runnable.
+      std::atomic_ref<std::int64_t> tail(ws->ready_tail);
+      const std::int64_t pos = tail.fetch_add(ws->bands_b, std::memory_order_relaxed);
+      for (std::int64_t bi = 0; bi < ws->bands_b; ++bi) {
+        PushReady(ws, pos + bi,
+                  ws->n_a + static_cast<std::int64_t>(g) * ws->bands_b + bi);
+      }
+    }
+  } else if (id < ws->n_a + ws->n_b) {
+    const auto g = static_cast<std::size_t>((id - ws->n_a) / ws->bands_b);
+    std::atomic_ref<std::int32_t> rem(ws->b_remaining[g]);
+    if (rem.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Group g's staged outputs are complete: retire its contributions from
+      // each reduce band's countdown (token rows are ascending, so one pass
+      // batches the decrement per band); the last contributing group
+      // publishes the band's reduce task.
+      const std::int64_t* rows = ws->token_rows.data() + ws->group_off[g];
+      const std::int64_t n = ws->group_count[g];
+      std::int64_t i = 0;
+      while (i < n) {
+        const std::int64_t band = rows[i] / kReduceBand;
+        std::int32_t cnt = 1;
+        ++i;
+        while (i < n && rows[i] / kReduceBand == band) {
+          ++cnt;
+          ++i;
+        }
+        std::atomic_ref<std::int32_t> brem(ws->band_remaining[static_cast<std::size_t>(band)]);
+        if (brem.fetch_sub(cnt, std::memory_order_acq_rel) == cnt) {
+          std::atomic_ref<std::int64_t> tail(ws->ready_tail);
+          const std::int64_t pos = tail.fetch_add(1, std::memory_order_relaxed);
+          PushReady(ws, pos, ws->n_a + ws->n_b + band);
+        }
+      }
+    }
+  }
+}
+
+// ParallelRun body for the chained schedule. Slot indices below n_a are the
+// (always-runnable) Gate/Up tasks; later slots spin until their task id is
+// published. Progress is guaranteed: the minimal claimed-but-unfilled slot's
+// publisher lives in a smaller, already-executed slot (Gate/Up slots are
+// pre-filled by construction), so some thread is always executing.
+void ChainedBody(void* ctx, std::size_t begin, std::size_t end) {
+  auto* ws = static_cast<MoeWorkspace*>(ctx);
+  for (std::size_t i = begin; i < end; ++i) {
+    auto id = static_cast<std::int64_t>(i);
+    if (id >= ws->n_a) {
+      std::atomic_ref<std::int32_t> slot(ws->ready[static_cast<std::size_t>(id - ws->n_a)]);
+      std::int32_t v = slot.load(std::memory_order_acquire);
+      while (v < 0) {
+        std::this_thread::yield();
+        v = slot.load(std::memory_order_acquire);
+      }
+      id = v;
+    }
+    ChainedStep(ws, id);
+  }
+}
+
+// ParallelRun body for one phase of the static schedule (no chaining).
+void StaticBody(void* ctx, std::size_t begin, std::size_t end) {
+  auto* ws = static_cast<MoeWorkspace*>(ctx);
+  for (std::size_t i = begin; i < end; ++i) {
+    ExecuteTask(ws, ws->phase_base + static_cast<std::int64_t>(i));
+  }
+}
 
 }  // namespace
+
+CpuMoe::CpuMoe(std::shared_ptr<const PackedExperts> experts, ThreadPool* pool,
+               MoeOptions options)
+    : experts_(std::move(experts)),
+      pool_(pool),
+      options_(options),
+      ws_(std::make_unique<MoeWorkspace>()) {
+  KTX_CHECK(experts_ != nullptr);
+  KTX_CHECK(pool_ != nullptr);
+  KTX_CHECK_GE(options_.band_blocks, 1);
+  ws_->experts = experts_.get();
+  ws_->pool = pool_;
+  ws_->impl = options_.impl;
+  ws_->band_blocks = options_.band_blocks;
+}
+
+CpuMoe::~CpuMoe() = default;
+CpuMoe::CpuMoe(CpuMoe&&) noexcept = default;
+CpuMoe& CpuMoe::operator=(CpuMoe&&) noexcept = default;
+
+void CpuMoe::Reserve(std::int64_t max_tokens, int max_slots) const {
+  if (max_tokens <= 0 || max_slots <= 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(ws_->mu);
+  EnsureCapacity(ws_.get(), *experts_, pool_, options_.band_blocks, max_tokens, max_slots);
+}
 
 void CpuMoe::Forward(const float* x, std::int64_t tokens, const MoeRouting& routing,
                      int slot_begin, int slot_end, float* y, MoeStats* stats) const {
   KTX_CHECK_EQ(tokens, routing.tokens);
   KTX_CHECK(slot_begin >= 0 && slot_end <= routing.top_k && slot_begin <= slot_end);
+  const std::int64_t window = slot_end - slot_begin;
+  if (tokens <= 0 || window <= 0) {
+    return;
+  }
   const std::int64_t hidden = experts_->hidden();
   const std::int64_t inter = experts_->inter();
   const int num_experts = experts_->num_experts();
 
-  // --- Group tokens by expert over the slot window. -------------------------
-  std::vector<ExpertGroup> groups;
-  std::vector<int> group_of_expert(static_cast<std::size_t>(num_experts), -1);
+  MoeWorkspace* ws = ws_.get();
+  std::lock_guard<std::mutex> lock(ws->mu);
+  EnsureCapacity(ws, *experts_, pool_, options_.band_blocks, tokens, window);
+
+  // --- Group tokens by expert (first-appearance order), two passes. ---------
+  std::int32_t* goe = ws->group_of_expert.data();
+  std::int64_t num_groups = 0;
   for (std::int64_t t = 0; t < tokens; ++t) {
     for (int s = slot_begin; s < slot_end; ++s) {
       const int e = routing.id(t, s);
       KTX_DCHECK(e >= 0 && e < num_experts) << "bad expert id " << e;
-      int g = group_of_expert[static_cast<std::size_t>(e)];
+      std::int32_t g = goe[e];
       if (g < 0) {
-        g = static_cast<int>(groups.size());
-        group_of_expert[static_cast<std::size_t>(e)] = g;
-        groups.push_back(ExpertGroup{e, {}, {}});
+        g = static_cast<std::int32_t>(num_groups++);
+        goe[e] = g;
+        ws->group_expert[static_cast<std::size_t>(g)] = e;
+        ws->group_count[static_cast<std::size_t>(g)] = 0;
       }
-      groups[static_cast<std::size_t>(g)].token_rows.push_back(t);
-      groups[static_cast<std::size_t>(g)].gate_weights.push_back(routing.weight(t, s));
+      ++ws->group_count[static_cast<std::size_t>(g)];
     }
   }
-  if (groups.empty()) {
-    return;
-  }
 
-  // --- Stage per-group buffers: gathered inputs, activations, outputs. ------
-  struct GroupBuffers {
-    Tensor x_gathered;  // [t_e, hidden]
-    Tensor gate_up;     // [t_e, 2*inter]: columns [0,inter) gate, [inter,2*inter) up
-    Tensor act;         // [t_e, inter]
-    Tensor out;         // [t_e, hidden]
-    KernelKind kind = KernelKind::kAmx;
-  };
-  std::vector<GroupBuffers> bufs(groups.size());
+  std::int64_t total_rows = 0;
   std::int64_t max_group = 0;
-  for (std::size_t g = 0; g < groups.size(); ++g) {
-    const std::int64_t te = static_cast<std::int64_t>(groups[g].token_rows.size());
+  for (std::int64_t g = 0; g < num_groups; ++g) {
+    const auto gi = static_cast<std::size_t>(g);
+    const std::int64_t te = ws->group_count[gi];
+    ws->group_off[gi] = total_rows;
+    ws->group_fill[gi] = 0;
+    ws->group_kind[gi] = static_cast<std::int32_t>(
+        options_.force_kind.value_or(SelectKernel(te, options_.ari_threshold)));
+    total_rows += te;
     max_group = std::max(max_group, te);
-    bufs[g].x_gathered = Tensor({te, hidden}, DType::kF32);
-    bufs[g].gate_up = Tensor({te, 2 * inter}, DType::kF32);
-    bufs[g].act = Tensor({te, inter}, DType::kF32);
-    bufs[g].out = Tensor({te, hidden}, DType::kF32);
-    bufs[g].kind = options_.force_kind.value_or(SelectKernel(te, options_.ari_threshold));
-    float* dst = bufs[g].x_gathered.f32();
-    for (std::int64_t r = 0; r < te; ++r) {
-      std::memcpy(dst + r * hidden, x + groups[g].token_rows[static_cast<std::size_t>(r)] * hidden,
-                  static_cast<std::size_t>(hidden) * sizeof(float));
+  }
+  for (std::int64_t t = 0; t < tokens; ++t) {
+    for (int s = slot_begin; s < slot_end; ++s) {
+      const auto g = static_cast<std::size_t>(goe[routing.id(t, s)]);
+      const std::int64_t pos = ws->group_off[g] + ws->group_fill[g]++;
+      ws->token_rows[static_cast<std::size_t>(pos)] = t;
+      ws->gate_w[static_cast<std::size_t>(pos)] = routing.weight(t, s);
     }
   }
+  // Restore the sentinel for the next call (touch only activated entries).
+  for (std::int64_t g = 0; g < num_groups; ++g) {
+    goe[ws->group_expert[static_cast<std::size_t>(g)]] = -1;
+  }
 
-  std::atomic<std::int64_t> amx_calls{0};
-  std::atomic<std::int64_t> avx_calls{0};
-  TaskQueue queue(pool_);
+  // --- Gather inputs; build the per-token contribution index (group-major
+  // order, which fixes the reduce summation order). ---------------------------
+  float* xg = ws->x_gathered.data();
+  for (std::int64_t a = 0; a < total_rows; ++a) {
+    std::memcpy(xg + a * hidden, x + ws->token_rows[static_cast<std::size_t>(a)] * hidden,
+                static_cast<std::size_t>(hidden) * sizeof(float));
+  }
+  std::memset(ws->token_fill.data(), 0, static_cast<std::size_t>(tokens) * sizeof(std::int32_t));
+  for (std::int64_t a = 0; a < total_rows; ++a) {
+    const std::int64_t t = ws->token_rows[static_cast<std::size_t>(a)];
+    const std::int64_t idx = t * window + ws->token_fill[static_cast<std::size_t>(t)]++;
+    ws->contrib_src[static_cast<std::size_t>(idx)] = a;
+    ws->contrib_w[static_cast<std::size_t>(idx)] = ws->gate_w[static_cast<std::size_t>(a)];
+  }
 
-  // --- Fused batch A: Gate+Up projections + SwiGLU, banded over `inter`. ----
-  {
-    std::vector<SubTask> batch;
-    for (std::size_t g = 0; g < groups.size(); ++g) {
-      const PackedExpert& pw = experts_->expert(groups[g].expert);
-      const std::int64_t te = bufs[g].x_gathered.dim(0);
-      const std::int64_t n_blocks = pw.gate.n_blocks();
-      for (std::int64_t b0 = 0; b0 < n_blocks; b0 += options_.band_blocks) {
-        const std::int64_t b1 = std::min(n_blocks, b0 + options_.band_blocks);
-        GroupBuffers* gb = &bufs[g];
-        const ExpertGroup* grp = &groups[g];
-        batch.push_back(SubTask{
-            [this, gb, grp, b0, b1, te, inter, &amx_calls, &avx_calls] {
-              const PackedExpert& w = experts_->expert(grp->expert);
-              GemmOptions opts;
-              opts.kind = gb->kind;
-              opts.impl = options_.impl;
-              opts.nb_begin = b0;
-              opts.nb_end = b1;
-              float* gu = gb->gate_up.f32();
-              // Gate into columns [0, inter), Up into [inter, 2*inter):
-              // fused in one task so both stream the same activations.
-              GemmPacked(gb->x_gathered.f32(), te, gb->x_gathered.dim(1), w.gate, gu,
-                         2 * inter, opts);
-              GemmPacked(gb->x_gathered.f32(), te, gb->x_gathered.dim(1), w.up, gu + inter,
-                         2 * inter, opts);
-              // SwiGLU for the bands this task produced.
-              const std::int64_t c0 = b0 * kNBlock;
-              const std::int64_t c1 = std::min(inter, b1 * kNBlock);
-              for (std::int64_t r = 0; r < te; ++r) {
-                SiluMul(gu + r * 2 * inter + c0, gu + r * 2 * inter + inter + c0,
-                        gb->act.f32() + r * inter + c0, c1 - c0);
-              }
-              (gb->kind == KernelKind::kAmx ? amx_calls : avx_calls)
-                  .fetch_add(2, std::memory_order_relaxed);
-            },
-            static_cast<double>(te * (b1 - b0))});
+  // --- Task counts and chaining countdowns. ---------------------------------
+  ws->x = x;
+  ws->y = y;
+  ws->hidden = hidden;
+  ws->inter = inter;
+  ws->tokens = tokens;
+  ws->slots = window;
+  ws->num_groups = num_groups;
+  ws->nb_inter = experts_->expert(0).gate.n_blocks();
+  ws->nb_hidden = experts_->expert(0).down.n_blocks();
+  ws->bands_a = CeilDiv(ws->nb_inter, options_.band_blocks);
+  ws->bands_b = CeilDiv(ws->nb_hidden, options_.band_blocks);
+  ws->n_a = num_groups * ws->bands_a;
+  ws->n_b = num_groups * ws->bands_b;
+  ws->n_r = CeilDiv(tokens, kReduceBand);
+  ws->amx_calls = 0;
+  ws->avx512_calls = 0;
+  const std::int64_t total = ws->n_a + ws->n_b + ws->n_r;
+
+  if (options_.schedule == ScheduleKind::kDynamic) {
+    for (std::int64_t g = 0; g < num_groups; ++g) {
+      ws->a_remaining[static_cast<std::size_t>(g)] = static_cast<std::int32_t>(ws->bands_a);
+      ws->b_remaining[static_cast<std::size_t>(g)] = static_cast<std::int32_t>(ws->bands_b);
+    }
+    for (std::int64_t r = 0; r < ws->n_r; ++r) {
+      const std::int64_t width =
+          std::min(tokens, (r + 1) * kReduceBand) - r * kReduceBand;
+      ws->band_remaining[static_cast<std::size_t>(r)] =
+          static_cast<std::int32_t>(window * width);
+    }
+    std::memset(ws->ready.data(), 0xFF,
+                static_cast<std::size_t>(ws->n_b + ws->n_r) * sizeof(std::int32_t));
+    ws->ready_tail = ws->n_a;
+    pool_->ParallelRun(&ChainedBody, ws, static_cast<std::size_t>(total), /*chunk=*/1);
+  } else {
+    // Static: three barrier-separated phases, each block-partitioned exactly
+    // like TaskQueue::Run(kStatic) / SimulateMakespan.
+    const auto run_phase = [&](std::int64_t base, std::int64_t n) {
+      if (n == 0) {
+        return;
       }
-    }
-    if (stats != nullptr) {
-      stats->subtasks += static_cast<std::int64_t>(batch.size());
-    }
-    queue.Run(std::move(batch), options_.schedule);
-  }
-
-  // --- Fused batch B: Down projection, banded over `hidden`. ----------------
-  {
-    std::vector<SubTask> batch;
-    for (std::size_t g = 0; g < groups.size(); ++g) {
-      const PackedExpert& pw = experts_->expert(groups[g].expert);
-      const std::int64_t te = bufs[g].act.dim(0);
-      const std::int64_t n_blocks = pw.down.n_blocks();
-      for (std::int64_t b0 = 0; b0 < n_blocks; b0 += options_.band_blocks) {
-        const std::int64_t b1 = std::min(n_blocks, b0 + options_.band_blocks);
-        GroupBuffers* gb = &bufs[g];
-        const ExpertGroup* grp = &groups[g];
-        batch.push_back(SubTask{
-            [this, gb, grp, b0, b1, te, &amx_calls, &avx_calls] {
-              const PackedExpert& w = experts_->expert(grp->expert);
-              GemmOptions opts;
-              opts.kind = gb->kind;
-              opts.impl = options_.impl;
-              opts.nb_begin = b0;
-              opts.nb_end = b1;
-              GemmPacked(gb->act.f32(), te, gb->act.dim(1), w.down, gb->out.f32(),
-                         gb->out.dim(1), opts);
-              (gb->kind == KernelKind::kAmx ? amx_calls : avx_calls)
-                  .fetch_add(1, std::memory_order_relaxed);
-            },
-            static_cast<double>(te * (b1 - b0))});
-      }
-    }
-    if (stats != nullptr) {
-      stats->subtasks += static_cast<std::int64_t>(batch.size());
-    }
-    queue.Run(std::move(batch), options_.schedule);
-  }
-
-  // --- Weighted scatter-add, banded over tokens (one writer per row). -------
-  {
-    // Invert the grouping: per token, the (group, row, weight) triples.
-    struct Contribution {
-      int group;
-      std::int64_t row;
-      float weight;
+      ws->phase_base = base;
+      const std::size_t blocks =
+          std::min<std::size_t>(pool_->num_threads(), static_cast<std::size_t>(n));
+      const std::size_t chunk = (static_cast<std::size_t>(n) + blocks - 1) / blocks;
+      pool_->ParallelRun(&StaticBody, ws, static_cast<std::size_t>(n), chunk);
     };
-    std::vector<std::vector<Contribution>> per_token(static_cast<std::size_t>(tokens));
-    for (std::size_t g = 0; g < groups.size(); ++g) {
-      for (std::size_t r = 0; r < groups[g].token_rows.size(); ++r) {
-        per_token[static_cast<std::size_t>(groups[g].token_rows[r])].push_back(
-            Contribution{static_cast<int>(g), static_cast<std::int64_t>(r),
-                         groups[g].gate_weights[r]});
-      }
-    }
-    const std::int64_t token_band = 32;
-    std::vector<SubTask> batch;
-    for (std::int64_t t0 = 0; t0 < tokens; t0 += token_band) {
-      const std::int64_t t1 = std::min(tokens, t0 + token_band);
-      batch.push_back(SubTask{[&per_token, &bufs, y, hidden, t0, t1] {
-                                for (std::int64_t t = t0; t < t1; ++t) {
-                                  for (const Contribution& c :
-                                       per_token[static_cast<std::size_t>(t)]) {
-                                    AxpyInPlace(y + t * hidden,
-                                                bufs[static_cast<std::size_t>(c.group)].out.f32() +
-                                                    c.row * hidden,
-                                                c.weight, hidden);
-                                  }
-                                }
-                              },
-                              static_cast<double>(t1 - t0)});
-    }
-    queue.Run(std::move(batch), options_.schedule);
+    run_phase(0, ws->n_a);
+    run_phase(ws->n_a, ws->n_b);
+    run_phase(ws->n_a + ws->n_b, ws->n_r);
   }
 
   if (stats != nullptr) {
     stats->tokens += tokens;
-    stats->activated_experts += static_cast<int>(groups.size());
+    stats->activated_experts += static_cast<int>(num_groups);
     stats->max_tokens_per_expert = std::max(stats->max_tokens_per_expert, max_group);
-    stats->amx_calls += amx_calls.load();
-    stats->avx512_calls += avx_calls.load();
-    double flops = 0.0;
-    for (std::size_t g = 0; g < groups.size(); ++g) {
-      flops += 6.0 * static_cast<double>(bufs[g].x_gathered.dim(0)) *
-               static_cast<double>(hidden) * static_cast<double>(inter);
-    }
-    stats->useful_flops += flops;
+    stats->subtasks += total;
+    stats->amx_calls += ws->amx_calls;
+    stats->avx512_calls += ws->avx512_calls;
+    stats->useful_flops += 6.0 * static_cast<double>(total_rows) *
+                           static_cast<double>(hidden) * static_cast<double>(inter);
   }
 }
 

@@ -10,11 +10,22 @@
 //   reduce:  per token-band                  — weighted scatter-add into the
 //            output rows (single writer per token, so no atomics).
 //
-// Tasks are drained by worker threads through the dynamic task queue, which
-// is what absorbs the heavy expert-activation imbalance of the prefill phase
-// (up to 1.83x, Fig. 14 'd'). The kernel kind per expert follows the
+// Under the default dynamic schedule the three phases are *chained*: one flat
+// task list is drained by the pool's lock-free cursor, and an expert's Down
+// bands become runnable the moment its last Gate/Up band finishes (per-expert
+// atomic countdowns instead of global barriers); a reduce band runs as soon as
+// every expert contributing to its tokens has staged its outputs. The static
+// schedule keeps the classic three-batch block partition. Either way the
+// summation order per token is fixed by a precomputed contribution index, so
+// outputs are bit-identical across schedules and thread counts. This is what
+// absorbs the heavy expert-activation imbalance of the prefill phase (up to
+// 1.83x, Fig. 14 'd'). The kernel kind per expert follows the
 // arithmetic-intensity rule of Fig. 7: <= ari_threshold tokens -> AVX-512,
 // otherwise AMX.
+//
+// Every buffer the forward pass needs lives in a persistent per-CpuMoe
+// workspace that grows to a high-water mark: steady-state decode performs zero
+// heap allocations (see Reserve()).
 //
 // Expert Deferral hooks in through the routing-slot window: the engine calls
 // Forward() with slots [0, I) for immediate experts and [I, top_k) for
@@ -90,19 +101,36 @@ struct MoeStats {
   std::int64_t tokens = 0;
   int activated_experts = 0;
   std::int64_t max_tokens_per_expert = 0;
+  // Total tasks dispatched, across all three phases (Gate/Up+SwiGLU, Down,
+  // and the reduce scatter-add — the reduce phase counts too).
   std::int64_t subtasks = 0;
   std::int64_t amx_calls = 0;
   std::int64_t avx512_calls = 0;
   double useful_flops = 0.0;
 };
 
+// Persistent forward workspace, defined in moe_cpu.cc. One per CpuMoe; holds
+// the expert-group index, staging buffers, contribution index, chained-phase
+// countdowns and per-worker GEMM scratch across Forward() calls.
+struct MoeWorkspace;
+
 class CpuMoe {
  public:
   CpuMoe(std::shared_ptr<const PackedExperts> experts, ThreadPool* pool, MoeOptions options);
+  ~CpuMoe();
+  CpuMoe(CpuMoe&&) noexcept;
+  CpuMoe& operator=(CpuMoe&&) noexcept;
+
+  // Pre-sizes the workspace for batches of up to `max_tokens` tokens over slot
+  // windows of up to `max_slots` routing slots. Forward() calls at or below
+  // that shape then perform no heap allocations. Growing is always automatic;
+  // this only front-loads it (e.g. before entering the decode loop).
+  void Reserve(std::int64_t max_tokens, int max_slots) const;
 
   // Accumulates the weighted outputs of routing slots [slot_begin, slot_end)
   // into y[tokens, hidden] (row-major, leading dimension = hidden).
-  // x is [tokens, hidden] f32.
+  // x is [tokens, hidden] f32. Concurrent calls on one CpuMoe serialize on the
+  // shared workspace.
   void Forward(const float* x, std::int64_t tokens, const MoeRouting& routing, int slot_begin,
                int slot_end, float* y, MoeStats* stats = nullptr) const;
 
@@ -119,6 +147,9 @@ class CpuMoe {
   std::shared_ptr<const PackedExperts> experts_;
   ThreadPool* pool_;
   MoeOptions options_;
+  // unique_ptr so CpuMoe stays movable (the workspace holds a mutex and is
+  // referenced by address from in-flight task descriptors).
+  std::unique_ptr<MoeWorkspace> ws_;
 };
 
 // Reference f32 implementation against the unpacked weights (tests).

@@ -94,4 +94,13 @@ void NumaMoe::Forward(const float* x, std::int64_t tokens, const MoeRouting& rou
   flat_moe_->Forward(x, tokens, routing, slot_begin, slot_end, y, stats);
 }
 
+void NumaMoe::Reserve(std::int64_t max_tokens, int max_slots) const {
+  for (const CpuMoe& moe : shard_moes_) {
+    moe.Reserve(max_tokens, max_slots);
+  }
+  if (flat_moe_ != nullptr) {
+    flat_moe_->Reserve(max_tokens, max_slots);
+  }
+}
+
 }  // namespace ktx

@@ -72,6 +72,10 @@ class NumaMoe {
   void Forward(const float* x, std::int64_t tokens, const MoeRouting& routing, int slot_begin,
                int slot_end, float* y, MoeStats* stats = nullptr) const;
 
+  // Pre-sizes every shard's forward workspace (see CpuMoe::Reserve) so the
+  // decode loop runs allocation-free from the first token.
+  void Reserve(std::int64_t max_tokens, int max_slots) const;
+
   const Options& options() const { return options_; }
 
  private:
