@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_batch_scaling"
+  "../bench/bench_batch_scaling.pdb"
+  "CMakeFiles/bench_batch_scaling.dir/bench_batch_scaling.cc.o"
+  "CMakeFiles/bench_batch_scaling.dir/bench_batch_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batch_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

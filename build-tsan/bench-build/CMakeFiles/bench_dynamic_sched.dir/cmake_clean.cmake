@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dynamic_sched"
+  "../bench/bench_dynamic_sched.pdb"
+  "CMakeFiles/bench_dynamic_sched.dir/bench_dynamic_sched.cc.o"
+  "CMakeFiles/bench_dynamic_sched.dir/bench_dynamic_sched.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_deferral_timeline"
+  "../bench/bench_fig10_deferral_timeline.pdb"
+  "CMakeFiles/bench_fig10_deferral_timeline.dir/bench_fig10_deferral_timeline.cc.o"
+  "CMakeFiles/bench_fig10_deferral_timeline.dir/bench_fig10_deferral_timeline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_deferral_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_prefill"
+  "../bench/bench_fig11_prefill.pdb"
+  "CMakeFiles/bench_fig11_prefill.dir/bench_fig11_prefill.cc.o"
+  "CMakeFiles/bench_fig11_prefill.dir/bench_fig11_prefill.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_prefill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

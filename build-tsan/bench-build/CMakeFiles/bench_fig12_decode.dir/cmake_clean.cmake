@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_decode"
+  "../bench/bench_fig12_decode.pdb"
+  "CMakeFiles/bench_fig12_decode.dir/bench_fig12_decode.cc.o"
+  "CMakeFiles/bench_fig12_decode.dir/bench_fig12_decode.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_moe_tflops"
+  "../bench/bench_fig3_moe_tflops.pdb"
+  "CMakeFiles/bench_fig3_moe_tflops.dir/bench_fig3_moe_tflops.cc.o"
+  "CMakeFiles/bench_fig3_moe_tflops.dir/bench_fig3_moe_tflops.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_moe_tflops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

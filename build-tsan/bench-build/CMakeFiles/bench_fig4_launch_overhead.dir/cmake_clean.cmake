@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_launch_overhead"
+  "../bench/bench_fig4_launch_overhead.pdb"
+  "CMakeFiles/bench_fig4_launch_overhead.dir/bench_fig4_launch_overhead.cc.o"
+  "CMakeFiles/bench_fig4_launch_overhead.dir/bench_fig4_launch_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_launch_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_ari_crossover"
+  "../bench/bench_fig7_ari_crossover.pdb"
+  "CMakeFiles/bench_fig7_ari_crossover.dir/bench_fig7_ari_crossover.cc.o"
+  "CMakeFiles/bench_fig7_ari_crossover.dir/bench_fig7_ari_crossover.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_ari_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

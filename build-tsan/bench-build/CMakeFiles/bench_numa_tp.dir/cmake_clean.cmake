@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_numa_tp"
+  "../bench/bench_numa_tp.pdb"
+  "CMakeFiles/bench_numa_tp.dir/bench_numa_tp.cc.o"
+  "CMakeFiles/bench_numa_tp.dir/bench_numa_tp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_numa_tp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_numa_tp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_offload_modes"
+  "../bench/bench_offload_modes.pdb"
+  "CMakeFiles/bench_offload_modes.dir/bench_offload_modes.cc.o"
+  "CMakeFiles/bench_offload_modes.dir/bench_offload_modes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_offload_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_placement_planning"
+  "../bench/bench_placement_planning.pdb"
+  "CMakeFiles/bench_placement_planning.dir/bench_placement_planning.cc.o"
+  "CMakeFiles/bench_placement_planning.dir/bench_placement_planning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_placement_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

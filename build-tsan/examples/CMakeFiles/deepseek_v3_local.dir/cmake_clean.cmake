@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepseek_v3_local.dir/deepseek_v3_local.cpp.o"
+  "CMakeFiles/deepseek_v3_local.dir/deepseek_v3_local.cpp.o.d"
+  "deepseek_v3_local"
+  "deepseek_v3_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepseek_v3_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for deepseek_v3_local.
+# This may be replaced when dependencies are built.

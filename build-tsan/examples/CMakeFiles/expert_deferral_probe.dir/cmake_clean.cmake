@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expert_deferral_probe.dir/expert_deferral_probe.cpp.o"
+  "CMakeFiles/expert_deferral_probe.dir/expert_deferral_probe.cpp.o.d"
+  "expert_deferral_probe"
+  "expert_deferral_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expert_deferral_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

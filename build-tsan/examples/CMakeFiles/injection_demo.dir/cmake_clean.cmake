@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/injection_demo.dir/injection_demo.cpp.o"
+  "CMakeFiles/injection_demo.dir/injection_demo.cpp.o.d"
+  "injection_demo"
+  "injection_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/injection_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speculative_decode.dir/speculative_decode.cpp.o"
+  "CMakeFiles/speculative_decode.dir/speculative_decode.cpp.o.d"
+  "speculative_decode"
+  "speculative_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speculative_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_generation.dir/text_generation.cpp.o"
+  "CMakeFiles/text_generation.dir/text_generation.cpp.o.d"
+  "text_generation"
+  "text_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

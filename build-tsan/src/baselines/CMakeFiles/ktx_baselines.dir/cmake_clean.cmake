@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktx_baselines.dir/baselines.cc.o"
+  "CMakeFiles/ktx_baselines.dir/baselines.cc.o.d"
+  "libktx_baselines.a"
+  "libktx_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktx_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktx_common.dir/align.cc.o"
+  "CMakeFiles/ktx_common.dir/align.cc.o.d"
+  "CMakeFiles/ktx_common.dir/flags.cc.o"
+  "CMakeFiles/ktx_common.dir/flags.cc.o.d"
+  "CMakeFiles/ktx_common.dir/logging.cc.o"
+  "CMakeFiles/ktx_common.dir/logging.cc.o.d"
+  "CMakeFiles/ktx_common.dir/status.cc.o"
+  "CMakeFiles/ktx_common.dir/status.cc.o.d"
+  "CMakeFiles/ktx_common.dir/task_queue.cc.o"
+  "CMakeFiles/ktx_common.dir/task_queue.cc.o.d"
+  "CMakeFiles/ktx_common.dir/thread_pool.cc.o"
+  "CMakeFiles/ktx_common.dir/thread_pool.cc.o.d"
+  "libktx_common.a"
+  "libktx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktx_core.dir/async_service.cc.o"
+  "CMakeFiles/ktx_core.dir/async_service.cc.o.d"
+  "CMakeFiles/ktx_core.dir/engine.cc.o"
+  "CMakeFiles/ktx_core.dir/engine.cc.o.d"
+  "CMakeFiles/ktx_core.dir/placement.cc.o"
+  "CMakeFiles/ktx_core.dir/placement.cc.o.d"
+  "CMakeFiles/ktx_core.dir/profiling.cc.o"
+  "CMakeFiles/ktx_core.dir/profiling.cc.o.d"
+  "CMakeFiles/ktx_core.dir/strategy_sim.cc.o"
+  "CMakeFiles/ktx_core.dir/strategy_sim.cc.o.d"
+  "libktx_core.a"
+  "libktx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libktx_core.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/activation.cc" "src/cpu/CMakeFiles/ktx_cpu.dir/activation.cc.o" "gcc" "src/cpu/CMakeFiles/ktx_cpu.dir/activation.cc.o.d"
+  "/root/repo/src/cpu/amx_native.cc" "src/cpu/CMakeFiles/ktx_cpu.dir/amx_native.cc.o" "gcc" "src/cpu/CMakeFiles/ktx_cpu.dir/amx_native.cc.o.d"
+  "/root/repo/src/cpu/cpu_features.cc" "src/cpu/CMakeFiles/ktx_cpu.dir/cpu_features.cc.o" "gcc" "src/cpu/CMakeFiles/ktx_cpu.dir/cpu_features.cc.o.d"
+  "/root/repo/src/cpu/gemm.cc" "src/cpu/CMakeFiles/ktx_cpu.dir/gemm.cc.o" "gcc" "src/cpu/CMakeFiles/ktx_cpu.dir/gemm.cc.o.d"
+  "/root/repo/src/cpu/layout.cc" "src/cpu/CMakeFiles/ktx_cpu.dir/layout.cc.o" "gcc" "src/cpu/CMakeFiles/ktx_cpu.dir/layout.cc.o.d"
+  "/root/repo/src/cpu/moe_cpu.cc" "src/cpu/CMakeFiles/ktx_cpu.dir/moe_cpu.cc.o" "gcc" "src/cpu/CMakeFiles/ktx_cpu.dir/moe_cpu.cc.o.d"
+  "/root/repo/src/cpu/tile.cc" "src/cpu/CMakeFiles/ktx_cpu.dir/tile.cc.o" "gcc" "src/cpu/CMakeFiles/ktx_cpu.dir/tile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/ktx_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tensor/CMakeFiles/ktx_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

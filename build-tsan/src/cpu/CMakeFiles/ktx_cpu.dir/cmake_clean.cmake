@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktx_cpu.dir/activation.cc.o"
+  "CMakeFiles/ktx_cpu.dir/activation.cc.o.d"
+  "CMakeFiles/ktx_cpu.dir/amx_native.cc.o"
+  "CMakeFiles/ktx_cpu.dir/amx_native.cc.o.d"
+  "CMakeFiles/ktx_cpu.dir/cpu_features.cc.o"
+  "CMakeFiles/ktx_cpu.dir/cpu_features.cc.o.d"
+  "CMakeFiles/ktx_cpu.dir/gemm.cc.o"
+  "CMakeFiles/ktx_cpu.dir/gemm.cc.o.d"
+  "CMakeFiles/ktx_cpu.dir/layout.cc.o"
+  "CMakeFiles/ktx_cpu.dir/layout.cc.o.d"
+  "CMakeFiles/ktx_cpu.dir/moe_cpu.cc.o"
+  "CMakeFiles/ktx_cpu.dir/moe_cpu.cc.o.d"
+  "CMakeFiles/ktx_cpu.dir/tile.cc.o"
+  "CMakeFiles/ktx_cpu.dir/tile.cc.o.d"
+  "libktx_cpu.a"
+  "libktx_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktx_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

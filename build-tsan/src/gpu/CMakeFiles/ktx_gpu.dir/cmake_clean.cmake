@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktx_gpu.dir/vcuda.cc.o"
+  "CMakeFiles/ktx_gpu.dir/vcuda.cc.o.d"
+  "libktx_gpu.a"
+  "libktx_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktx_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

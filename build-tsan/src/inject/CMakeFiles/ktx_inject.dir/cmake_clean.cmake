@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktx_inject.dir/inject.cc.o"
+  "CMakeFiles/ktx_inject.dir/inject.cc.o.d"
+  "CMakeFiles/ktx_inject.dir/yaml_lite.cc.o"
+  "CMakeFiles/ktx_inject.dir/yaml_lite.cc.o.d"
+  "libktx_inject.a"
+  "libktx_inject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktx_inject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

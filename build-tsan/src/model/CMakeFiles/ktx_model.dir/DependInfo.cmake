@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/attention.cc" "src/model/CMakeFiles/ktx_model.dir/attention.cc.o" "gcc" "src/model/CMakeFiles/ktx_model.dir/attention.cc.o.d"
+  "/root/repo/src/model/config.cc" "src/model/CMakeFiles/ktx_model.dir/config.cc.o" "gcc" "src/model/CMakeFiles/ktx_model.dir/config.cc.o.d"
+  "/root/repo/src/model/eval.cc" "src/model/CMakeFiles/ktx_model.dir/eval.cc.o" "gcc" "src/model/CMakeFiles/ktx_model.dir/eval.cc.o.d"
+  "/root/repo/src/model/gating.cc" "src/model/CMakeFiles/ktx_model.dir/gating.cc.o" "gcc" "src/model/CMakeFiles/ktx_model.dir/gating.cc.o.d"
+  "/root/repo/src/model/kv_cache.cc" "src/model/CMakeFiles/ktx_model.dir/kv_cache.cc.o" "gcc" "src/model/CMakeFiles/ktx_model.dir/kv_cache.cc.o.d"
+  "/root/repo/src/model/reference_model.cc" "src/model/CMakeFiles/ktx_model.dir/reference_model.cc.o" "gcc" "src/model/CMakeFiles/ktx_model.dir/reference_model.cc.o.d"
+  "/root/repo/src/model/sampler.cc" "src/model/CMakeFiles/ktx_model.dir/sampler.cc.o" "gcc" "src/model/CMakeFiles/ktx_model.dir/sampler.cc.o.d"
+  "/root/repo/src/model/serialize.cc" "src/model/CMakeFiles/ktx_model.dir/serialize.cc.o" "gcc" "src/model/CMakeFiles/ktx_model.dir/serialize.cc.o.d"
+  "/root/repo/src/model/tokenizer.cc" "src/model/CMakeFiles/ktx_model.dir/tokenizer.cc.o" "gcc" "src/model/CMakeFiles/ktx_model.dir/tokenizer.cc.o.d"
+  "/root/repo/src/model/weights.cc" "src/model/CMakeFiles/ktx_model.dir/weights.cc.o" "gcc" "src/model/CMakeFiles/ktx_model.dir/weights.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/ktx_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tensor/CMakeFiles/ktx_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cpu/CMakeFiles/ktx_cpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktx_model.dir/attention.cc.o"
+  "CMakeFiles/ktx_model.dir/attention.cc.o.d"
+  "CMakeFiles/ktx_model.dir/config.cc.o"
+  "CMakeFiles/ktx_model.dir/config.cc.o.d"
+  "CMakeFiles/ktx_model.dir/eval.cc.o"
+  "CMakeFiles/ktx_model.dir/eval.cc.o.d"
+  "CMakeFiles/ktx_model.dir/gating.cc.o"
+  "CMakeFiles/ktx_model.dir/gating.cc.o.d"
+  "CMakeFiles/ktx_model.dir/kv_cache.cc.o"
+  "CMakeFiles/ktx_model.dir/kv_cache.cc.o.d"
+  "CMakeFiles/ktx_model.dir/reference_model.cc.o"
+  "CMakeFiles/ktx_model.dir/reference_model.cc.o.d"
+  "CMakeFiles/ktx_model.dir/sampler.cc.o"
+  "CMakeFiles/ktx_model.dir/sampler.cc.o.d"
+  "CMakeFiles/ktx_model.dir/serialize.cc.o"
+  "CMakeFiles/ktx_model.dir/serialize.cc.o.d"
+  "CMakeFiles/ktx_model.dir/tokenizer.cc.o"
+  "CMakeFiles/ktx_model.dir/tokenizer.cc.o.d"
+  "CMakeFiles/ktx_model.dir/weights.cc.o"
+  "CMakeFiles/ktx_model.dir/weights.cc.o.d"
+  "libktx_model.a"
+  "libktx_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktx_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

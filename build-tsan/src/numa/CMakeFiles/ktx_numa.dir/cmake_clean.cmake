@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktx_numa.dir/tensor_parallel.cc.o"
+  "CMakeFiles/ktx_numa.dir/tensor_parallel.cc.o.d"
+  "CMakeFiles/ktx_numa.dir/topology.cc.o"
+  "CMakeFiles/ktx_numa.dir/topology.cc.o.d"
+  "libktx_numa.a"
+  "libktx_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktx_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

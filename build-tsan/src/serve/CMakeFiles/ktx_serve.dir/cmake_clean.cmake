@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktx_serve.dir/serving.cc.o"
+  "CMakeFiles/ktx_serve.dir/serving.cc.o.d"
+  "libktx_serve.a"
+  "libktx_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktx_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktx_sim.dir/cost_model.cc.o"
+  "CMakeFiles/ktx_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/ktx_sim.dir/des.cc.o"
+  "CMakeFiles/ktx_sim.dir/des.cc.o.d"
+  "CMakeFiles/ktx_sim.dir/hardware.cc.o"
+  "CMakeFiles/ktx_sim.dir/hardware.cc.o.d"
+  "libktx_sim.a"
+  "libktx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

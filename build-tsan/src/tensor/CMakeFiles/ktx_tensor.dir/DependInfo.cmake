@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/dtype.cc" "src/tensor/CMakeFiles/ktx_tensor.dir/dtype.cc.o" "gcc" "src/tensor/CMakeFiles/ktx_tensor.dir/dtype.cc.o.d"
+  "/root/repo/src/tensor/quant.cc" "src/tensor/CMakeFiles/ktx_tensor.dir/quant.cc.o" "gcc" "src/tensor/CMakeFiles/ktx_tensor.dir/quant.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/tensor/CMakeFiles/ktx_tensor.dir/tensor.cc.o" "gcc" "src/tensor/CMakeFiles/ktx_tensor.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/ktx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

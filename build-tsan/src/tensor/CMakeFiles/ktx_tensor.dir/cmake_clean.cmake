@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktx_tensor.dir/dtype.cc.o"
+  "CMakeFiles/ktx_tensor.dir/dtype.cc.o.d"
+  "CMakeFiles/ktx_tensor.dir/quant.cc.o"
+  "CMakeFiles/ktx_tensor.dir/quant.cc.o.d"
+  "CMakeFiles/ktx_tensor.dir/tensor.cc.o"
+  "CMakeFiles/ktx_tensor.dir/tensor.cc.o.d"
+  "libktx_tensor.a"
+  "libktx_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktx_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_gemm_test.dir/cpu_gemm_test.cc.o"
+  "CMakeFiles/cpu_gemm_test.dir/cpu_gemm_test.cc.o.d"
+  "cpu_gemm_test"
+  "cpu_gemm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_gemm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inject_test.dir/inject_test.cc.o"
+  "CMakeFiles/inject_test.dir/inject_test.cc.o.d"
+  "inject_test"
+  "inject_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inject_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

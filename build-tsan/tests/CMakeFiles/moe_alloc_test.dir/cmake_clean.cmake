@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moe_alloc_test.dir/moe_alloc_test.cc.o"
+  "CMakeFiles/moe_alloc_test.dir/moe_alloc_test.cc.o.d"
+  "moe_alloc_test"
+  "moe_alloc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moe_alloc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moe_cpu_test.dir/moe_cpu_test.cc.o"
+  "CMakeFiles/moe_cpu_test.dir/moe_cpu_test.cc.o.d"
+  "moe_cpu_test"
+  "moe_cpu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moe_cpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

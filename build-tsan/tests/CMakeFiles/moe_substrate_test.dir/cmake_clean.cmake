@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moe_substrate_test.dir/moe_substrate_test.cc.o"
+  "CMakeFiles/moe_substrate_test.dir/moe_substrate_test.cc.o.d"
+  "moe_substrate_test"
+  "moe_substrate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moe_substrate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

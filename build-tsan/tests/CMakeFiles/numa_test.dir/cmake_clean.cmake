@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numa_test.dir/numa_test.cc.o"
+  "CMakeFiles/numa_test.dir/numa_test.cc.o.d"
+  "numa_test"
+  "numa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

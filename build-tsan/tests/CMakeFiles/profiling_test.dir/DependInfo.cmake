@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/profiling_test.cc" "tests/CMakeFiles/profiling_test.dir/profiling_test.cc.o" "gcc" "tests/CMakeFiles/profiling_test.dir/profiling_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/ktx_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/numa/CMakeFiles/ktx_numa.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gpu/CMakeFiles/ktx_gpu.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/model/CMakeFiles/ktx_model.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cpu/CMakeFiles/ktx_cpu.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/ktx_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tensor/CMakeFiles/ktx_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/ktx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiling_test.dir/profiling_test.cc.o"
+  "CMakeFiles/profiling_test.dir/profiling_test.cc.o.d"
+  "profiling_test"
+  "profiling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

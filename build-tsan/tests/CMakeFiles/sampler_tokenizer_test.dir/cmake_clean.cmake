@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampler_tokenizer_test.dir/sampler_tokenizer_test.cc.o"
+  "CMakeFiles/sampler_tokenizer_test.dir/sampler_tokenizer_test.cc.o.d"
+  "sampler_tokenizer_test"
+  "sampler_tokenizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampler_tokenizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

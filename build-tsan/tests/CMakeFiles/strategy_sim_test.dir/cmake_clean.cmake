@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategy_sim_test.dir/strategy_sim_test.cc.o"
+  "CMakeFiles/strategy_sim_test.dir/strategy_sim_test.cc.o.d"
+  "strategy_sim_test"
+  "strategy_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategy_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

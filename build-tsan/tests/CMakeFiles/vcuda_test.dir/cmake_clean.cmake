@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcuda_test.dir/vcuda_test.cc.o"
+  "CMakeFiles/vcuda_test.dir/vcuda_test.cc.o.d"
+  "vcuda_test"
+  "vcuda_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcuda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

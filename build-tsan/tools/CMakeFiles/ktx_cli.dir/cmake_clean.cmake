@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktx_cli.dir/ktx_cli.cc.o"
+  "CMakeFiles/ktx_cli.dir/ktx_cli.cc.o.d"
+  "ktx_cli"
+  "ktx_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktx_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -182,8 +182,8 @@ bench-build/CMakeFiles/bench_fig7_ari_crossover.dir/bench_fig7_ari_crossover.cc.
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/cpu/cpu_features.h \
- /root/repo/src/cpu/gemm.h /root/repo/src/cpu/layout.h \
- /root/repo/src/common/align.h /usr/include/c++/12/cstddef \
+ /root/repo/src/cpu/gemm.h /usr/include/c++/12/cstddef \
+ /root/repo/src/cpu/layout.h /root/repo/src/common/align.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/common/status.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/memory \

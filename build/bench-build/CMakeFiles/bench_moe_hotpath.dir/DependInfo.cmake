@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_moe_hotpath.cc" "bench-build/CMakeFiles/bench_moe_hotpath.dir/bench_moe_hotpath.cc.o" "gcc" "bench-build/CMakeFiles/bench_moe_hotpath.dir/bench_moe_hotpath.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/ktx_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ktx_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ktx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

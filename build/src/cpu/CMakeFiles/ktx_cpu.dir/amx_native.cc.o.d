@@ -1,6 +1,6 @@
 src/cpu/CMakeFiles/ktx_cpu.dir/amx_native.cc.o: \
  /root/repo/src/cpu/amx_native.cc /usr/include/stdc-predef.h \
- /root/repo/src/cpu/amx_native.h /usr/include/c++/12/cstdint \
+ /root/repo/src/cpu/amx_native.h /usr/include/c++/12/cstddef \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \
@@ -12,6 +12,8 @@ src/cpu/CMakeFiles/ktx_cpu.dir/amx_native.cc.o: \
  /usr/include/x86_64-linux-gnu/gnu/stubs-64.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/cpu_defines.h \
  /usr/include/c++/12/pstl/pstl_config.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
+ /usr/include/c++/12/cstdint \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
  /usr/include/x86_64-linux-gnu/bits/libc-header-start.h \
  /usr/include/x86_64-linux-gnu/bits/types.h \
@@ -21,8 +23,6 @@ src/cpu/CMakeFiles/ktx_cpu.dir/amx_native.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
  /root/repo/src/cpu/layout.h /root/repo/src/common/align.h \
- /usr/include/c++/12/cstddef \
- /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/bits/stl_pair.h /usr/include/c++/12/type_traits \
  /usr/include/c++/12/bits/move.h /usr/include/c++/12/bits/utility.h \
@@ -239,7 +239,8 @@ src/cpu/CMakeFiles/ktx_cpu.dir/amx_native.cc.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/cpu/cpu_features.h \
+ /root/repo/src/cpu/cpu_features.h /root/repo/src/cpu/gemm.h \
+ /root/repo/src/cpu/gemm_scratch.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/immintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/x86gprintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/ia32intrin.h \

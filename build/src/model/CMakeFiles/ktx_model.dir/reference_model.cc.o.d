@@ -236,8 +236,8 @@ src/model/CMakeFiles/ktx_model.dir/reference_model.cc.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/cpu/tile.h \
  /root/repo/src/cpu/moe_cpu.h /usr/include/c++/12/optional \
- /root/repo/src/common/task_queue.h /usr/include/c++/12/atomic \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/common/task_queue.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
@@ -247,7 +247,7 @@ src/model/CMakeFiles/ktx_model.dir/reference_model.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/common/thread_pool.h \
+ /root/repo/src/common/thread_pool.h /usr/include/c++/12/atomic \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
