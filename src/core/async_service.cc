@@ -47,6 +47,7 @@ void AsyncMoeService::ControlLoop() {
       moe_->Forward(r->x, r->tokens, *r->routing, r->slot_begin, r->slot_end, r->y, &local);
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.requests;
         stats_.tokens += local.tokens;
         stats_.activated_experts += local.activated_experts;
         stats_.subtasks += local.subtasks;

@@ -1,5 +1,6 @@
 #include "src/core/engine.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 
@@ -13,9 +14,16 @@ namespace ktx {
 // alive across the whole session (the captured graph's kernels point into
 // it); prefill builds a fresh instance per chunk.
 struct HybridEngine::DecodeBuffers {
-  std::int64_t m = 0;
+  std::int64_t m = 0;                 // row capacity
   std::vector<int> token_ids;         // slot: set before each replay
   std::atomic<std::int64_t> pos0{0};  // slot: start position, read at exec
+
+  // Batched-decode slots: captured kernels read the live row count and the
+  // per-row (cache, position) indirection at exec time, so batch membership
+  // changes between replays without recapture.
+  std::atomic<std::int64_t> active_m{1};
+  std::vector<std::int64_t> row_pos;  // [m] absolute position per row
+  std::vector<KvCache*> row_caches;   // [m] KV cache per row
 
   Tensor x;         // [m, hidden] residual stream
   Tensor normed;    // [m, hidden]
@@ -37,6 +45,8 @@ struct HybridEngine::DecodeBuffers {
 
   DecodeBuffers(const MoeModelConfig& config, std::int64_t tokens) : m(tokens) {
     token_ids.resize(static_cast<std::size_t>(tokens), 0);
+    row_pos.resize(static_cast<std::size_t>(tokens), 0);
+    row_caches.resize(static_cast<std::size_t>(tokens), nullptr);
     x = Tensor({tokens, config.hidden}, DType::kF32);
     normed = Tensor({tokens, config.hidden}, DType::kF32);
     attn_out = Tensor({tokens, config.hidden}, DType::kF32);
@@ -64,6 +74,15 @@ HybridEngine::HybridEngine(MoeModelConfig config, std::shared_ptr<const ModelWei
       << "Expert Deferral must leave >= 2 immediate experts";
   KTX_CHECK_GE(options_.pipeline_stages, 1);
   KTX_CHECK_LE(options_.pipeline_stages, config_.num_layers);
+  KTX_CHECK_GE(options_.max_batch, 1);
+  // Bit-identity across batch compositions requires the ARI kernel-kind
+  // dispatch to be batch-invariant on the decode path: with top-1 routing a
+  // B-row batch can put up to B tokens on one expert, so any threshold below
+  // max_batch would flip experts from AVX-512 to AMX (bitwise-different
+  // kernels) purely based on who shares the batch. Wide prefill / verify
+  // batches still cross the floored threshold and use AMX.
+  options_.moe.ari_threshold =
+      std::max(options_.moe.ari_threshold, static_cast<std::int64_t>(options_.max_batch));
   if (options_.pipeline_stages > 1) {
     // Cross-stream events cannot be captured into a graph (as in real CUDA).
     options_.use_cuda_graph = false;
@@ -79,7 +98,7 @@ HybridEngine::HybridEngine(MoeModelConfig config, std::shared_ptr<const ModelWei
   service_ = std::make_unique<AsyncMoeService>(numa_moe_);
   // Pre-size the MoE forward workspaces at the decode shape so the steady
   // decode loop performs zero heap allocations from the first token.
-  service_->Reserve(/*max_tokens=*/8, /*max_slots=*/config_.top_k);
+  service_->Reserve(std::max<std::int64_t>(8, options_.max_batch), /*max_slots=*/config_.top_k);
 }
 
 HybridEngine::~HybridEngine() {
@@ -144,17 +163,26 @@ void HybridEngine::BuildCpuExperts() {
   }
 }
 
-void HybridEngine::EnqueueForward(DecodeBuffers* bufs, std::int64_t m, bool allow_deferral) {
+void HybridEngine::EnqueueForward(DecodeBuffers* bufs, std::int64_t m, bool allow_deferral,
+                                  bool batched) {
   const std::int64_t hidden = config_.hidden;
   const int n_def = allow_deferral ? options_.n_deferred : 0;
   const int last_layer = config_.num_layers - 1;
   const int first_moe = config_.first_dense_layers;
   VStream* stream = streams_[0].get();
 
+  // In batched mode the row count is a slot, not a capture constant: every
+  // kernel reads it at exec time so one captured graph serves any occupancy
+  // up to the buffer capacity `m`.
+  auto live = [bufs, m, batched] {
+    return batched ? bufs->active_m.load(std::memory_order_relaxed) : m;
+  };
+
   // Embedding lookup (stage 0).
   stream->Launch(KernelDesc{
       "embed",
-      [this, bufs, m] {
+      [this, bufs, live] {
+        const std::int64_t m = live();
         for (std::int64_t t = 0; t < m; ++t) {
           std::memcpy(bufs->x.f32() + t * config_.hidden,
                       weights_->embedding.f32() +
@@ -177,7 +205,8 @@ void HybridEngine::EnqueueForward(DecodeBuffers* bufs, std::int64_t m, bool allo
 
     stream->Launch(KernelDesc{
         "attn_norm",
-        [this, bufs, lw, m] {
+        [this, bufs, lw, live] {
+          const std::int64_t m = live();
           for (std::int64_t t = 0; t < m; ++t) {
             RmsNorm(bufs->x.f32() + t * config_.hidden, lw->attn_norm.f32(),
                     bufs->normed.f32() + t * config_.hidden, config_.hidden);
@@ -186,11 +215,20 @@ void HybridEngine::EnqueueForward(DecodeBuffers* bufs, std::int64_t m, bool allo
         0.0, 0.0, options_.gpu_micro_per_op});
     stream->Launch(KernelDesc{
         "attention",
-        [this, bufs, lw, m, l] {
-          const std::int64_t pos = bufs->pos0.load(std::memory_order_relaxed);
-          AttentionForward(config_, lw->attn, bufs->normed.f32(), m, pos,
-                           &active_cache_->layer(l),
-                           bufs->attn_out.f32());
+        [this, bufs, lw, l, live, batched] {
+          const std::int64_t m = live();
+          if (batched) {
+            // Each row is an independent single-token stream against its own
+            // KV cache — exactly the sequential m=1 math per row.
+            AttentionDecodeBatch(config_, lw->attn, bufs->normed.f32(), m,
+                                 bufs->row_pos.data(), bufs->row_caches.data(), l,
+                                 bufs->attn_out.f32());
+          } else {
+            const std::int64_t pos = bufs->pos0.load(std::memory_order_relaxed);
+            AttentionForward(config_, lw->attn, bufs->normed.f32(), m, pos,
+                             &active_cache_->layer(l),
+                             bufs->attn_out.f32());
+          }
           AddInPlace(bufs->x.f32(), bufs->attn_out.f32(), m * config_.hidden);
         },
         0.0, 0.0, options_.gpu_micro_per_op});
@@ -199,7 +237,8 @@ void HybridEngine::EnqueueForward(DecodeBuffers* bufs, std::int64_t m, bool allo
     float* ffn_in = moe_layer ? bufs->ffn_in[p].f32() : bufs->normed.f32();
     stream->Launch(KernelDesc{
         "ffn_norm",
-        [this, bufs, lw, m, ffn_in] {
+        [this, bufs, lw, ffn_in, live] {
+          const std::int64_t m = live();
           for (std::int64_t t = 0; t < m; ++t) {
             RmsNorm(bufs->x.f32() + t * config_.hidden, lw->ffn_norm.f32(),
                     ffn_in + t * config_.hidden, config_.hidden);
@@ -210,9 +249,9 @@ void HybridEngine::EnqueueForward(DecodeBuffers* bufs, std::int64_t m, bool allo
     if (!moe_layer) {
       stream->Launch(KernelDesc{
           "dense_ffn",
-          [this, bufs, lw, m, ffn_in] {
-            DenseFfnAdd(lw->dense_gate, lw->dense_up, lw->dense_down, ffn_in, m, config_.hidden,
-                        bufs->x.f32());
+          [this, bufs, lw, ffn_in, live] {
+            DenseFfnAdd(lw->dense_gate, lw->dense_up, lw->dense_down, ffn_in, live(),
+                        config_.hidden, bufs->x.f32());
           },
           0.0, 0.0, options_.gpu_micro_per_op});
       continue;
@@ -225,17 +264,20 @@ void HybridEngine::EnqueueForward(DecodeBuffers* bufs, std::int64_t m, bool allo
 
     stream->Launch(KernelDesc{
         "gating",
-        [this, bufs, lw, m, p, ffn_in] {
+        [this, bufs, lw, p, ffn_in, live] {
           bufs->routing[p] =
-              ComputeRouting(config_, lw->router, lw->router_bias, ffn_in, m);
+              ComputeRouting(config_, lw->router, lw->router_bias, ffn_in, live());
         },
         0.0, 0.0, options_.gpu_micro_per_op});
 
     // Submit: push immediate (and deferred) routed-expert work to the CPU.
+    // One request covers the whole row batch — this is the amortization a
+    // batched step buys: submit/sync overhead per iteration, not per row.
     MoeRequest* imm = bufs->imm_requests[static_cast<std::size_t>(l)].get();
     MoeRequest* def = bufs->def_requests[static_cast<std::size_t>(l)].get();
-    stream->LaunchHostFunc([this, bufs, m, p, l, ffn_in, imm, def, immediate_end,
-                             expert_base, hidden] {
+    stream->LaunchHostFunc([this, bufs, p, l, ffn_in, imm, def, immediate_end,
+                             expert_base, hidden, live] {
+      const std::int64_t m = live();
       // Routing ids are per-layer; offset them into the packed global table.
       // Routing is recomputed by the gating kernel on every (re)play, so the
       // per-layer ids are always fresh in [0, num_experts) here.
@@ -281,7 +323,8 @@ void HybridEngine::EnqueueForward(DecodeBuffers* bufs, std::int64_t m, bool allo
     // Shared experts run on the GPU, overlapping the CPU's immediate batch.
     stream->Launch(KernelDesc{
         "shared_experts",
-        [this, bufs, lw, m, ffn_in] {
+        [this, bufs, lw, ffn_in, live] {
+          const std::int64_t m = live();
           std::memset(bufs->moe_gpu_out.f32(), 0,
                       static_cast<std::size_t>(m * config_.hidden) * sizeof(float));
           if (config_.n_shared_experts > 0) {
@@ -301,7 +344,8 @@ void HybridEngine::EnqueueForward(DecodeBuffers* bufs, std::int64_t m, bool allo
     const bool has_prev_def = n_def > 0 && l > first_moe;
     stream->Launch(KernelDesc{
         "merge",
-        [this, bufs, m, p, has_prev_def] {
+        [this, bufs, p, has_prev_def, live] {
+          const std::int64_t m = live();
           AddInPlace(bufs->x.f32(), bufs->moe_gpu_out.f32(), m * config_.hidden);
           AddInPlace(bufs->x.f32(), bufs->moe_cpu_out[p].f32(), m * config_.hidden);
           if (has_prev_def) {
@@ -313,7 +357,8 @@ void HybridEngine::EnqueueForward(DecodeBuffers* bufs, std::int64_t m, bool allo
 
   stream->Launch(KernelDesc{
       "final_norm_lm_head",
-      [this, bufs, m] {
+      [this, bufs, live] {
+        const std::int64_t m = live();
         for (std::int64_t t = 0; t < m; ++t) {
           RmsNorm(bufs->x.f32() + t * config_.hidden, weights_->final_norm.f32(),
                   bufs->normed.f32() + t * config_.hidden, config_.hidden);
@@ -340,7 +385,7 @@ Tensor HybridEngine::Prefill(int session, const std::vector<int>& tokens) {
     bufs.pos0.store(cache->position());
     // Deferral is disabled in prefill (§4.1: prefill's expert coverage would
     // double the memory footprint).
-    EnqueueForward(&bufs, m, /*allow_deferral=*/false);
+    EnqueueForward(&bufs, m, /*allow_deferral=*/false, /*batched=*/false);
     SyncAllStreams();
     cache->Advance(m);
     counters_.prefill_tokens += m;
@@ -351,31 +396,71 @@ Tensor HybridEngine::Prefill(int session, const std::vector<int>& tokens) {
 }
 
 Tensor HybridEngine::DecodeStep(int session, int token) {
-  KvCache* cache = sessions_.at(static_cast<std::size_t>(session)).get();
-  active_cache_ = cache;
-  if (decode_bufs_ == nullptr) {
-    decode_bufs_ = std::make_unique<DecodeBuffers>(config_, 1);
+  return DecodeBatch({SessionToken{session, token}});
+}
+
+void HybridEngine::EnsureDecodeCapacity(std::int64_t rows) {
+  if (decode_bufs_ != nullptr && decode_bufs_->m >= rows) {
+    return;
   }
-  decode_bufs_->token_ids[0] = token;
-  decode_bufs_->pos0.store(cache->position());
+  // The first batch wider than 1 jumps straight to max_batch: growth then
+  // recaptures at most once, and later batches of any width up to max_batch
+  // replay the same graph. Pure batch-1 decode keeps the minimal buffers.
+  const std::int64_t capacity = rows <= 1 ? 1 : options_.max_batch;
+  if (decode_bufs_ != nullptr) {
+    // The old graph's kernels point into the old buffers; nothing may be in
+    // flight when they are released, and the graph must never replay again.
+    SyncAllStreams();
+    decode_graph_ = VGraph();
+    graph_ready_ = false;
+  }
+  decode_bufs_ = std::make_unique<DecodeBuffers>(config_, capacity);
+}
+
+Tensor HybridEngine::DecodeBatch(const std::vector<SessionToken>& batch) {
+  const auto b = static_cast<std::int64_t>(batch.size());
+  KTX_CHECK_GE(b, 1);
+  KTX_CHECK_LE(b, options_.max_batch) << "DecodeBatch wider than EngineOptions::max_batch";
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    for (std::size_t j = i + 1; j < batch.size(); ++j) {
+      KTX_CHECK(batch[i].session != batch[j].session)
+          << "DecodeBatch rows must target distinct sessions";
+    }
+  }
+  EnsureDecodeCapacity(b);
+  DecodeBuffers* bufs = decode_bufs_.get();
+  for (std::int64_t r = 0; r < b; ++r) {
+    KvCache* cache = sessions_.at(static_cast<std::size_t>(batch[static_cast<std::size_t>(r)].session)).get();
+    bufs->token_ids[static_cast<std::size_t>(r)] = batch[static_cast<std::size_t>(r)].token;
+    bufs->row_pos[static_cast<std::size_t>(r)] = cache->position();
+    bufs->row_caches[static_cast<std::size_t>(r)] = cache;
+  }
+  bufs->active_m.store(b, std::memory_order_relaxed);
+  active_cache_ = bufs->row_caches[0];
 
   if (options_.use_cuda_graph) {
     if (!graph_ready_) {
       // Capture once: the whole decode step, submit/sync callbacks included,
-      // becomes a single replayable graph.
+      // becomes a single replayable graph. Row count and per-row caches are
+      // slots, so later batches of any width <= capacity reuse this graph.
       streams_[0]->BeginCapture();
-      EnqueueForward(decode_bufs_.get(), 1, /*allow_deferral=*/true);
+      EnqueueForward(bufs, bufs->m, /*allow_deferral=*/true, /*batched=*/true);
       decode_graph_ = streams_[0]->EndCapture();
       graph_ready_ = true;
+      ++counters_.graph_captures;
     }
     decode_graph_.Launch(streams_[0].get());
   } else {
-    EnqueueForward(decode_bufs_.get(), 1, /*allow_deferral=*/true);
+    EnqueueForward(bufs, b, /*allow_deferral=*/true, /*batched=*/true);
   }
   SyncAllStreams();
-  cache->Advance(1);
+  for (std::int64_t r = 0; r < b; ++r) {
+    bufs->row_caches[static_cast<std::size_t>(r)]->Advance(1);
+  }
   ++counters_.decode_steps;
-  return decode_bufs_->logits.Clone();
+  counters_.decode_tokens += b;
+  counters_.max_decode_batch = std::max(counters_.max_decode_batch, b);
+  return bufs->logits.Slice(0, b).Clone();
 }
 
 Tensor HybridEngine::VerifyStep(int session, const std::vector<int>& tokens) {
@@ -390,10 +475,11 @@ Tensor HybridEngine::VerifyStep(int session, const std::vector<int>& tokens) {
   bufs.pos0.store(cache->position());
   // Eager multi-token decode: shapes vary per call, so no graph; deferral
   // applies as in single-token decode.
-  EnqueueForward(&bufs, m, /*allow_deferral=*/true);
+  EnqueueForward(&bufs, m, /*allow_deferral=*/true, /*batched=*/false);
   SyncAllStreams();
   cache->Advance(m);
-  counters_.decode_steps += m;
+  ++counters_.decode_steps;
+  counters_.decode_tokens += m;
   return bufs.logits.Clone();
 }
 

@@ -11,6 +11,20 @@
 // Dynamic state (token id, position) lives in slots the captured kernels read
 // at execution time, which is how a fixed graph serves a growing context.
 //
+// Batched decode: DecodeBatch() runs one forward pass for B single-token
+// rows — one per active session — in the same single graph replay. The
+// decode buffers are [capacity, ...]-shaped slot buffers and the captured
+// kernels read a per-row (KvCache*, position) indirection table plus a live
+// row count at exec time, so batch membership and size can change between
+// replays without recapture; only growth past the buffer capacity (bounded
+// by EngineOptions::max_batch) triggers one recapture. Each MoE layer
+// submits ONE B-token routed-expert request (immediate + deferred split
+// unchanged), amortizing submit/sync overhead and raising tokens-per-expert.
+// Per-row outputs are bit-identical to sequential DecodeStep calls: the
+// attention rows, the MoE reduce order (routing-slot order, see moe_cpu.h)
+// and the kernel-kind dispatch (ari_threshold floored at max_batch) are all
+// independent of batch composition.
+//
 // Expert Deferral (§4): with n_deferred = D > 0, each decode MoE layer k
 // submits its top-(top_k - D) slots as the *immediate* request and its bottom
 // D slots as the *deferred* request. The merge at layer k waits only for
@@ -59,6 +73,11 @@ struct EngineOptions {
   VDevice::Options device;
   // Tokens per prefill chunk.
   std::int64_t prefill_chunk = 256;
+  // Upper bound on DecodeBatch width (continuous-batching slot count). Also
+  // floors moe.ari_threshold so the decode kernel-kind dispatch cannot flip
+  // with batch occupancy — a prerequisite for bit-identical batched decode
+  // (native AMX/AVX-512 kernels differ bitwise from each other).
+  int max_batch = 8;
   // When false, the engine blocks on the CPU immediately after submitting
   // routed-expert work (the Fiddler/llama.cpp round-trip): no shared-expert
   // overlap, no deferral window. Baseline engines set this.
@@ -74,8 +93,24 @@ struct EngineOptions {
 
 struct EngineCounters {
   std::int64_t prefill_tokens = 0;
+  // Decode iterations (forward passes). A B-row DecodeBatch is ONE step.
   std::int64_t decode_steps = 0;
+  // Tokens decoded: a B-row DecodeBatch counts B; a VerifyStep counts its
+  // draft length.
+  std::int64_t decode_tokens = 0;
+  // Widest DecodeBatch seen so far.
+  std::int64_t max_decode_batch = 0;
+  // Decode graph captures (1 + one per capacity growth / deferral retune).
+  std::int64_t graph_captures = 0;
+  // Routed-expert requests submitted to the CPU service. One per MoE layer
+  // per decode step regardless of batch width (two with deferral).
   std::int64_t moe_requests = 0;
+};
+
+// One row of a batched decode step: advance `session` by one `token`.
+struct SessionToken {
+  int session = 0;
+  int token = 0;
 };
 
 class HybridEngine {
@@ -90,8 +125,15 @@ class HybridEngine {
   Tensor Prefill(int session, const std::vector<int>& tokens);
 
   // Decodes one token given the current cache; returns logits [1, vocab].
+  // Equivalent to (and implemented as) a batch-1 DecodeBatch.
   Tensor DecodeStep(int token) { return DecodeStep(0, token); }
   Tensor DecodeStep(int session, int token);
+
+  // Decodes one token for each of B distinct sessions in a single forward
+  // pass (one graph replay, one MoE request per layer). Returns logits
+  // [B, vocab], row r for batch[r]. Per-row results are bit-identical to B
+  // sequential DecodeStep calls. B must be in [1, options().max_batch].
+  Tensor DecodeBatch(const std::vector<SessionToken>& batch);
 
   // Multi-token verification step (speculative-decoding style): processes a
   // short run of draft tokens in one pass and returns logits [tokens, vocab]
@@ -110,8 +152,8 @@ class HybridEngine {
 
   // --- Sessions -------------------------------------------------------------
   // Each session owns an independent KV cache over the shared weights and
-  // captured decode graph (low-concurrency serving, one request at a time).
-  // Session 0 always exists.
+  // captured decode graph; DecodeBatch advances up to max_batch of them per
+  // replay. Session 0 always exists.
   int CreateSession();
   void Reset() { Reset(0); }
   void Reset(int session);
@@ -131,10 +173,17 @@ class HybridEngine {
   struct DecodeBuffers;
 
   void BuildCpuExperts();
-  // Enqueues the full layer stack for `m` tokens starting at the current
-  // cache position onto the stream. Used by prefill (eager) and by decode
-  // (optionally under capture). Buffers live in `bufs`.
-  void EnqueueForward(DecodeBuffers* bufs, std::int64_t m, bool allow_deferral);
+  // Enqueues the full layer stack onto the stream. Buffers live in `bufs`.
+  // With batched=false, processes `m` tokens of one sequence (active_cache_)
+  // starting at bufs->pos0 — the prefill / verify shape. With batched=true,
+  // `m` is the buffer capacity and every kernel reads the live row count and
+  // the per-row (cache, position) table from `bufs` at exec time — the
+  // capturable batched-decode shape.
+  void EnqueueForward(DecodeBuffers* bufs, std::int64_t m, bool allow_deferral, bool batched);
+  // Makes decode_bufs_ hold >= rows rows, invalidating the captured graph on
+  // growth (batch-1 stays at capacity 1; any wider batch jumps straight to
+  // max_batch so growth recaptures at most once).
+  void EnsureDecodeCapacity(std::int64_t rows);
 
   MoeModelConfig config_;
   std::shared_ptr<const ModelWeights> weights_;

@@ -101,12 +101,10 @@ struct MoeWorkspace {
   moe_detail::ScratchVec<std::int64_t> group_off;        // [G] first staging row
   moe_detail::ScratchVec<std::int64_t> group_fill;       // [G] pass-2 cursor
   moe_detail::ScratchVec<std::int64_t> token_rows;       // [rows] ascending per group
-  moe_detail::ScratchVec<float> gate_w;                  // [rows]
 
   // --- per-token contribution index; fixes the reduce summation order ---
   moe_detail::ScratchVec<std::int64_t> contrib_src;  // [tokens * S] staging row
   moe_detail::ScratchVec<float> contrib_w;           // [tokens * S]
-  moe_detail::ScratchVec<std::int32_t> token_fill;   // [tokens]
 
   // --- staging buffers, all groups flattened row-major ---
   moe_detail::ScratchVec<float> x_gathered;  // [rows, hidden]
@@ -181,10 +179,8 @@ void EnsureCapacity(MoeWorkspace* ws, const PackedExperts& ex, ThreadPool* pool,
   ws->group_off.EnsureCapacity(g_max);
   ws->group_fill.EnsureCapacity(g_max);
   ws->token_rows.EnsureCapacity(rows);
-  ws->gate_w.EnsureCapacity(rows);
   ws->contrib_src.EnsureCapacity(rows);
   ws->contrib_w.EnsureCapacity(rows);
-  ws->token_fill.EnsureCapacity(static_cast<std::size_t>(tokens));
   ws->x_gathered.EnsureCapacity(rows * static_cast<std::size_t>(hidden));
   ws->gate_up.EnsureCapacity(rows * static_cast<std::size_t>(2 * inter));
   ws->act.EnsureCapacity(rows * static_cast<std::size_t>(inter));
@@ -269,8 +265,11 @@ void ExecDown(MoeWorkspace* ws, std::int64_t idx) {
 }
 
 // Weighted scatter-add for one token band. The contribution index fixes the
-// per-token summation order (group-major), so the result does not depend on
-// which schedule or thread count produced the staged rows.
+// per-token summation order to routing-slot order, so the result depends
+// neither on which schedule or thread count produced the staged rows nor on
+// which other tokens share the batch (a token's sum is the same whether its
+// experts were grouped with one token or with many — the property batched
+// decode's bit-identity guarantee rests on).
 void ExecReduce(MoeWorkspace* ws, std::int64_t idx) {
   const std::int64_t t0 = idx * kReduceBand;
   const std::int64_t t1 = std::min(ws->tokens, t0 + kReduceBand);
@@ -459,12 +458,18 @@ void CpuMoe::Forward(const float* x, std::int64_t tokens, const MoeRouting& rout
     total_rows += te;
     max_group = std::max(max_group, te);
   }
+  // Pass 2 also builds the per-token contribution index in routing-slot
+  // order: token t's reduce sums its slots in [slot_begin, slot_end) order
+  // regardless of how its experts were grouped, so the per-row result is
+  // invariant to batch composition (sequential vs batched decode).
   for (std::int64_t t = 0; t < tokens; ++t) {
     for (int s = slot_begin; s < slot_end; ++s) {
       const auto g = static_cast<std::size_t>(goe[routing.id(t, s)]);
       const std::int64_t pos = ws->group_off[g] + ws->group_fill[g]++;
       ws->token_rows[static_cast<std::size_t>(pos)] = t;
-      ws->gate_w[static_cast<std::size_t>(pos)] = routing.weight(t, s);
+      const std::int64_t idx = t * window + (s - slot_begin);
+      ws->contrib_src[static_cast<std::size_t>(idx)] = pos;
+      ws->contrib_w[static_cast<std::size_t>(idx)] = routing.weight(t, s);
     }
   }
   // Restore the sentinel for the next call (touch only activated entries).
@@ -472,19 +477,11 @@ void CpuMoe::Forward(const float* x, std::int64_t tokens, const MoeRouting& rout
     goe[ws->group_expert[static_cast<std::size_t>(g)]] = -1;
   }
 
-  // --- Gather inputs; build the per-token contribution index (group-major
-  // order, which fixes the reduce summation order). ---------------------------
+  // --- Gather inputs for the staged Gate/Up rows. ---------------------------
   float* xg = ws->x_gathered.data();
   for (std::int64_t a = 0; a < total_rows; ++a) {
     std::memcpy(xg + a * hidden, x + ws->token_rows[static_cast<std::size_t>(a)] * hidden,
                 static_cast<std::size_t>(hidden) * sizeof(float));
-  }
-  std::memset(ws->token_fill.data(), 0, static_cast<std::size_t>(tokens) * sizeof(std::int32_t));
-  for (std::int64_t a = 0; a < total_rows; ++a) {
-    const std::int64_t t = ws->token_rows[static_cast<std::size_t>(a)];
-    const std::int64_t idx = t * window + ws->token_fill[static_cast<std::size_t>(t)]++;
-    ws->contrib_src[static_cast<std::size_t>(idx)] = a;
-    ws->contrib_w[static_cast<std::size_t>(idx)] = ws->gate_w[static_cast<std::size_t>(a)];
   }
 
   // --- Task counts and chaining countdowns. ---------------------------------

@@ -16,8 +16,10 @@
 // atomic countdowns instead of global barriers); a reduce band runs as soon as
 // every expert contributing to its tokens has staged its outputs. The static
 // schedule keeps the classic three-batch block partition. Either way the
-// summation order per token is fixed by a precomputed contribution index, so
-// outputs are bit-identical across schedules and thread counts. This is what
+// summation order per token is fixed by a precomputed contribution index laid
+// out in routing-slot order, so outputs are bit-identical across schedules,
+// thread counts, and batch compositions (a token's reduce order never depends
+// on which other tokens share the call). This is what
 // absorbs the heavy expert-activation imbalance of the prefill phase (up to
 // 1.83x, Fig. 14 'd'). The kernel kind per expert follows the
 // arithmetic-intensity rule of Fig. 7: <= ari_threshold tokens -> AVX-512,
@@ -98,6 +100,9 @@ struct MoeOptions {
 };
 
 struct MoeStats {
+  // Routed-expert requests completed (one per AsyncMoeService request,
+  // regardless of batch width — a B-token batched submit counts once).
+  std::int64_t requests = 0;
   std::int64_t tokens = 0;
   int activated_experts = 0;
   std::int64_t max_tokens_per_expert = 0;

@@ -212,6 +212,15 @@ void AttentionForward(const MoeModelConfig& config, const AttentionWeights& w, c
   }
 }
 
+void AttentionDecodeBatch(const MoeModelConfig& config, const AttentionWeights& w, const float* x,
+                          std::int64_t rows, const std::int64_t* positions,
+                          KvCache* const* caches, int layer, float* out) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    AttentionForward(config, w, x + r * config.hidden, /*m=*/1, positions[r],
+                     &caches[r]->layer(layer), out + r * config.hidden);
+  }
+}
+
 AttentionCost EstimateAttentionCost(const MoeModelConfig& config, std::int64_t m,
                                     std::int64_t seq, double bytes_per_weight) {
   AttentionCost cost;

@@ -42,6 +42,15 @@ void ApplyRope(float* vec, std::int64_t dim, std::int64_t pos);
 void AttentionForward(const MoeModelConfig& config, const AttentionWeights& w, const float* x,
                       std::int64_t m, std::int64_t pos0, KvLayerCache* cache, float* out);
 
+// Batched decode: `rows` independent single-token streams, one per row of
+// x[rows, hidden]. Row r attends against caches[r]->layer(layer) at absolute
+// position positions[r]. Each row runs the exact m=1 AttentionForward math, so
+// outputs are bit-identical to `rows` sequential single-session decode steps
+// in any batch composition.
+void AttentionDecodeBatch(const MoeModelConfig& config, const AttentionWeights& w, const float* x,
+                          std::int64_t rows, const std::int64_t* positions,
+                          KvCache* const* caches, int layer, float* out);
+
 // FLOP / byte estimates for the cost model (per layer, given m new tokens at
 // context length `seq`). Accounts for MLA matrix absorption on the decode
 // path when config.attention == kMla.

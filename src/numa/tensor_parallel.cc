@@ -1,5 +1,6 @@
 #include "src/numa/tensor_parallel.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/common/logging.h"
@@ -82,9 +83,26 @@ void NumaMoe::Forward(const float* x, std::int64_t tokens, const MoeRouting& rou
                       int slot_begin, int slot_end, float* y, MoeStats* stats) const {
   if (options_.mode == NumaMode::kTensorParallel) {
     // Each shard computes its SwiGLU slice and a partial Down projection from
-    // node-local weights; accumulating into y is the reduce step.
-    for (const CpuMoe& moe : shard_moes_) {
-      moe.Forward(x, tokens, routing, slot_begin, slot_end, y, stats);
+    // node-local weights; accumulating into y is the reduce step. Logical
+    // fields (tokens, activated experts, load peak) describe the request, not
+    // the shard, so they are taken from one shard; mechanical fields (tasks,
+    // kernel calls, flops) sum across shards.
+    for (std::size_t s = 0; s < shard_moes_.size(); ++s) {
+      MoeStats local;
+      shard_moes_[s].Forward(x, tokens, routing, slot_begin, slot_end, y,
+                             stats != nullptr ? &local : nullptr);
+      if (stats != nullptr) {
+        if (s == 0) {
+          stats->tokens += local.tokens;
+          stats->activated_experts += local.activated_experts;
+          stats->max_tokens_per_expert =
+              std::max(stats->max_tokens_per_expert, local.max_tokens_per_expert);
+        }
+        stats->subtasks += local.subtasks;
+        stats->amx_calls += local.amx_calls;
+        stats->avx512_calls += local.avx512_calls;
+        stats->useful_flops += local.useful_flops;
+      }
     }
     return;
   }

@@ -6,8 +6,8 @@
 
 namespace ktx {
 
-ServingLoop::ServingLoop(HybridEngine* engine, int max_concurrent)
-    : engine_(engine), max_concurrent_(max_concurrent) {
+ServingLoop::ServingLoop(HybridEngine* engine, int max_concurrent, bool batched_decode)
+    : engine_(engine), max_concurrent_(max_concurrent), batched_decode_(batched_decode) {
   KTX_CHECK(engine_ != nullptr);
   KTX_CHECK_GE(max_concurrent_, 1);
 }
@@ -43,38 +43,71 @@ void ServingLoop::AdmitFromQueue() {
   }
 }
 
-bool ServingLoop::StepOne(Active* active) {
+bool ServingLoop::ConsumeToken(Active* active) {
   if (active->request.eos_token >= 0 && active->last_token == active->request.eos_token) {
     active->result.stopped_at_eos = true;
     return true;
   }
   active->result.tokens.push_back(active->last_token);
   ++stats_.tokens_generated;
-  if (static_cast<int>(active->result.tokens.size()) >= active->request.max_new_tokens) {
-    return true;
+  return static_cast<int>(active->result.tokens.size()) >= active->request.max_new_tokens;
+}
+
+void ServingLoop::Retire(std::size_t index) {
+  active_[index].result.total_seconds = active_[index].clock.ElapsedSeconds();
+  free_sessions_.push_back(active_[index].session);
+  completed_.push_back(std::move(active_[index].result));
+  ++stats_.requests_completed;
+  active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+void ServingLoop::DecodeActive() {
+  if (!batched_decode_) {
+    for (Active& active : active_) {
+      ++stats_.decode_iterations;
+      ++stats_.decoded_tokens;
+      stats_.peak_batch = std::max(stats_.peak_batch, 1);
+      const Tensor logits = engine_->DecodeStep(active.session, active.last_token);
+      active.last_token = active.sampler.Sample(logits);
+    }
+    return;
   }
-  const Tensor logits = engine_->DecodeStep(active->session, active->last_token);
-  active->last_token = active->sampler.Sample(logits);
-  return false;
+  // One DecodeBatch sweep over every surviving request (chunked only if the
+  // configured concurrency exceeds the engine's batch capacity).
+  const auto max_batch = static_cast<std::size_t>(engine_->options().max_batch);
+  for (std::size_t begin = 0; begin < active_.size(); begin += max_batch) {
+    const std::size_t rows = std::min(max_batch, active_.size() - begin);
+    std::vector<SessionToken> batch(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      batch[r] = SessionToken{active_[begin + r].session, active_[begin + r].last_token};
+    }
+    const Tensor logits = engine_->DecodeBatch(batch);
+    for (std::size_t r = 0; r < rows; ++r) {
+      Active& active = active_[begin + r];
+      active.last_token =
+          active.sampler.Sample(logits.Slice(static_cast<std::int64_t>(r), 1));
+    }
+    ++stats_.decode_iterations;
+    stats_.decoded_tokens += static_cast<std::int64_t>(rows);
+    stats_.peak_batch = std::max(stats_.peak_batch, static_cast<int>(rows));
+  }
 }
 
 std::vector<GenerationResult> ServingLoop::RunToCompletion() {
   completed_.clear();
   while (!queue_.empty() || !active_.empty()) {
     AdmitFromQueue();
-    // One round-robin sweep: one token of progress per active request.
+    // Consume each request's pending sampled token; retire finished rows in
+    // place so their slots refill from the queue next iteration.
     for (std::size_t i = 0; i < active_.size();) {
-      ++stats_.decode_iterations;
-      if (StepOne(&active_[i])) {
-        active_[i].result.total_seconds = active_[i].clock.ElapsedSeconds();
-        free_sessions_.push_back(active_[i].session);
-        completed_.push_back(std::move(active_[i].result));
-        ++stats_.requests_completed;
-        active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+      if (ConsumeToken(&active_[i])) {
+        Retire(i);
       } else {
         ++i;
       }
     }
+    // Everyone still active needs exactly one more token: one batched sweep.
+    DecodeActive();
   }
   return std::move(completed_);
 }

@@ -3,10 +3,14 @@
 //
 // Requests queue FIFO; the loop admits up to `max_concurrent` generations,
 // each on its own engine session (independent KV cache over the shared
-// weights and captured decode graph), prefills on admission, then round-robin
-// decodes one token per active request per iteration. Decoding stays batch-1
-// per step — the regime every KTransformers optimization targets — while
-// interleaving gives concurrent requests fair progress.
+// weights and captured decode graph), and prefills on admission. Decoding is
+// *continuous batching*: every iteration admits from the queue into free
+// slots, decodes ALL active requests in one HybridEngine::DecodeBatch call
+// (one graph replay, one MoE request per layer for the whole batch), and
+// retires finished rows in place — a freed slot is refilled on the very next
+// iteration. Per-request outputs are bit-identical to the sequential batch-1
+// loop (engine guarantee); `batched_decode = false` keeps the old round-robin
+// DecodeStep loop, which tests use as the reference.
 //
 // Single-threaded by design: the engine already parallelizes inside each
 // step (CPU worker pool + GPU stream), and the control flow here is the
@@ -48,13 +52,23 @@ class ServingLoop {
   struct Stats {
     std::int64_t requests_completed = 0;
     std::int64_t tokens_generated = 0;
+    // Engine decode calls: one per DecodeBatch (batched) / DecodeStep
+    // (sequential). Batching shows up as fewer iterations for the same
+    // tokens_generated.
     std::int64_t decode_iterations = 0;
+    // Tokens produced by those decode calls (excludes the prefill-sampled
+    // first token of each request).
+    std::int64_t decoded_tokens = 0;
     int peak_concurrency = 0;
+    // Widest single decode batch issued.
+    int peak_batch = 0;
   };
 
   // The engine must outlive the loop. `max_concurrent` bounds simultaneously
-  // active generations (sessions are pooled and reused).
-  ServingLoop(HybridEngine* engine, int max_concurrent = 2);
+  // active generations (sessions are pooled and reused). `batched_decode`
+  // selects continuous batching (default) vs. the round-robin batch-1
+  // reference loop.
+  ServingLoop(HybridEngine* engine, int max_concurrent = 2, bool batched_decode = true);
 
   // Enqueues a request; returns its id. Thread-compatible (call from the
   // same thread as Run*).
@@ -62,7 +76,7 @@ class ServingLoop {
 
   std::size_t pending() const { return queue_.size() + active_.size(); }
 
-  // Runs admission + round-robin decode until everything queued completes.
+  // Runs admission + batched decode until everything queued completes.
   // Results are returned in completion order.
   std::vector<GenerationResult> RunToCompletion();
 
@@ -83,11 +97,17 @@ class ServingLoop {
   };
 
   void AdmitFromQueue();
-  // Advances one request by one token; returns true if it finished.
-  bool StepOne(Active* active);
+  // Consumes `active`'s pending sampled token; returns true if the request
+  // is finished (EOS or max_new_tokens) and should be retired.
+  bool ConsumeToken(Active* active);
+  void Retire(std::size_t index);
+  // Decodes one token for every active request: one DecodeBatch sweep
+  // (chunked by the engine's max_batch) or sequential DecodeSteps.
+  void DecodeActive();
 
   HybridEngine* engine_;
   int max_concurrent_;
+  bool batched_decode_;
   std::uint64_t next_id_ = 1;
   std::deque<std::pair<std::uint64_t, GenerationRequest>> queue_;
   std::vector<Active> active_;

@@ -1,0 +1,149 @@
+// Batched multi-session decode: bit-identity against sequential DecodeStep,
+// recapture policy, and counter/request amortization.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/engine.h"
+
+namespace ktx {
+namespace {
+
+struct Fixture {
+  MoeModelConfig config = TinyMoeConfig();
+  std::shared_ptr<const ModelWeights> weights =
+      std::make_shared<const ModelWeights>(ModelWeights::Generate(TinyMoeConfig(), 77));
+};
+
+// Decodes `steps` greedy tokens for every session, batched on `engine` and
+// sequentially on per-session solo engines, and requires bitwise-equal logits
+// for every (session, step).
+void ExpectBatchedMatchesSequential(const MoeModelConfig& config,
+                                    std::shared_ptr<const ModelWeights> weights,
+                                    EngineOptions opts,
+                                    const std::vector<std::vector<int>>& prompts, int steps) {
+  HybridEngine batched(config, weights, opts);
+  std::vector<int> sessions;
+  std::vector<int> next_batched;
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    const int s = i == 0 ? 0 : batched.CreateSession();
+    sessions.push_back(s);
+    next_batched.push_back(ArgmaxLastToken(batched.Prefill(s, prompts[i])));
+  }
+
+  std::vector<std::unique_ptr<HybridEngine>> solos;
+  std::vector<int> next_solo;
+  for (const std::vector<int>& prompt : prompts) {
+    solos.push_back(std::make_unique<HybridEngine>(config, weights, opts));
+    next_solo.push_back(ArgmaxLastToken(solos.back()->Prefill(prompt)));
+  }
+
+  for (int step = 0; step < steps; ++step) {
+    std::vector<SessionToken> batch;
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+      batch.push_back(SessionToken{sessions[i], next_batched[i]});
+    }
+    const Tensor logits = batched.DecodeBatch(batch);
+    ASSERT_EQ(logits.dim(0), static_cast<std::int64_t>(prompts.size()));
+    for (std::size_t i = 0; i < prompts.size(); ++i) {
+      ASSERT_EQ(next_batched[i], next_solo[i]) << "diverged before step " << step;
+      const Tensor row = logits.Slice(static_cast<std::int64_t>(i), 1).Clone();
+      const Tensor solo = solos[i]->DecodeStep(next_solo[i]);
+      EXPECT_EQ(MaxAbsDiff(row, solo), 0.0f) << "session " << i << " step " << step;
+      next_batched[i] = ArgmaxLastToken(row);
+      next_solo[i] = ArgmaxLastToken(solo);
+    }
+  }
+}
+
+TEST(BatchedDecodeTest, BitIdenticalToSequentialDecode) {
+  Fixture f;
+  ExpectBatchedMatchesSequential(f.config, f.weights, EngineOptions{},
+                                 {{1, 2, 3}, {9, 8}, {4, 5, 6, 7}}, 4);
+}
+
+TEST(BatchedDecodeTest, BitIdenticalWithExpertDeferral) {
+  Fixture f;
+  EngineOptions opts;
+  opts.n_deferred = 1;
+  ExpectBatchedMatchesSequential(f.config, f.weights, opts, {{2, 4}, {6, 8, 10}}, 4);
+}
+
+TEST(BatchedDecodeTest, BitIdenticalWithMlaAttention) {
+  const MoeModelConfig config = TinyMlaConfig();
+  auto weights = std::make_shared<const ModelWeights>(ModelWeights::Generate(config, 78));
+  ExpectBatchedMatchesSequential(config, weights, EngineOptions{}, {{3, 1}, {4, 1, 5}}, 3);
+}
+
+TEST(BatchedDecodeTest, BitIdenticalWithoutCudaGraph) {
+  Fixture f;
+  EngineOptions opts;
+  opts.use_cuda_graph = false;
+  ExpectBatchedMatchesSequential(f.config, f.weights, opts, {{1, 2}, {3, 4}}, 3);
+}
+
+TEST(BatchedDecodeTest, MembershipChangesWithoutRecapture) {
+  // One capture at batch-1 capacity, one on growth past it; afterwards any
+  // width / membership up to max_batch replays the same graph.
+  Fixture f;
+  HybridEngine engine(f.config, f.weights, EngineOptions{});
+  const int s1 = engine.CreateSession();
+  const int s2 = engine.CreateSession();
+  engine.Prefill(0, {1});
+  engine.Prefill(s1, {2});
+  engine.Prefill(s2, {3});
+
+  engine.DecodeStep(0, 4);  // capture #1 (capacity 1)
+  EXPECT_EQ(engine.counters().graph_captures, 1);
+  engine.DecodeBatch({{0, 5}, {s1, 6}, {s2, 7}});  // growth -> capture #2
+  EXPECT_EQ(engine.counters().graph_captures, 2);
+  engine.DecodeBatch({{s2, 8}, {0, 9}});      // narrower, reordered
+  engine.DecodeBatch({{s1, 1}, {s2, 2}, {0, 3}});  // full width again
+  engine.DecodeStep(s1, 4);                   // back to batch 1
+  EXPECT_EQ(engine.counters().graph_captures, 2);
+  // Every decode call was exactly one graph launch.
+  EXPECT_EQ(engine.device().stats().graph_launches.load(), 5);
+}
+
+TEST(BatchedDecodeTest, CountersAmortizeAcrossBatch) {
+  Fixture f;
+  HybridEngine engine(f.config, f.weights, EngineOptions{});
+  const int s1 = engine.CreateSession();
+  const int s2 = engine.CreateSession();
+  engine.Prefill(0, {1});
+  engine.Prefill(s1, {2});
+  engine.Prefill(s2, {3});
+  const std::int64_t moe_layers = f.config.num_layers - f.config.first_dense_layers;
+  const std::int64_t requests_after_prefill = engine.counters().moe_requests;
+
+  engine.DecodeBatch({{0, 4}, {s1, 5}, {s2, 6}});
+  // A 3-row step is ONE iteration, THREE tokens, and one MoE request per MoE
+  // layer (no deferral) — not 3x.
+  EXPECT_EQ(engine.counters().decode_steps, 1);
+  EXPECT_EQ(engine.counters().decode_tokens, 3);
+  EXPECT_EQ(engine.counters().max_decode_batch, 3);
+  EXPECT_EQ(engine.counters().moe_requests - requests_after_prefill, moe_layers);
+  // The CPU service saw the same number of requests it completed.
+  EXPECT_EQ(engine.moe_stats().requests, engine.counters().moe_requests);
+}
+
+TEST(BatchedDecodeTest, TensorParallelStatsCountTokensOnce) {
+  // With 2 TP shards every request runs on both shards; logical stats must
+  // still count each token once (mechanical stats sum over shards).
+  Fixture f;
+  HybridEngine engine(f.config, f.weights, EngineOptions{});  // TP x2 default
+  const int s1 = engine.CreateSession();
+  engine.Prefill(0, {1});
+  engine.Prefill(s1, {2});
+  const MoeStats before = engine.moe_stats();
+  engine.DecodeBatch({{0, 3}, {s1, 4}});
+  const MoeStats after = engine.moe_stats();
+  const std::int64_t moe_layers = f.config.num_layers - f.config.first_dense_layers;
+  EXPECT_EQ(after.tokens - before.tokens, 2 * moe_layers);
+  EXPECT_LE(after.max_tokens_per_expert, 2);
+}
+
+}  // namespace
+}  // namespace ktx

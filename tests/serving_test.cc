@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <tuple>
 
 #include "src/serve/serving.h"
 
@@ -98,6 +100,135 @@ TEST(ServingTest, EosStopsGeneration) {
   ASSERT_EQ(results.size(), 1u);
   EXPECT_TRUE(results[0].stopped_at_eos);
   EXPECT_TRUE(results[0].tokens.empty());
+}
+
+TEST(ServingTest, BatchedLoopMatchesSequentialLoop) {
+  // Continuous batching must emit token-for-token what the round-robin
+  // batch-1 reference loop emits, with fewer engine decode calls.
+  Fixture f;
+  ServingLoop batched(f.engine.get(), 3, /*batched_decode=*/true);
+  HybridEngine seq_engine(f.config, f.weights, EngineOptions{});
+  ServingLoop sequential(&seq_engine, 3, /*batched_decode=*/false);
+  for (ServingLoop* loop : {&batched, &sequential}) {
+    loop->Submit(Req({1, 2}, 5));
+    loop->Submit(Req({7, 8, 9}, 4));
+    loop->Submit(Req({4}, 6));
+  }
+  const auto batched_results = batched.RunToCompletion();
+  const auto sequential_results = sequential.RunToCompletion();
+  ASSERT_EQ(batched_results.size(), 3u);
+  ASSERT_EQ(sequential_results.size(), 3u);
+  for (const GenerationResult& br : batched_results) {
+    const auto it =
+        std::find_if(sequential_results.begin(), sequential_results.end(),
+                     [&](const GenerationResult& sr) { return sr.id == br.id; });
+    ASSERT_NE(it, sequential_results.end());
+    EXPECT_EQ(br.tokens, it->tokens) << "request " << br.id;
+  }
+  EXPECT_EQ(batched.stats().tokens_generated, sequential.stats().tokens_generated);
+  EXPECT_EQ(batched.stats().peak_batch, 3);
+  EXPECT_LT(batched.stats().decode_iterations, sequential.stats().decode_iterations);
+}
+
+TEST(ServingTest, MidFlightAdmissionRefillsFreedSlots) {
+  // A short request retires mid-flight; the queued one takes over its slot
+  // while the long request keeps decoding in the same batch — and every
+  // output still matches its isolated run.
+  Fixture f;
+  ServingLoop loop(f.engine.get(), 2);
+  loop.Submit(Req({1, 2}, 2));      // retires first
+  loop.Submit(Req({7, 8, 9}, 7));   // stays resident
+  loop.Submit(Req({4}, 3));         // admitted mid-flight
+  const auto results = loop.RunToCompletion();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(loop.stats().peak_concurrency, 2);
+  EXPECT_EQ(loop.stats().peak_batch, 2);
+
+  for (const auto& [id, prompt, max_new] :
+       {std::tuple<std::uint64_t, std::vector<int>, int>{1, {1, 2}, 2},
+        std::tuple<std::uint64_t, std::vector<int>, int>{2, {7, 8, 9}, 7},
+        std::tuple<std::uint64_t, std::vector<int>, int>{3, {4}, 3}}) {
+    HybridEngine solo(f.config, f.weights, EngineOptions{});
+    const std::vector<int> expect = solo.GenerateGreedy(prompt, max_new);
+    const auto it = std::find_if(results.begin(), results.end(),
+                                 [&](const GenerationResult& r) { return r.id == id; });
+    ASSERT_NE(it, results.end());
+    EXPECT_EQ(it->tokens, expect) << "request " << id;
+  }
+}
+
+TEST(ServingTest, EosMidBatchStopsOnlyThatRequest) {
+  Fixture f;
+  // Probe greedy output over a few prompts for a token whose FIRST occurrence
+  // is past position 0 — using it as EOS forces a stop strictly mid-request.
+  std::vector<int> prompt;
+  std::vector<int> probe_out;
+  int eos = -1;
+  std::size_t eos_at = 0;
+  for (const std::vector<int>& candidate :
+       {std::vector<int>{5, 5}, {1, 2, 3}, {9}, {2, 7}}) {
+    HybridEngine probe(f.config, f.weights, EngineOptions{});
+    const std::vector<int> out = probe.GenerateGreedy(candidate, 8);
+    for (std::size_t k = 1; k < out.size(); ++k) {
+      if (std::find(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(k), out[k]) ==
+          out.begin() + static_cast<std::ptrdiff_t>(k)) {
+        prompt = candidate;
+        probe_out = out;
+        eos = out[k];
+        eos_at = k;
+        break;
+      }
+    }
+    if (eos >= 0) {
+      break;
+    }
+  }
+  ASSERT_GE(eos, 0) << "no prompt produced a mid-stream novel token";
+
+  ServingLoop loop(f.engine.get(), 2);
+  GenerationRequest stopping = Req(prompt, 10);
+  stopping.eos_token = eos;  // stops after emitting eos_at tokens
+  loop.Submit(std::move(stopping));
+  loop.Submit(Req({1, 2, 3}, 6));  // unaffected neighbor in the same batch
+  const auto results = loop.RunToCompletion();
+  ASSERT_EQ(results.size(), 2u);
+
+  const auto stopped = std::find_if(results.begin(), results.end(),
+                                    [](const GenerationResult& r) { return r.id == 1; });
+  ASSERT_NE(stopped, results.end());
+  EXPECT_TRUE(stopped->stopped_at_eos);
+  EXPECT_EQ(stopped->tokens,
+            std::vector<int>(probe_out.begin(),
+                             probe_out.begin() + static_cast<std::ptrdiff_t>(eos_at)));
+
+  HybridEngine solo(f.config, f.weights, EngineOptions{});
+  const auto other = std::find_if(results.begin(), results.end(),
+                                  [](const GenerationResult& r) { return r.id == 2; });
+  ASSERT_NE(other, results.end());
+  EXPECT_FALSE(other->stopped_at_eos);
+  EXPECT_EQ(other->tokens, solo.GenerateGreedy({1, 2, 3}, 6));
+}
+
+TEST(ServingTest, BatchedSweepStatsAreFair) {
+  // 3 equal-length requests admitted together: every sweep decodes all 3
+  // (peak_batch 3), nobody starves, and the iteration count is max_new - 1
+  // (the first token of each request comes from prefill).
+  Fixture f;
+  ServingLoop loop(f.engine.get(), 3);
+  for (int i = 0; i < 3; ++i) {
+    loop.Submit(Req({i + 1}, 5));
+  }
+  const auto results = loop.RunToCompletion();
+  ASSERT_EQ(results.size(), 3u);
+  for (const GenerationResult& r : results) {
+    EXPECT_EQ(r.tokens.size(), 5u);
+  }
+  EXPECT_EQ(loop.stats().tokens_generated, 15);
+  EXPECT_EQ(loop.stats().decoded_tokens, 12);
+  EXPECT_EQ(loop.stats().decode_iterations, 4);
+  EXPECT_EQ(loop.stats().peak_batch, 3);
+  EXPECT_EQ(loop.stats().peak_concurrency, 3);
+  EXPECT_EQ(f.engine->counters().max_decode_batch, 3);
 }
 
 TEST(ServingTest, SampledRequestsAreSeedDeterministic) {
