@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "src/serve/serving.h"
 
@@ -24,7 +25,8 @@ int main() {
 
   ktx::ServingLoop loop(&engine, /*max_concurrent=*/2);
 
-  // A mixed workload: greedy and sampled, short and long.
+  // A mixed workload: greedy and sampled, short and long. One request is
+  // deliberately malformed to show the recoverable rejection path.
   for (int i = 0; i < 5; ++i) {
     ktx::GenerationRequest request;
     request.prompt = {10 + i, 20 + i, 30 + i};
@@ -39,21 +41,38 @@ int main() {
                 static_cast<unsigned long long>(id), i % 2 == 1 ? "sampled" : "greedy",
                 6 + 2 * i);
   }
+  {
+    ktx::GenerationRequest bad;
+    bad.prompt = {};  // empty prompt: rejected at submit, never aborts
+    bad.max_new_tokens = 4;
+    const std::uint64_t id = loop.Submit(std::move(bad));
+    std::printf("queued request %llu (intentionally invalid)\n",
+                static_cast<unsigned long long>(id));
+  }
 
   const auto results = loop.RunToCompletion();
   std::printf("\ncompleted %zu requests:\n", results.size());
   for (const auto& r : results) {
-    std::printf("  #%llu (%lld-token prompt) ->", static_cast<unsigned long long>(r.id),
-                static_cast<long long>(r.prompt_tokens));
+    const std::string reason(ktx::FinishReasonName(r.finish_reason));
+    std::printf("  #%llu (%lld-token prompt, %s) ->", static_cast<unsigned long long>(r.id),
+                static_cast<long long>(r.prompt_tokens), reason.c_str());
     for (int t : r.tokens) {
       std::printf(" %d", t);
     }
-    std::printf("\n");
+    if (!r.ok) {
+      std::printf(" [%s]", r.status.ToString().c_str());
+    }
+    std::printf("\n    queue %.3f ms, ttft %.3f ms, total %.3f ms\n",
+                r.queue_seconds * 1e3, r.time_to_first_token_s * 1e3,
+                r.total_seconds * 1e3);
   }
 
   const auto& stats = loop.stats();
-  std::printf("\nserving stats: %lld requests, %lld tokens, peak concurrency %d\n",
+  std::printf("\nserving stats: %lld requests (%lld rejected, %lld failed), "
+              "%lld tokens, peak concurrency %d\n",
               static_cast<long long>(stats.requests_completed),
+              static_cast<long long>(stats.requests_rejected),
+              static_cast<long long>(stats.requests_failed),
               static_cast<long long>(stats.tokens_generated), stats.peak_concurrency);
   std::printf("engine: %d sessions created, %lld graph replays, %lld CPU MoE requests\n",
               engine.num_sessions(),

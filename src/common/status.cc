@@ -22,8 +22,23 @@ std::string_view StatusCodeName(StatusCode code) {
       return "NOT_FOUND";
     case StatusCode::kAlreadyExists:
       return "ALREADY_EXISTS";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
+}
+
+Status Status::WithContext(std::string frame) const {
+  if (ok()) {
+    return *this;
+  }
+  auto rep = std::make_shared<Rep>(rep_->code, rep_->message);
+  rep->context.reserve(rep_->context.size() + 1);
+  rep->context.push_back(std::move(frame));
+  rep->context.insert(rep->context.end(), rep_->context.begin(), rep_->context.end());
+  Status out;
+  out.rep_ = std::move(rep);
+  return out;
 }
 
 std::string Status::ToString() const {
@@ -32,6 +47,10 @@ std::string Status::ToString() const {
   }
   std::string out(StatusCodeName(code()));
   out += ": ";
+  for (const std::string& frame : context()) {
+    out += frame;
+    out += ": ";
+  }
   out += message();
   return out;
 }
@@ -59,6 +78,9 @@ Status NotFoundError(std::string message) {
 }
 Status AlreadyExistsError(std::string message) {
   return Status(StatusCode::kAlreadyExists, std::move(message));
+}
+Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
 }
 
 }  // namespace ktx

@@ -12,6 +12,7 @@
 #include <string_view>
 #include <utility>
 #include <variant>
+#include <vector>
 
 namespace ktx {
 
@@ -25,6 +26,7 @@ enum class StatusCode {
   kResourceExhausted,
   kNotFound,
   kAlreadyExists,
+  kDeadlineExceeded,
 };
 
 // Human-readable name of a status code, e.g. "INVALID_ARGUMENT".
@@ -45,10 +47,23 @@ class Status {
     return rep_ ? rep_->message : kEmpty;
   }
 
+  // Context frames attached by WithContext, outermost (most recent) first.
+  const std::vector<std::string>& context() const {
+    static const std::vector<std::string> kEmpty;
+    return rep_ ? rep_->context : kEmpty;
+  }
+
+  // Returns a copy of this status with `frame` pushed onto the context chain
+  // ("where was I when this bubbled up"). No-op on OK. The original status is
+  // unchanged; reps are immutable and shared.
+  Status WithContext(std::string frame) const;
+
+  // "CODE: outer_ctx: inner_ctx: message" (context frames outermost first).
   std::string ToString() const;
 
   bool operator==(const Status& other) const {
-    return code() == other.code() && message() == other.message();
+    return code() == other.code() && message() == other.message() &&
+           context() == other.context();
   }
 
  private:
@@ -56,6 +71,7 @@ class Status {
     Rep(StatusCode c, std::string m) : code(c), message(std::move(m)) {}
     StatusCode code;
     std::string message;
+    std::vector<std::string> context;  // outermost first
   };
   std::shared_ptr<const Rep> rep_;  // null iff OK
 };
@@ -69,6 +85,7 @@ Status InternalError(std::string message);
 Status ResourceExhaustedError(std::string message);
 Status NotFoundError(std::string message);
 Status AlreadyExistsError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 // A value-or-error wrapper. Accessing value() on an error aborts in debug
 // builds; callers must check ok() first.

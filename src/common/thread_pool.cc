@@ -161,6 +161,24 @@ void ThreadPool::Wait() {
   done_cv_.wait(lock, [this] { return next_ >= queue_.size() && in_flight_ == 0; });
 }
 
+void ThreadPool::InjectFault(Status fault) {
+  KTX_CHECK(!fault.ok()) << "InjectFault requires a non-OK status";
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  fault_ = std::move(fault);
+}
+
+Status ThreadPool::TakeFault() {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  Status fault = std::move(fault_);
+  fault_ = OkStatus();
+  return fault.ok() ? fault : fault.WithContext("thread pool fault");
+}
+
+bool ThreadPool::has_fault() const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return !fault_.ok();
+}
+
 namespace {
 
 struct PforCtx {

@@ -42,6 +42,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/status.h"
+
 namespace ktx {
 
 class ThreadPool {
@@ -82,6 +84,16 @@ class ThreadPool {
   // Blocks until every submitted task has finished.
   void Wait();
 
+  // --- Fault injection -------------------------------------------------------
+  // Chaos hook: latches a sticky fault that the owner of the pool (the
+  // engine's CPU substrate) polls at its recoverable step boundary and turns
+  // into a propagated Status instead of an abort. A pool fault is not
+  // attributable to one work item, so the poller fails the whole step.
+  // Thread-safe; TakeFault clears the latch.
+  void InjectFault(Status fault);
+  Status TakeFault();  // OK if no fault latched
+  bool has_fault() const;
+
  private:
   static constexpr int kRunIndexBits = 40;
   static constexpr std::uint64_t kRunIndexMask = (std::uint64_t{1} << kRunIndexBits) - 1;
@@ -111,6 +123,10 @@ class ThreadPool {
   std::atomic<std::size_t> run_n_{0};
   std::atomic<std::size_t> run_chunk_{1};
   std::atomic<std::size_t> run_done_{0};
+
+  // Injected-fault latch (see InjectFault).
+  mutable std::mutex fault_mu_;
+  Status fault_;
 };
 
 }  // namespace ktx

@@ -497,8 +497,115 @@ void HybridEngine::SetDeferral(int n_deferred) {
 }
 
 int HybridEngine::CreateSession() {
+  auto session = TryCreateSession();
+  KTX_CHECK(session.ok()) << session.status().ToString();
+  return *session;
+}
+
+StatusOr<int> HybridEngine::TryCreateSession() {
+  if (options_.max_sessions > 0 &&
+      static_cast<int>(sessions_.size()) >= options_.max_sessions) {
+    return ResourceExhaustedError("session pool exhausted: " +
+                                  std::to_string(sessions_.size()) + " sessions at the " +
+                                  "max_sessions=" + std::to_string(options_.max_sessions) +
+                                  " bound");
+  }
   sessions_.push_back(std::make_unique<KvCache>(config_));
   return static_cast<int>(sessions_.size()) - 1;
+}
+
+Status HybridEngine::ValidateSession(int session) const {
+  if (session < 0 || session >= static_cast<int>(sessions_.size())) {
+    return InvalidArgumentError("session " + std::to_string(session) +
+                                " out of range [0, " + std::to_string(sessions_.size()) + ")");
+  }
+  return OkStatus();
+}
+
+std::int64_t HybridEngine::KvRemaining(int session) const {
+  return sessions_.at(static_cast<std::size_t>(session))->remaining();
+}
+
+void HybridEngine::InjectSessionFault(int session, Status fault, int after_polls) {
+  devices_[0]->InjectFault("session:" + std::to_string(session), std::move(fault),
+                           after_polls);
+}
+
+Status HybridEngine::TakeSessionFault(int session) {
+  return devices_[0]->TakeFault("session:" + std::to_string(session));
+}
+
+void HybridEngine::InjectBackendFault(Status fault, int after_polls) {
+  devices_[0]->InjectFault("device", std::move(fault), after_polls);
+}
+
+Status HybridEngine::TakeBackendFault() {
+  Status device_fault = devices_[0]->TakeFault("device");
+  if (!device_fault.ok()) {
+    return device_fault;
+  }
+  return pool_->TakeFault();
+}
+
+StatusOr<Tensor> HybridEngine::TryPrefill(int session, const std::vector<int>& tokens) {
+  KTX_RETURN_IF_ERROR(ValidateSession(session).WithContext("prefill"));
+  if (tokens.empty()) {
+    return InvalidArgumentError("prefill: empty prompt");
+  }
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i] < 0 || tokens[i] >= config_.vocab) {
+      return InvalidArgumentError("prefill: prompt token " + std::to_string(tokens[i]) +
+                                  " at index " + std::to_string(i) + " outside vocab [0, " +
+                                  std::to_string(config_.vocab) + ")");
+    }
+  }
+  const KvCache& cache = *sessions_[static_cast<std::size_t>(session)];
+  if (!cache.CanAdvance(static_cast<std::int64_t>(tokens.size()))) {
+    return ResourceExhaustedError("prompt of " + std::to_string(tokens.size()) +
+                                  " tokens does not fit the kv cache (position " +
+                                  std::to_string(cache.position()) + ", max_seq " +
+                                  std::to_string(cache.max_seq()) + ")")
+        .WithContext("prefill");
+  }
+  KTX_RETURN_IF_ERROR(TakeBackendFault().WithContext("prefill"));
+  return Prefill(session, tokens);
+}
+
+StatusOr<Tensor> HybridEngine::TryDecodeBatch(const std::vector<SessionToken>& batch) {
+  const auto b = static_cast<std::int64_t>(batch.size());
+  if (b < 1) {
+    return InvalidArgumentError("decode: empty batch");
+  }
+  if (b > options_.max_batch) {
+    return InvalidArgumentError("decode: batch width " + std::to_string(b) +
+                                " exceeds max_batch " + std::to_string(options_.max_batch));
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    KTX_RETURN_IF_ERROR(ValidateSession(batch[i].session)
+                            .WithContext("decode row " + std::to_string(i)));
+    if (batch[i].token < 0 || batch[i].token >= config_.vocab) {
+      return InvalidArgumentError("decode row " + std::to_string(i) + ": token " +
+                                  std::to_string(batch[i].token) + " outside vocab [0, " +
+                                  std::to_string(config_.vocab) + ")");
+    }
+    for (std::size_t j = i + 1; j < batch.size(); ++j) {
+      if (batch[i].session == batch[j].session) {
+        return InvalidArgumentError("decode rows " + std::to_string(i) + " and " +
+                                    std::to_string(j) + " target the same session " +
+                                    std::to_string(batch[i].session));
+      }
+    }
+    const KvCache& cache = *sessions_[static_cast<std::size_t>(batch[i].session)];
+    if (!cache.CanAdvance(1)) {
+      return ResourceExhaustedError("kv cache exhausted for session " +
+                                    std::to_string(batch[i].session) + " (position " +
+                                    std::to_string(cache.position()) + " of max_seq " +
+                                    std::to_string(cache.max_seq()) + ")")
+          .WithContext("decode row " + std::to_string(i));
+    }
+  }
+  KTX_RETURN_IF_ERROR(TakeBackendFault().WithContext("decode"));
+  return DecodeBatch(batch);
 }
 
 std::int64_t HybridEngine::position(int session) const {

@@ -39,6 +39,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/core/async_service.h"
 #include "src/core/profiling.h"
 #include "src/gpu/vcuda.h"
@@ -78,6 +79,10 @@ struct EngineOptions {
   // with batch occupancy — a prerequisite for bit-identical batched decode
   // (native AMX/AVX-512 kernels differ bitwise from each other).
   int max_batch = 8;
+  // Upper bound on sessions (KV caches) this engine will hold; 0 = unbounded.
+  // TryCreateSession past the bound is a recoverable kResourceExhausted (the
+  // serving loop rejects the request); CreateSession aborts.
+  int max_sessions = 0;
   // When false, the engine blocks on the CPU immediately after submitting
   // routed-expert work (the Fiddler/llama.cpp round-trip): no shared-expert
   // overlap, no deferral window. Baseline engines set this.
@@ -145,6 +150,39 @@ class HybridEngine {
   // Greedy generation end-to-end. Resets session 0 first.
   std::vector<int> GenerateGreedy(const std::vector<int>& prompt, int max_new);
 
+  // --- Recoverable (untrusted-input / capacity) entry points ----------------
+  // The Try* variants validate what a caller outside the engine's control can
+  // get wrong — bad session ids, out-of-range token ids, over-wide batches,
+  // KV-cache exhaustion — plus the injected backend-fault hooks, and return a
+  // Status instead of aborting. The unchecked spellings above keep KTX_CHECK
+  // semantics for internal callers (programmer-error invariants). Validation
+  // happens before any state mutation: an error leaves every session's KV
+  // position untouched.
+  StatusOr<Tensor> TryPrefill(int session, const std::vector<int>& tokens);
+  StatusOr<Tensor> TryDecodeBatch(const std::vector<SessionToken>& batch);
+  StatusOr<int> TryCreateSession();
+
+  // KV-cache positions left before `session`'s cache tensors run out (a
+  // decode step needs >= 1). The serving loop checks this each sweep and
+  // retires exhausted requests with finish reason `kv_exhausted`.
+  std::int64_t KvRemaining(int session) const;
+
+  // Session-attributed fault injection (chaos testing): arms a fault on the
+  // device fault plan under a per-session key. The serving loop polls
+  // TakeSessionFault every sweep and retires only the affected request; rows
+  // sharing the DecodeBatch are untouched (per-row outputs are independent of
+  // batch composition by the batched-decode bit-identity guarantee).
+  void InjectSessionFault(int session, Status fault, int after_polls = 0);
+  Status TakeSessionFault(int session);
+  // Arms a fault no session can be blamed for (device-wide fault plan key);
+  // the next Try step — any session — fails whole.
+  void InjectBackendFault(Status fault, int after_polls = 0);
+  // Polls the non-attributable backend hooks (device-wide fault plan key
+  // "device" + the thread pool's latch); a hit fails the whole step.
+  Status TakeBackendFault();
+  // The CPU execution substrate (exposed for its fault-injection hook).
+  ThreadPool& cpu_pool() { return *pool_; }
+
   // Retunes the Expert Deferral depth at runtime (e.g. from the §4.2
   // heuristic as load changes). Invalidates the captured decode graph; the
   // next DecodeStep re-captures with the new immediate/deferred split.
@@ -173,6 +211,7 @@ class HybridEngine {
   struct DecodeBuffers;
 
   void BuildCpuExperts();
+  Status ValidateSession(int session) const;
   // Enqueues the full layer stack onto the stream. Buffers live in `bufs`.
   // With batched=false, processes `m` tokens of one sequence (active_cache_)
   // starting at bufs->pos0 — the prefill / verify shape. With batched=true,

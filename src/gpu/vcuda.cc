@@ -127,6 +127,32 @@ std::string VDevice::TraceToChromeJson() {
   return out;
 }
 
+void VDevice::InjectFault(std::string key, Status fault, int after_polls) {
+  KTX_CHECK(!fault.ok()) << "InjectFault requires a non-OK status";
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  faults_[std::move(key)] = ArmedFault{std::move(fault), std::max(0, after_polls)};
+}
+
+Status VDevice::TakeFault(const std::string& key) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  auto it = faults_.find(key);
+  if (it == faults_.end()) {
+    return OkStatus();
+  }
+  if (it->second.polls_left > 0) {
+    --it->second.polls_left;
+    return OkStatus();
+  }
+  Status fault = std::move(it->second.status);
+  faults_.erase(it);
+  return fault.WithContext("vcuda fault [" + key + "]");
+}
+
+bool VDevice::has_armed_faults() const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return !faults_.empty();
+}
+
 // --- VStream -----------------------------------------------------------------
 
 VStream::VStream(VDevice* device) : device_(device) {

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -31,6 +32,7 @@
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/common/status.h"
 #include "src/sim/hardware.h"
 
 namespace ktx {
@@ -140,6 +142,19 @@ class VDevice {
   // Chrome trace-event JSON of the recorded ops (view in Perfetto).
   std::string TraceToChromeJson();
 
+  // --- Fault injection -------------------------------------------------------
+  // Chaos hooks for exercising recoverable error paths. A test (or operator
+  // tooling) arms a fault under a caller-chosen key ("session:3", "device",
+  // ...); the owner of the matching recoverable boundary polls TakeFault
+  // there and converts a hit into a Status that propagates instead of an
+  // abort. `after_polls` delays the hit — the fault fires on the
+  // (after_polls+1)-th poll of its key — which is how tests land a failure
+  // mid-generation rather than on the first step. Thread-safe.
+  void InjectFault(std::string key, Status fault, int after_polls = 0);
+  // Polls (and on a hit, disarms) the fault for `key`; OK if none armed.
+  Status TakeFault(const std::string& key);
+  bool has_armed_faults() const;
+
  private:
   Options options_;
   LaunchStats stats_;
@@ -149,6 +164,12 @@ class VDevice {
   std::vector<std::pair<void*, std::size_t>> allocations_;
   std::mutex trace_mu_;
   std::vector<TraceEvent> trace_;
+  struct ArmedFault {
+    Status status;
+    int polls_left = 0;
+  };
+  mutable std::mutex fault_mu_;
+  std::map<std::string, ArmedFault> faults_;
 };
 
 // A FIFO execution stream with its own worker thread.

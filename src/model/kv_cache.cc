@@ -1,8 +1,10 @@
 #include "src/model/kv_cache.h"
 
+#include <string>
+
 namespace ktx {
 
-KvCache::KvCache(const MoeModelConfig& config) {
+KvCache::KvCache(const MoeModelConfig& config) : max_seq_(config.max_seq) {
   layers_.resize(static_cast<std::size_t>(config.num_layers));
   for (auto& layer : layers_) {
     if (config.attention == AttentionKind::kMla) {
@@ -17,6 +19,16 @@ KvCache::KvCache(const MoeModelConfig& config) {
       bytes_per_position_ += 2 * static_cast<std::size_t>(kv_dim) * sizeof(float);
     }
   }
+}
+
+Status KvCache::TryAdvance(std::int64_t tokens) {
+  if (!CanAdvance(tokens)) {
+    return ResourceExhaustedError("kv cache exhausted: position " +
+                                  std::to_string(position_) + " + " + std::to_string(tokens) +
+                                  " exceeds max_seq " + std::to_string(max_seq_));
+  }
+  position_ += tokens;
+  return OkStatus();
 }
 
 }  // namespace ktx

@@ -4,12 +4,20 @@
 // each). MLA layers cache the joint latent c_kv ([max_seq, kv_lora_rank]) and
 // the shared decoupled-RoPE key ([max_seq, rope_dim]) — the compression that
 // makes DeepSeek's KV footprint small enough for long local contexts.
+//
+// Capacity is enforced: the cache tensors are max_seq rows, and advancing the
+// position past them would write out of bounds. Callers on untrusted paths
+// (engine decode/prefill, serving loop) check remaining()/TryAdvance and turn
+// exhaustion into a recoverable Status (the `kv_exhausted` finish reason);
+// Advance itself KTX_CHECKs as a last-resort invariant for internal callers.
 
 #ifndef KTX_SRC_MODEL_KV_CACHE_H_
 #define KTX_SRC_MODEL_KV_CACHE_H_
 
 #include <vector>
 
+#include "src/common/logging.h"
+#include "src/common/status.h"
 #include "src/model/config.h"
 #include "src/tensor/tensor.h"
 
@@ -26,14 +34,30 @@ struct KvLayerCache {
 
 class KvCache {
  public:
-  KvCache() = default;
+  KvCache() = default;  // no storage; max_seq() == 0 means "no capacity bound"
   explicit KvCache(const MoeModelConfig& config);
 
   KvLayerCache& layer(int i) { return layers_[static_cast<std::size_t>(i)]; }
   const KvLayerCache& layer(int i) const { return layers_[static_cast<std::size_t>(i)]; }
 
   std::int64_t position() const { return position_; }
-  void Advance(std::int64_t tokens) { position_ += tokens; }
+  std::int64_t max_seq() const { return max_seq_; }
+  // Positions left before the cache tensors run out (INT64_MAX-ish when
+  // unbounded, i.e. a default-constructed cache with no storage).
+  std::int64_t remaining() const {
+    return max_seq_ == 0 ? (std::int64_t{1} << 62) : max_seq_ - position_;
+  }
+  bool CanAdvance(std::int64_t tokens) const { return tokens <= remaining(); }
+
+  // Recoverable capacity check: OK and advances, or kResourceExhausted and
+  // leaves the position untouched.
+  Status TryAdvance(std::int64_t tokens);
+  // Internal-invariant flavor: callers must have checked capacity already.
+  void Advance(std::int64_t tokens) {
+    KTX_CHECK(CanAdvance(tokens)) << "KV cache overrun: position " << position_ << " + "
+                                  << tokens << " exceeds max_seq " << max_seq_;
+    position_ += tokens;
+  }
   void Reset() { position_ = 0; }
 
   // Bytes of cache state per position (capacity-planning reports).
@@ -42,6 +66,7 @@ class KvCache {
  private:
   std::vector<KvLayerCache> layers_;
   std::int64_t position_ = 0;
+  std::int64_t max_seq_ = 0;  // 0 = unbounded (storage-free default cache)
   std::size_t bytes_per_position_ = 0;
 };
 

@@ -20,11 +20,23 @@ int Sampler::Sample(const Tensor& logits) {
 
   std::vector<int> order(static_cast<std::size_t>(vocab));
   std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](int a, int b) { return row[a] > row[b]; });
+  // Deterministic ordering under ties (index ascending) so the sampled token
+  // stream depends only on (logits, options, seed), not on sort internals.
+  const auto by_logit = [&](int a, int b) {
+    return row[a] > row[b] || (row[a] == row[b] && a < b);
+  };
 
   std::int64_t candidates = vocab;
   if (options_.top_k > 0) {
     candidates = std::min<std::int64_t>(candidates, options_.top_k);
+  }
+  if (candidates < vocab) {
+    // Only the candidate prefix is ever read below; a full-vocab sort is
+    // O(V log V) per token for nothing when top_k is small.
+    std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(candidates),
+                      order.end(), by_logit);
+  } else {
+    std::sort(order.begin(), order.end(), by_logit);
   }
 
   // Temperature-scaled softmax over the candidate prefix.

@@ -1,41 +1,146 @@
 #include "src/serve/serving.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "src/common/logging.h"
 
 namespace ktx {
 
-ServingLoop::ServingLoop(HybridEngine* engine, int max_concurrent, bool batched_decode)
-    : engine_(engine), max_concurrent_(max_concurrent), batched_decode_(batched_decode) {
+std::string_view FinishReasonName(FinishReason reason) {
+  switch (reason) {
+    case FinishReason::kNone:
+      return "none";
+    case FinishReason::kEos:
+      return "eos";
+    case FinishReason::kLength:
+      return "length";
+    case FinishReason::kKvExhausted:
+      return "kv_exhausted";
+    case FinishReason::kRejected:
+      return "rejected";
+    case FinishReason::kDeadline:
+      return "deadline";
+    case FinishReason::kBackendError:
+      return "backend_error";
+  }
+  return "unknown";
+}
+
+ServingLoop::ServingLoop(HybridEngine* engine, ServingOptions options)
+    : engine_(engine), options_(options) {
   KTX_CHECK(engine_ != nullptr);
-  KTX_CHECK_GE(max_concurrent_, 1);
+  KTX_CHECK_GE(options_.max_concurrent, 1);
+  KTX_CHECK_GE(options_.max_queue, 1);
+}
+
+ServingLoop::ServingLoop(HybridEngine* engine, int max_concurrent, bool batched_decode)
+    : ServingLoop(engine, ServingOptions{max_concurrent, batched_decode}) {}
+
+Status ServingLoop::ValidateRequest(const GenerationRequest& request) const {
+  if (request.prompt.empty()) {
+    return InvalidArgumentError("empty prompt");
+  }
+  if (request.max_new_tokens < 1) {
+    return InvalidArgumentError("max_new_tokens must be >= 1, got " +
+                                std::to_string(request.max_new_tokens));
+  }
+  const std::int64_t vocab = engine_->config().vocab;
+  for (std::size_t i = 0; i < request.prompt.size(); ++i) {
+    if (request.prompt[i] < 0 || request.prompt[i] >= vocab) {
+      return InvalidArgumentError("prompt token " + std::to_string(request.prompt[i]) +
+                                  " at index " + std::to_string(i) + " outside vocab [0, " +
+                                  std::to_string(vocab) + ")");
+    }
+  }
+  const std::int64_t max_seq = engine_->config().max_seq;
+  if (static_cast<std::int64_t>(request.prompt.size()) > max_seq) {
+    return InvalidArgumentError("prompt of " + std::to_string(request.prompt.size()) +
+                                " tokens exceeds the kv capacity max_seq=" +
+                                std::to_string(max_seq));
+  }
+  return OkStatus();
+}
+
+void ServingLoop::Reject(std::uint64_t id, const GenerationRequest& request, Status status,
+                         FinishReason reason, double elapsed_s) {
+  GenerationResult result;
+  result.id = id;
+  result.ok = false;
+  result.status = std::move(status);
+  result.finish_reason = reason;
+  result.prompt_tokens = static_cast<std::int64_t>(request.prompt.size());
+  result.queue_seconds = elapsed_s;
+  result.total_seconds = elapsed_s;
+  completed_.push_back(std::move(result));
+  ++stats_.requests_rejected;
 }
 
 std::uint64_t ServingLoop::Submit(GenerationRequest request) {
-  KTX_CHECK(!request.prompt.empty()) << "empty prompt";
   const std::uint64_t id = next_id_++;
-  queue_.emplace_back(id, std::move(request));
+  Status valid = ValidateRequest(request);
+  if (valid.ok() && static_cast<int>(queue_.size()) >= options_.max_queue) {
+    valid = ResourceExhaustedError("admission queue full (" + std::to_string(queue_.size()) +
+                                   " of max_queue=" + std::to_string(options_.max_queue) + ")");
+  }
+  if (!valid.ok()) {
+    Reject(id, request, valid.WithContext("submit"), FinishReason::kRejected,
+           /*elapsed_s=*/0.0);
+    return id;
+  }
+  Pending pending;
+  pending.id = id;
+  pending.request = std::move(request);
+  pending.submitted.Reset();
+  queue_.push_back(std::move(pending));
   return id;
 }
 
 void ServingLoop::AdmitFromQueue() {
-  while (!queue_.empty() && static_cast<int>(active_.size()) < max_concurrent_) {
-    auto [id, request] = std::move(queue_.front());
+  while (!queue_.empty() && static_cast<int>(active_.size()) < options_.max_concurrent) {
+    Pending pending = std::move(queue_.front());
     queue_.pop_front();
-    Active active(id, std::move(request));
+    const double waited_s = pending.submitted.ElapsedSeconds();
+    if (pending.request.deadline_s > 0.0 && waited_s > pending.request.deadline_s) {
+      Reject(pending.id, pending.request,
+             DeadlineExceededError("deadline of " + std::to_string(pending.request.deadline_s) +
+                                   "s expired after " + std::to_string(waited_s) +
+                                   "s in the admission queue"),
+             FinishReason::kDeadline, waited_s);
+      continue;
+    }
+    Active active(pending.id, std::move(pending.request));
     if (free_sessions_.empty()) {
-      active.session = engine_->CreateSession();
+      auto session = engine_->TryCreateSession();
+      if (!session.ok()) {
+        Reject(active.id, active.request, session.status().WithContext("admission"),
+               FinishReason::kRejected, waited_s);
+        continue;
+      }
+      active.session = *session;
     } else {
       active.session = free_sessions_.back();
       free_sessions_.pop_back();
       engine_->Reset(active.session);
     }
-    active.result.id = id;
+    active.result.id = active.id;
     active.result.prompt_tokens = static_cast<std::int64_t>(active.request.prompt.size());
-    active.clock.Reset();
-    const Tensor logits = engine_->Prefill(active.session, active.request.prompt);
-    active.last_token = active.sampler.Sample(logits);
+    active.clock = pending.submitted;  // metrics are measured from Submit
+    active.result.queue_seconds = waited_s;
+    auto logits = engine_->TryPrefill(active.session, active.request.prompt);
+    if (!logits.ok()) {
+      // The prompt itself was validated at Submit; what's left is capacity
+      // (a prior request grew this session? impossible after Reset — keep the
+      // mapping anyway) or an injected backend fault.
+      const FinishReason reason = logits.status().code() == StatusCode::kResourceExhausted
+                                      ? FinishReason::kKvExhausted
+                                      : FinishReason::kBackendError;
+      active_.push_back(std::move(active));
+      FailActive(active_.size() - 1, reason, logits.status().WithContext("admission"));
+      continue;
+    }
+    active.last_token = active.sampler.Sample(*logits);
     active.result.time_to_first_token_s = active.clock.ElapsedSeconds();
     active_.push_back(std::move(active));
     stats_.peak_concurrency =
@@ -46,55 +151,129 @@ void ServingLoop::AdmitFromQueue() {
 bool ServingLoop::ConsumeToken(Active* active) {
   if (active->request.eos_token >= 0 && active->last_token == active->request.eos_token) {
     active->result.stopped_at_eos = true;
+    active->result.finish_reason = FinishReason::kEos;
     return true;
   }
   active->result.tokens.push_back(active->last_token);
   ++stats_.tokens_generated;
-  return static_cast<int>(active->result.tokens.size()) >= active->request.max_new_tokens;
+  // Checked only after the push: Submit guarantees max_new_tokens >= 1, so a
+  // request for N tokens returns exactly N (the old pre-validation code let
+  // max_new_tokens <= 0 return one token).
+  if (static_cast<int>(active->result.tokens.size()) >= active->request.max_new_tokens) {
+    active->result.finish_reason = FinishReason::kLength;
+    return true;
+  }
+  return false;
+}
+
+void ServingLoop::FailActive(std::size_t index, FinishReason reason, Status status) {
+  Active& active = active_[index];
+  active.result.finish_reason = reason;
+  active.result.status = std::move(status);
+  Retire(index);
 }
 
 void ServingLoop::Retire(std::size_t index) {
-  active_[index].result.total_seconds = active_[index].clock.ElapsedSeconds();
-  free_sessions_.push_back(active_[index].session);
-  completed_.push_back(std::move(active_[index].result));
+  Active& active = active_[index];
+  active.result.ok = active.result.status.ok();
+  active.result.stopped_at_eos = active.result.finish_reason == FinishReason::kEos;
+  active.result.total_seconds = active.clock.ElapsedSeconds();
+  if (active.session >= 0) {
+    free_sessions_.push_back(active.session);
+  }
   ++stats_.requests_completed;
+  if (!active.result.ok) {
+    ++stats_.requests_failed;
+  }
+  completed_.push_back(std::move(active.result));
   active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(index));
 }
 
+void ServingLoop::SweepFailures() {
+  for (std::size_t i = 0; i < active_.size();) {
+    Active& active = active_[i];
+    if (active.request.deadline_s > 0.0 &&
+        active.clock.ElapsedSeconds() > active.request.deadline_s) {
+      FailActive(i, FinishReason::kDeadline,
+                 DeadlineExceededError(
+                     "deadline of " + std::to_string(active.request.deadline_s) +
+                     "s expired after " + std::to_string(active.result.tokens.size()) +
+                     " tokens"));
+      continue;
+    }
+    Status fault = engine_->TakeSessionFault(active.session);
+    if (!fault.ok()) {
+      FailActive(i, FinishReason::kBackendError,
+                 fault.WithContext("request " + std::to_string(active.id)));
+      continue;
+    }
+    if (engine_->KvRemaining(active.session) < 1) {
+      FailActive(i, FinishReason::kKvExhausted,
+                 ResourceExhaustedError(
+                     "kv cache exhausted after " + std::to_string(active.result.tokens.size()) +
+                     " generated tokens (max_seq " +
+                     std::to_string(engine_->config().max_seq) + ")"));
+      continue;
+    }
+    ++i;
+  }
+}
+
 void ServingLoop::DecodeActive() {
-  if (!batched_decode_) {
-    for (Active& active : active_) {
+  if (!options_.batched_decode) {
+    for (std::size_t i = 0; i < active_.size();) {
+      Active& active = active_[i];
+      auto logits =
+          engine_->TryDecodeBatch({SessionToken{active.session, active.last_token}});
+      if (!logits.ok()) {
+        FailActive(i, FinishReason::kBackendError,
+                   logits.status().WithContext("request " + std::to_string(active.id)));
+        continue;
+      }
       ++stats_.decode_iterations;
       ++stats_.decoded_tokens;
       stats_.peak_batch = std::max(stats_.peak_batch, 1);
-      const Tensor logits = engine_->DecodeStep(active.session, active.last_token);
-      active.last_token = active.sampler.Sample(logits);
+      active.last_token = active.sampler.Sample(*logits);
+      ++i;
     }
     return;
   }
   // One DecodeBatch sweep over every surviving request (chunked only if the
   // configured concurrency exceeds the engine's batch capacity).
   const auto max_batch = static_cast<std::size_t>(engine_->options().max_batch);
-  for (std::size_t begin = 0; begin < active_.size(); begin += max_batch) {
+  for (std::size_t begin = 0; begin < active_.size();) {
     const std::size_t rows = std::min(max_batch, active_.size() - begin);
     std::vector<SessionToken> batch(rows);
     for (std::size_t r = 0; r < rows; ++r) {
       batch[r] = SessionToken{active_[begin + r].session, active_[begin + r].last_token};
     }
-    const Tensor logits = engine_->DecodeBatch(batch);
+    auto logits = engine_->TryDecodeBatch(batch);
+    if (!logits.ok()) {
+      // A whole-chunk failure is not attributable to one row (SweepFailures
+      // already retired per-row causes): retire the chunk. Validation in
+      // TryDecodeBatch precedes any KV mutation, so sessions are clean and
+      // the other chunks keep decoding.
+      for (std::size_t r = 0; r < rows; ++r) {
+        FailActive(begin, FinishReason::kBackendError,
+                   logits.status().WithContext(
+                       "request " + std::to_string(active_[begin].id) + " (batch sweep)"));
+      }
+      continue;
+    }
     for (std::size_t r = 0; r < rows; ++r) {
       Active& active = active_[begin + r];
       active.last_token =
-          active.sampler.Sample(logits.Slice(static_cast<std::int64_t>(r), 1));
+          active.sampler.Sample(logits->Slice(static_cast<std::int64_t>(r), 1));
     }
     ++stats_.decode_iterations;
     stats_.decoded_tokens += static_cast<std::int64_t>(rows);
     stats_.peak_batch = std::max(stats_.peak_batch, static_cast<int>(rows));
+    begin += rows;
   }
 }
 
 std::vector<GenerationResult> ServingLoop::RunToCompletion() {
-  completed_.clear();
+  // Rejected-at-submit results recorded before this call stay in completed_.
   while (!queue_.empty() || !active_.empty()) {
     AdmitFromQueue();
     // Consume each request's pending sampled token; retire finished rows in
@@ -106,6 +285,9 @@ std::vector<GenerationResult> ServingLoop::RunToCompletion() {
         ++i;
       }
     }
+    // Per-row terminal checks (deadline, injected fault, KV room) before the
+    // sweep: a failing row retires here and its siblings decode unaffected.
+    SweepFailures();
     // Everyone still active needs exactly one more token: one batched sweep.
     DecodeActive();
   }

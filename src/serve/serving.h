@@ -1,16 +1,26 @@
 // Low-concurrency serving loop (paper §1: "local deployments with low
 // concurrency (e.g., single or few requests per batch)").
 //
-// Requests queue FIFO; the loop admits up to `max_concurrent` generations,
-// each on its own engine session (independent KV cache over the shared
-// weights and captured decode graph), and prefills on admission. Decoding is
-// *continuous batching*: every iteration admits from the queue into free
-// slots, decodes ALL active requests in one HybridEngine::DecodeBatch call
-// (one graph replay, one MoE request per layer for the whole batch), and
-// retires finished rows in place — a freed slot is refilled on the very next
-// iteration. Per-request outputs are bit-identical to the sequential batch-1
-// loop (engine guarantee); `batched_decode = false` keeps the old round-robin
-// DecodeStep loop, which tests use as the reference.
+// Requests queue FIFO behind a bounded admission queue; the loop admits up to
+// `max_concurrent` generations, each on its own engine session (independent
+// KV cache over the shared weights and captured decode graph), and prefills
+// on admission. Decoding is *continuous batching*: every iteration admits
+// from the queue into free slots, decodes ALL active requests in one
+// HybridEngine::DecodeBatch call (one graph replay, one MoE request per layer
+// for the whole batch), and retires finished rows in place — a freed slot is
+// refilled on the very next iteration. Per-request outputs are bit-identical
+// to the sequential batch-1 loop (engine guarantee); `batched_decode = false`
+// keeps the old round-robin DecodeStep loop, which tests use as the reference.
+//
+// Request lifecycle: every request ends in exactly one terminal state,
+// recorded on its GenerationResult as {ok, status, finish_reason}. Invalid
+// requests and a full queue are rejected at Submit (never an abort); admitted
+// requests retire with EOS / length on success, or kv_exhausted / deadline /
+// backend_error when capacity runs out, the wall-clock budget expires, or an
+// injected backend fault hits their session. A failing row is retired in
+// place: its siblings in the same DecodeBatch sweep keep decoding and their
+// outputs are unchanged (batch-composition independence, see engine.h).
+// Programmer-error invariants inside the engine remain KTX_CHECK aborts.
 //
 // Single-threaded by design: the engine already parallelizes inside each
 // step (CPU worker pool + GPU stream), and the control flow here is the
@@ -21,36 +31,76 @@
 
 #include <cstdint>
 #include <deque>
+#include <string_view>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/common/stopwatch.h"
 #include "src/core/engine.h"
 #include "src/model/sampler.h"
 
 namespace ktx {
 
+// Terminal state of a request. kNone only while the request is in flight.
+enum class FinishReason {
+  kNone = 0,
+  kEos,           // emitted the request's eos_token
+  kLength,        // reached max_new_tokens
+  kKvExhausted,   // session KV cache ran out of positions mid-generation
+  kRejected,      // never admitted: invalid request, full queue, no session
+  kDeadline,      // wall-clock deadline expired (queued or mid-generation)
+  kBackendError,  // backend fault attributed to this request (or its sweep)
+};
+std::string_view FinishReasonName(FinishReason reason);
+
 struct GenerationRequest {
   std::vector<int> prompt;
   int max_new_tokens = 32;
   SamplerOptions sampling;  // temperature 0 = greedy
   int eos_token = -1;       // stop token; -1 disables
+  // Wall-clock budget measured from Submit; <= 0 disables. Checked at
+  // admission and once per decode sweep; an expired request retires with
+  // finish_reason kDeadline and a kDeadlineExceeded status.
+  double deadline_s = 0.0;
 };
 
 struct GenerationResult {
   std::uint64_t id = 0;
   std::vector<int> tokens;
-  bool stopped_at_eos = false;
+  bool stopped_at_eos = false;  // == (finish_reason == kEos); kept for compat
+  // Terminal state: ok mirrors status.ok(). EOS and length finishes are OK;
+  // every other finish carries the error that retired the request.
+  bool ok = true;
+  Status status;
+  FinishReason finish_reason = FinishReason::kNone;
   std::int64_t prompt_tokens = 0;
   // Wall-clock request metrics (this process; the paper-scale numbers come
-  // from the timed plane).
-  double time_to_first_token_s = 0.0;
-  double total_seconds = 0.0;
+  // from the timed plane). All are measured from Submit, so queue wait is
+  // visible: queue_seconds <= time_to_first_token_s <= total_seconds.
+  double queue_seconds = 0.0;          // Submit -> admission
+  double time_to_first_token_s = 0.0;  // Submit -> first sampled token
+  double total_seconds = 0.0;          // Submit -> terminal state
+};
+
+struct ServingOptions {
+  // Bounds simultaneously active generations (sessions are pooled, reused).
+  int max_concurrent = 2;
+  // Continuous batching (default) vs. the round-robin batch-1 reference loop.
+  bool batched_decode = true;
+  // Bound on queued-but-unadmitted requests. Submit past it rejects the new
+  // request with kResourceExhausted instead of queueing without limit.
+  int max_queue = 256;
 };
 
 class ServingLoop {
  public:
   struct Stats {
+    // Requests that reached a terminal state after admission (any finish).
     std::int64_t requests_completed = 0;
+    // Requests rejected at Submit (never admitted).
+    std::int64_t requests_rejected = 0;
+    // Admitted requests retired with a non-OK status.
+    std::int64_t requests_failed = 0;
     std::int64_t tokens_generated = 0;
     // Engine decode calls: one per DecodeBatch (batched) / DecodeStep
     // (sequential). Batching shows up as fewer iterations for the same
@@ -64,25 +114,33 @@ class ServingLoop {
     int peak_batch = 0;
   };
 
-  // The engine must outlive the loop. `max_concurrent` bounds simultaneously
-  // active generations (sessions are pooled and reused). `batched_decode`
-  // selects continuous batching (default) vs. the round-robin batch-1
-  // reference loop.
-  ServingLoop(HybridEngine* engine, int max_concurrent = 2, bool batched_decode = true);
+  // The engine must outlive the loop.
+  explicit ServingLoop(HybridEngine* engine, ServingOptions options = {});
+  // Compat spelling of the two historical knobs.
+  ServingLoop(HybridEngine* engine, int max_concurrent, bool batched_decode = true);
 
-  // Enqueues a request; returns its id. Thread-compatible (call from the
-  // same thread as Run*).
+  // Enqueues a request and returns its id. Never aborts: an invalid request
+  // (empty prompt, out-of-vocab token, max_new_tokens < 1, prompt longer
+  // than the KV capacity) or a full queue produces an immediate terminal
+  // result with finish_reason kRejected, returned by RunToCompletion like
+  // any other. Thread-compatible (call from the same thread as Run*).
   std::uint64_t Submit(GenerationRequest request);
 
   std::size_t pending() const { return queue_.size() + active_.size(); }
 
   // Runs admission + batched decode until everything queued completes.
-  // Results are returned in completion order.
+  // Results are returned in terminal order (rejections first).
   std::vector<GenerationResult> RunToCompletion();
 
   const Stats& stats() const { return stats_; }
 
  private:
+  struct Pending {
+    std::uint64_t id = 0;
+    GenerationRequest request;
+    Stopwatch submitted;  // running since Submit
+  };
+
   struct Active {
     std::uint64_t id = 0;
     int session = -1;
@@ -90,26 +148,37 @@ class ServingLoop {
     GenerationResult result;
     Sampler sampler;
     int last_token = -1;
-    Stopwatch clock;
+    Stopwatch clock;  // copied from Pending::submitted: running since Submit
 
     Active(std::uint64_t rid, GenerationRequest req)
         : id(rid), request(std::move(req)), sampler(request.sampling) {}
   };
 
+  // Submit-time validation of everything the caller controls.
+  Status ValidateRequest(const GenerationRequest& request) const;
+  // Records a terminal result for a request that never got admitted.
+  void Reject(std::uint64_t id, const GenerationRequest& request, Status status,
+              FinishReason reason, double elapsed_s);
   void AdmitFromQueue();
   // Consumes `active`'s pending sampled token; returns true if the request
   // is finished (EOS or max_new_tokens) and should be retired.
   bool ConsumeToken(Active* active);
+  // Retires rows whose deadline expired, whose session has an injected
+  // backend fault, or whose KV cache has no room for the next token —
+  // leaving their batch siblings untouched.
+  void SweepFailures();
+  void FailActive(std::size_t index, FinishReason reason, Status status);
   void Retire(std::size_t index);
   // Decodes one token for every active request: one DecodeBatch sweep
-  // (chunked by the engine's max_batch) or sequential DecodeSteps.
+  // (chunked by the engine's max_batch) or sequential DecodeSteps. A
+  // whole-chunk backend failure (not attributable to one row) retires every
+  // row of that chunk with kBackendError; other chunks are unaffected.
   void DecodeActive();
 
   HybridEngine* engine_;
-  int max_concurrent_;
-  bool batched_decode_;
+  ServingOptions options_;
   std::uint64_t next_id_ = 1;
-  std::deque<std::pair<std::uint64_t, GenerationRequest>> queue_;
+  std::deque<Pending> queue_;
   std::vector<Active> active_;
   std::vector<int> free_sessions_;
   std::vector<GenerationResult> completed_;

@@ -209,6 +209,31 @@ TEST(ThreadPoolTest, SubmitAndWait) {
   EXPECT_EQ(counter.load(), 100);
 }
 
+TEST(ThreadPoolTest, FaultLatchIsStickyUntilTaken) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.has_fault());
+  EXPECT_TRUE(pool.TakeFault().ok());
+
+  pool.InjectFault(InternalError("worker crashed"));
+  EXPECT_TRUE(pool.has_fault());
+  // The pool keeps executing work while the latch is set — a fault is a
+  // signal to the recoverable boundary, not a poison pill for the pool.
+  std::atomic<int> counter{0};
+  pool.ParallelFor(32, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 32);
+
+  const Status fault = pool.TakeFault();
+  ASSERT_FALSE(fault.ok());
+  EXPECT_EQ(fault.code(), StatusCode::kInternal);
+  EXPECT_EQ(fault.message(), "worker crashed");
+  ASSERT_FALSE(fault.context().empty());
+  EXPECT_EQ(fault.context()[0], "thread pool fault");
+
+  // Taking clears the latch.
+  EXPECT_FALSE(pool.has_fault());
+  EXPECT_TRUE(pool.TakeFault().ok());
+}
+
 TEST(TaskQueueTest, RunsEveryTaskOnce) {
   ThreadPool pool(3);
   TaskQueue q(&pool);

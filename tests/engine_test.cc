@@ -340,5 +340,140 @@ TEST(AsyncServiceTest, RequestsCompleteInFifoOrder) {
   EXPECT_LT(MaxAbsDiff(y1, both), 1e-4f);
 }
 
+TEST(EngineLifecycleTest, DecodeToExactlyMaxSeqThenOnePast) {
+  // The KV cache holds max_seq positions; decoding may fill the very last one
+  // but the step after that must come back as a recoverable error, with the
+  // session position untouched.
+  MoeModelConfig config = TinyMoeConfig();
+  config.max_seq = 8;
+  EngineFixture f(config);
+  auto engine = f.MakeEngine();
+  const std::vector<int> prompt{3, 1, 4, 1};
+  auto prefill = engine->TryPrefill(0, prompt);
+  ASSERT_TRUE(prefill.ok()) << prefill.status().ToString();
+  int token = ArgmaxLastToken(*prefill);
+
+  // Positions 4..7: exactly four more decode steps fit.
+  for (int step = 0; step < 4; ++step) {
+    ASSERT_EQ(engine->KvRemaining(0), 4 - step);
+    auto logits = engine->TryDecodeBatch({SessionToken{0, token}});
+    ASSERT_TRUE(logits.ok()) << "step " << step << ": " << logits.status().ToString();
+    token = ArgmaxLastToken(*logits);
+  }
+  EXPECT_EQ(engine->position(0), 8);
+  EXPECT_EQ(engine->KvRemaining(0), 0);
+
+  // One past: recoverable kResourceExhausted, no state change, engine alive.
+  auto over = engine->TryDecodeBatch({SessionToken{0, token}});
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(engine->position(0), 8);
+
+  // Reset reclaims the space and the session decodes again.
+  engine->Reset(0);
+  auto again = engine->TryPrefill(0, prompt);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+}
+
+TEST(EngineLifecycleTest, TryPrefillValidatesUntrustedInput) {
+  EngineFixture f(TinyMoeConfig());
+  auto engine = f.MakeEngine();
+
+  EXPECT_EQ(engine->TryPrefill(5, {1, 2}).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine->TryPrefill(-1, {1, 2}).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine->TryPrefill(0, {}).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine->TryPrefill(0, {1, static_cast<int>(f.config.vocab)}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine->TryPrefill(0, {1, -7}).status().code(), StatusCode::kInvalidArgument);
+
+  const std::vector<int> too_long(static_cast<std::size_t>(f.config.max_seq) + 1, 1);
+  auto oversize = engine->TryPrefill(0, too_long);
+  ASSERT_FALSE(oversize.ok());
+  EXPECT_EQ(oversize.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(engine->position(0), 0);  // nothing was admitted into the cache
+
+  auto good = engine->TryPrefill(0, {1, 2, 3});
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_EQ(engine->position(0), 3);
+}
+
+TEST(EngineLifecycleTest, TryDecodeBatchValidatesUntrustedInput) {
+  EngineFixture f(TinyMoeConfig());
+  EngineOptions opts;
+  opts.max_batch = 2;
+  auto engine = f.MakeEngine(opts);
+  const int s1 = engine->CreateSession();
+  ASSERT_TRUE(engine->TryPrefill(0, {1, 2}).ok());
+  ASSERT_TRUE(engine->TryPrefill(s1, {3, 4}).ok());
+
+  EXPECT_EQ(engine->TryDecodeBatch({}).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine
+                ->TryDecodeBatch(
+                    {SessionToken{0, 1}, SessionToken{s1, 2}, SessionToken{0, 3}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);  // wider than max_batch
+  EXPECT_EQ(engine->TryDecodeBatch({SessionToken{0, 1}, SessionToken{0, 2}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);  // duplicate session
+  EXPECT_EQ(engine->TryDecodeBatch({SessionToken{9, 1}}).status().code(),
+            StatusCode::kInvalidArgument);  // unknown session
+  EXPECT_EQ(engine->TryDecodeBatch({SessionToken{0, -3}}).status().code(),
+            StatusCode::kInvalidArgument);  // token outside vocab
+
+  // Error paths left every position untouched; a valid batch still works.
+  EXPECT_EQ(engine->position(0), 2);
+  EXPECT_EQ(engine->position(s1), 2);
+  auto ok = engine->TryDecodeBatch({SessionToken{0, 1}, SessionToken{s1, 2}});
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(engine->position(0), 3);
+}
+
+TEST(EngineLifecycleTest, SessionPoolBoundIsRecoverable) {
+  EngineFixture f(TinyMoeConfig());
+  EngineOptions opts;
+  opts.max_sessions = 2;
+  auto engine = f.MakeEngine(opts);
+  auto s1 = engine->TryCreateSession();
+  ASSERT_TRUE(s1.ok());
+  auto s2 = engine->TryCreateSession();
+  ASSERT_FALSE(s2.ok());
+  EXPECT_EQ(s2.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(engine->num_sessions(), 2);
+}
+
+TEST(EngineLifecycleTest, BackendFaultHooksPropagateAsStatus) {
+  EngineFixture f(TinyMoeConfig());
+  auto engine = f.MakeEngine();
+  ASSERT_TRUE(engine->TryPrefill(0, {1, 2}).ok());
+
+  // Device-wide fault: the next Try step fails whole, then the hook is clear.
+  engine->InjectBackendFault(InternalError("vcuda wedged"));
+  auto faulted = engine->TryDecodeBatch({SessionToken{0, 1}});
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_EQ(faulted.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(engine->position(0), 2);  // no state mutated
+  auto recovered = engine->TryDecodeBatch({SessionToken{0, 1}});
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+
+  // Thread-pool fault: surfaces through the same TakeBackendFault boundary.
+  engine->cpu_pool().InjectFault(InternalError("worker died"));
+  auto pool_fault = engine->TryDecodeBatch({SessionToken{0, 2}});
+  ASSERT_FALSE(pool_fault.ok());
+  EXPECT_EQ(pool_fault.status().code(), StatusCode::kInternal);
+  auto after = engine->TryDecodeBatch({SessionToken{0, 2}});
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+
+  // Session-attributed faults only fire for their session, and only once.
+  const int other = engine->CreateSession();
+  engine->InjectSessionFault(other, InternalError("row fault"));
+  EXPECT_TRUE(engine->TakeSessionFault(0).ok());
+  auto row = engine->TakeSessionFault(other);
+  ASSERT_FALSE(row.ok());
+  EXPECT_EQ(row.code(), StatusCode::kInternal);
+  EXPECT_TRUE(engine->TakeSessionFault(other).ok());  // consumed
+}
+
 }  // namespace
 }  // namespace ktx

@@ -106,6 +106,45 @@ TEST(SamplerTest, DistributionTracksTemperature) {
   EXPECT_GT(hot, 1.0 / 3.0 - 0.05);
 }
 
+TEST(SamplerTest, TopKPartialSortIsDeterministicAcrossRuns) {
+  // top_k now uses partial_sort over min(top_k, vocab) candidates with an
+  // index tie-break, so the same seed must yield the same stream even with
+  // heavily tied logits (a full sort with unstable ordering would not).
+  SamplerOptions opts;
+  opts.temperature = 1.3f;
+  opts.top_k = 4;
+  opts.seed = 21;
+  Tensor logits({1, 64}, DType::kF32);
+  for (int i = 0; i < 64; ++i) {
+    logits.f32()[i] = static_cast<float>(i % 3);  // many exact ties
+  }
+  Sampler a(opts);
+  Sampler b(opts);
+  for (int i = 0; i < 200; ++i) {
+    const int ta = a.Sample(logits);
+    const int tb = b.Sample(logits);
+    EXPECT_EQ(ta, tb) << "draw " << i;
+    // Ties broken by lowest index: the 4 candidates are the first four
+    // logit-2 entries, i.e. indices 2, 5, 8, 11.
+    EXPECT_TRUE(ta == 2 || ta == 5 || ta == 8 || ta == 11) << ta;
+  }
+}
+
+TEST(SamplerTest, TopKLargerThanVocabMatchesUnrestricted) {
+  SamplerOptions restricted;
+  restricted.temperature = 0.9f;
+  restricted.top_k = 100;  // > vocab: partial_sort clamps to full sort
+  restricted.seed = 5;
+  SamplerOptions open = restricted;
+  open.top_k = 0;
+  Sampler a(restricted);
+  Sampler b(open);
+  const Tensor logits = MakeLogits({0.3f, 2.2f, 1.1f, -0.4f});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Sample(logits), b.Sample(logits));
+  }
+}
+
 TEST(SamplerTest, MatchesSoftmaxProbabilities) {
   // Empirical frequencies ~ softmax(logits / T) within sampling error.
   SamplerOptions opts;

@@ -231,6 +231,293 @@ TEST(ServingTest, BatchedSweepStatsAreFair) {
   EXPECT_EQ(f.engine->counters().max_decode_batch, 3);
 }
 
+TEST(ServingLifecycleTest, InvalidRequestsAreRejectedNotAborted) {
+  // Untrusted submit-time input must never crash the loop: each bad request
+  // gets a terminal kRejected result and a valid sibling is unaffected.
+  Fixture f;
+  ServingLoop loop(f.engine.get(), 2);
+
+  GenerationRequest empty;  // empty prompt
+  const std::uint64_t empty_id = loop.Submit(std::move(empty));
+
+  GenerationRequest zero = Req({1, 2}, /*max_new=*/0);  // the old off-by-one path
+  const std::uint64_t zero_id = loop.Submit(std::move(zero));
+
+  GenerationRequest oov = Req({1, 99999}, 3);  // token outside vocab
+  const std::uint64_t oov_id = loop.Submit(std::move(oov));
+
+  const std::uint64_t good_id = loop.Submit(Req({3, 1, 4}, 4));
+  const auto results = loop.RunToCompletion();
+  ASSERT_EQ(results.size(), 4u);
+
+  for (std::uint64_t id : {empty_id, zero_id, oov_id}) {
+    const auto it = std::find_if(results.begin(), results.end(),
+                                 [&](const GenerationResult& r) { return r.id == id; });
+    ASSERT_NE(it, results.end());
+    EXPECT_FALSE(it->ok);
+    EXPECT_EQ(it->finish_reason, FinishReason::kRejected);
+    EXPECT_EQ(it->status.code(), StatusCode::kInvalidArgument);
+    EXPECT_TRUE(it->tokens.empty());
+  }
+  const auto good = std::find_if(results.begin(), results.end(),
+                                 [&](const GenerationResult& r) { return r.id == good_id; });
+  ASSERT_NE(good, results.end());
+  EXPECT_TRUE(good->ok);
+  EXPECT_EQ(good->finish_reason, FinishReason::kLength);
+  HybridEngine solo(f.config, f.weights, EngineOptions{});
+  EXPECT_EQ(good->tokens, solo.GenerateGreedy({3, 1, 4}, 4));
+  EXPECT_EQ(loop.stats().requests_rejected, 3);
+  EXPECT_EQ(loop.stats().requests_completed, 1);
+}
+
+TEST(ServingLifecycleTest, MaxNewTokensOneYieldsExactlyOneToken) {
+  // Regression for the ConsumeToken off-by-one: a 1-token request returns
+  // exactly the prefill-sampled token, never a second one.
+  Fixture f;
+  ServingLoop loop(f.engine.get(), 1);
+  loop.Submit(Req({3, 1, 4}, 1));
+  const auto results = loop.RunToCompletion();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_EQ(results[0].finish_reason, FinishReason::kLength);
+  ASSERT_EQ(results[0].tokens.size(), 1u);
+  HybridEngine solo(f.config, f.weights, EngineOptions{});
+  EXPECT_EQ(results[0].tokens, solo.GenerateGreedy({3, 1, 4}, 1));
+}
+
+TEST(ServingLifecycleTest, FullAdmissionQueueRejectsOverflow) {
+  Fixture f;
+  ServingOptions opts;
+  opts.max_concurrent = 1;
+  opts.max_queue = 2;
+  ServingLoop loop(f.engine.get(), opts);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(loop.Submit(Req({i + 1}, 2)));
+  }
+  const auto results = loop.RunToCompletion();
+  ASSERT_EQ(results.size(), 4u);
+  int rejected = 0;
+  for (const GenerationResult& r : results) {
+    if (r.id <= ids[1]) {
+      EXPECT_TRUE(r.ok) << "request " << r.id;
+    } else {
+      EXPECT_FALSE(r.ok);
+      EXPECT_EQ(r.finish_reason, FinishReason::kRejected);
+      EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(rejected, 2);
+  EXPECT_EQ(loop.stats().requests_rejected, 2);
+  EXPECT_EQ(loop.stats().requests_completed, 2);
+}
+
+TEST(ServingLifecycleTest, TtftAndTotalsIncludeQueueWait) {
+  // With one slot, the second request waits through the whole first
+  // generation; its metrics must show that wait instead of hiding it.
+  Fixture f;
+  ServingLoop loop(f.engine.get(), 1);
+  loop.Submit(Req({1, 2}, 6));
+  loop.Submit(Req({7, 8}, 3));
+  const auto results = loop.RunToCompletion();
+  ASSERT_EQ(results.size(), 2u);
+  const auto& first = results[0].id == 1 ? results[0] : results[1];
+  const auto& second = results[0].id == 2 ? results[0] : results[1];
+  EXPECT_GT(second.queue_seconds, 0.0);
+  EXPECT_GE(second.time_to_first_token_s, second.queue_seconds);
+  EXPECT_GE(second.total_seconds, second.time_to_first_token_s);
+  // The first request barely queues; prefill dominates its TTFT.
+  EXPECT_LT(first.queue_seconds, first.time_to_first_token_s);
+  // The second request queued behind the first's full generation — its wait
+  // dwarfs the first's.
+  EXPECT_GT(second.queue_seconds, first.queue_seconds);
+}
+
+TEST(ServingLifecycleTest, ExpiredDeadlineIsRejectedAtAdmissionWithoutPrefill) {
+  // A deadline that has already passed when the loop runs never reaches the
+  // engine: no prefill, no tokens, terminal kDeadline.
+  Fixture f;
+  ServingLoop loop(f.engine.get(), 2);
+  GenerationRequest doomed = Req({5, 5}, 4);
+  doomed.deadline_s = 1e-9;
+  loop.Submit(std::move(doomed));
+  const auto results = loop.RunToCompletion();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_EQ(results[0].finish_reason, FinishReason::kDeadline);
+  EXPECT_EQ(results[0].status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(results[0].tokens.empty());
+}
+
+TEST(ServingLifecycleTest, DeadlineExpiryMidBatchRetiresOnlyThatRequest) {
+  // The doomed request asks for effectively unbounded generation under a
+  // ~50 ms deadline: admission (sub-millisecond away) always beats the
+  // deadline, and the deadline always beats 100k decode steps — so it is
+  // deterministically retired by the per-row sweep while its neighbor (a
+  // short request that completes well inside the deadline) keeps decoding.
+  // max_seq is raised so KV exhaustion cannot beat the deadline.
+  Fixture f;
+  f.config.max_seq = 8192;
+  f.engine = std::make_unique<HybridEngine>(f.config, f.weights, EngineOptions{});
+  ServingLoop loop(f.engine.get(), 2);
+  GenerationRequest doomed = Req({5, 5}, 100000);
+  doomed.deadline_s = 0.05;
+  loop.Submit(std::move(doomed));
+  loop.Submit(Req({1, 2, 3}, 5));
+  const auto results = loop.RunToCompletion();
+  ASSERT_EQ(results.size(), 2u);
+
+  const auto expired = std::find_if(results.begin(), results.end(),
+                                    [](const GenerationResult& r) { return r.id == 1; });
+  ASSERT_NE(expired, results.end());
+  EXPECT_FALSE(expired->ok);
+  EXPECT_EQ(expired->finish_reason, FinishReason::kDeadline);
+  EXPECT_EQ(expired->status.code(), StatusCode::kDeadlineExceeded);
+  // It was admitted (prefill token consumed) but cut off far short of its
+  // requested length.
+  EXPECT_GE(expired->tokens.size(), 1u);
+  EXPECT_LT(expired->tokens.size(), 100000u);
+  EXPECT_GT(expired->total_seconds, 0.05);  // ran up to (and past) its deadline
+
+  const auto neighbor = std::find_if(results.begin(), results.end(),
+                                     [](const GenerationResult& r) { return r.id == 2; });
+  ASSERT_NE(neighbor, results.end());
+  EXPECT_TRUE(neighbor->ok);
+  EXPECT_EQ(neighbor->finish_reason, FinishReason::kLength);
+  HybridEngine solo(f.config, f.weights, EngineOptions{});
+  EXPECT_EQ(neighbor->tokens, solo.GenerateGreedy({1, 2, 3}, 5));
+}
+
+TEST(ServingLifecycleTest, InjectedSessionFaultRetiresOnlyThatRequest) {
+  // The acceptance scenario: a vcuda-injected fault on one session of a
+  // width-4 batch retires exactly that request; the other three finish with
+  // outputs bit-identical to a no-fault run, and nothing aborts.
+  Fixture f;
+  ServingLoop loop(f.engine.get(), 4);
+  const std::vector<std::vector<int>> prompts = {{1, 2}, {7, 8, 9}, {4}, {5, 5}};
+  for (const auto& prompt : prompts) {
+    loop.Submit(Req(prompt, 8));
+  }
+  // Requests admit in submit order onto fresh sessions 1..4; arm the fault
+  // for request 3 (session 3), firing on the 4th per-sweep poll so it lands
+  // mid-generation.
+  f.engine->InjectSessionFault(3, InternalError("injected vcuda fault"), /*after_polls=*/3);
+
+  const auto results = loop.RunToCompletion();
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(loop.stats().peak_batch, 4);
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    const auto it = std::find_if(results.begin(), results.end(),
+                                 [&](const GenerationResult& r) { return r.id == id; });
+    ASSERT_NE(it, results.end());
+    HybridEngine solo(f.config, f.weights, EngineOptions{});
+    const std::vector<int> expect =
+        solo.GenerateGreedy(prompts[static_cast<std::size_t>(id - 1)], 8);
+    if (id == 3) {
+      EXPECT_FALSE(it->ok);
+      EXPECT_EQ(it->finish_reason, FinishReason::kBackendError);
+      EXPECT_EQ(it->status.code(), StatusCode::kInternal);
+      // Fault fired on sweep 4: prefill token + 3 decoded tokens, and the
+      // prefix it did produce matches the no-fault run bit for bit.
+      ASSERT_EQ(it->tokens.size(), 4u);
+      EXPECT_EQ(it->tokens, std::vector<int>(expect.begin(), expect.begin() + 4));
+    } else {
+      EXPECT_TRUE(it->ok) << it->status.ToString();
+      EXPECT_EQ(it->tokens, expect) << "sibling " << id << " diverged";
+    }
+  }
+  EXPECT_EQ(loop.stats().requests_failed, 1);
+}
+
+TEST(ServingLifecycleTest, KvExhaustionRetiresOnlyThatRequest) {
+  // A tiny KV budget: the long-prompt request runs out of cache positions
+  // mid-generation and retires with kv_exhausted; its batch sibling, with a
+  // short prompt, completes normally.
+  MoeModelConfig config = TinyMoeConfig();
+  config.max_seq = 16;
+  auto weights =
+      std::make_shared<const ModelWeights>(ModelWeights::Generate(TinyMoeConfig(), 60));
+  HybridEngine engine(config, weights, EngineOptions{});
+  ServingLoop loop(&engine, 2);
+  const std::vector<int> long_prompt = {1, 2, 3, 4, 5, 6, 7, 8};
+  loop.Submit(Req(long_prompt, 20));  // wants 20 but only 9 fit
+  loop.Submit(Req({2}, 5));
+  const auto results = loop.RunToCompletion();
+  ASSERT_EQ(results.size(), 2u);
+
+  const auto exhausted = std::find_if(results.begin(), results.end(),
+                                      [](const GenerationResult& r) { return r.id == 1; });
+  ASSERT_NE(exhausted, results.end());
+  EXPECT_FALSE(exhausted->ok);
+  EXPECT_EQ(exhausted->finish_reason, FinishReason::kKvExhausted);
+  EXPECT_EQ(exhausted->status.code(), StatusCode::kResourceExhausted);
+  // Prefill fills 8 of 16 positions; 8 decode steps fill the rest, so the
+  // prefill token + 8 decoded tokens emerge before exhaustion.
+  ASSERT_EQ(exhausted->tokens.size(), 9u);
+  // The truncated stream is exactly what an unconstrained engine produces.
+  MoeModelConfig roomy = config;
+  roomy.max_seq = 128;
+  HybridEngine reference(roomy, weights, EngineOptions{});
+  EXPECT_EQ(exhausted->tokens, reference.GenerateGreedy(long_prompt, 9));
+
+  const auto sibling = std::find_if(results.begin(), results.end(),
+                                    [](const GenerationResult& r) { return r.id == 2; });
+  ASSERT_NE(sibling, results.end());
+  EXPECT_TRUE(sibling->ok);
+  HybridEngine solo(roomy, weights, EngineOptions{});
+  EXPECT_EQ(sibling->tokens, solo.GenerateGreedy({2}, 5));
+}
+
+TEST(ServingLifecycleTest, SessionPoolExhaustionRejectsInsteadOfAborting) {
+  Fixture f;
+  EngineOptions opts;
+  opts.max_sessions = 2;  // built-in session 0 + one serving session
+  HybridEngine engine(f.config, f.weights, opts);
+  ServingLoop loop(&engine, 2);
+  loop.Submit(Req({1, 2}, 4));
+  loop.Submit(Req({7, 8}, 4));
+  const auto results = loop.RunToCompletion();
+  ASSERT_EQ(results.size(), 2u);
+  const auto& admitted = results[0].id == 1 ? results[0] : results[1];
+  const auto& rejected = results[0].id == 2 ? results[0] : results[1];
+  EXPECT_TRUE(admitted.ok);
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_EQ(rejected.finish_reason, FinishReason::kRejected);
+  EXPECT_EQ(rejected.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(engine.num_sessions(), 2);
+}
+
+TEST(ServingLifecycleTest, WholeBatchBackendFaultRetiresSweepAndLoopRecovers) {
+  // A fault no row can be blamed for (device-wide) fails the whole sweep:
+  // every active request retires with backend_error — and the loop, not the
+  // process, absorbs it: the next submission completes normally.
+  Fixture f;
+  ServingLoop loop(f.engine.get(), 2);
+  loop.Submit(Req({1, 2}, 6));
+  loop.Submit(Req({7, 8}, 6));
+  // Polls 1+2 are the two admission prefills; poll 3 is the first batched
+  // decode sweep, where the fault lands.
+  f.engine->InjectBackendFault(InternalError("device wedged"), /*after_polls=*/2);
+  const auto results = loop.RunToCompletion();
+  ASSERT_EQ(results.size(), 2u);
+  for (const GenerationResult& r : results) {
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.finish_reason, FinishReason::kBackendError);
+    EXPECT_EQ(r.status.code(), StatusCode::kInternal);
+    EXPECT_EQ(r.tokens.size(), 1u);  // the prefill token; the sweep never ran
+  }
+  EXPECT_EQ(loop.stats().requests_failed, 2);
+
+  // Fault consumed: the loop keeps serving.
+  loop.Submit(Req({3, 1, 4}, 4));
+  const auto after = loop.RunToCompletion();
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_TRUE(after[0].ok);
+  HybridEngine solo(f.config, f.weights, EngineOptions{});
+  EXPECT_EQ(after[0].tokens, solo.GenerateGreedy({3, 1, 4}, 4));
+}
+
 TEST(ServingTest, SampledRequestsAreSeedDeterministic) {
   Fixture f;
   auto run_once = [&] {

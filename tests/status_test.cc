@@ -1,0 +1,117 @@
+// Status / StatusOr semantics: codes, the context chain, and the propagation
+// macros that the recoverable request-lifecycle paths are built on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ktx {
+namespace {
+
+TEST(StatusTest, DefaultIsOkWithEmptyContext) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.context().empty());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, EveryErrorFactoryCarriesItsCode) {
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(FailedPreconditionError("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(ResourceExhaustedError("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(DeadlineExceededError("x").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(StatusCodeName(StatusCode::kDeadlineExceeded), "DEADLINE_EXCEEDED");
+}
+
+TEST(StatusTest, WithContextChainsOutermostFirst) {
+  const Status inner = ResourceExhaustedError("kv cache exhausted");
+  const Status mid = inner.WithContext("decode row 2");
+  const Status outer = mid.WithContext("request 7");
+
+  // The original is untouched (reps are immutable).
+  EXPECT_TRUE(inner.context().empty());
+  ASSERT_EQ(mid.context().size(), 1u);
+  ASSERT_EQ(outer.context().size(), 2u);
+  EXPECT_EQ(outer.context()[0], "request 7");
+  EXPECT_EQ(outer.context()[1], "decode row 2");
+
+  // Code and message survive annotation; rendering reads outside-in.
+  EXPECT_EQ(outer.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(outer.message(), "kv cache exhausted");
+  EXPECT_EQ(outer.ToString(),
+            "RESOURCE_EXHAUSTED: request 7: decode row 2: kv cache exhausted");
+}
+
+TEST(StatusTest, WithContextOnOkIsANoOp) {
+  const Status s = OkStatus().WithContext("should vanish");
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(s.context().empty());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, EqualityIncludesContext) {
+  const Status a = InternalError("boom");
+  const Status b = InternalError("boom");
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.WithContext("ctx") == b);
+  EXPECT_EQ(a.WithContext("ctx"), b.WithContext("ctx"));
+}
+
+StatusOr<int> HalveEven(int v) {
+  if (v % 2 != 0) {
+    return InvalidArgumentError("odd");
+  }
+  return v / 2;
+}
+
+Status QuarterInto(int v, int* out) {
+  KTX_ASSIGN_OR_RETURN(const int half, HalveEven(v));
+  KTX_ASSIGN_OR_RETURN(*out, HalveEven(half));
+  return OkStatus();
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  int out = -1;
+  EXPECT_TRUE(QuarterInto(8, &out).ok());
+  EXPECT_EQ(out, 2);
+  const Status bad = QuarterInto(6, &out);  // 6 -> 3, second halving fails
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+}
+
+Status AnnotatedFail() {
+  KTX_RETURN_IF_ERROR(InternalError("root cause").WithContext("layer"));
+  return OkStatus();
+}
+
+TEST(StatusOrTest, ReturnIfErrorKeepsContext) {
+  const Status s = AnnotatedFail();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.ToString(), "INTERNAL: layer: root cause");
+}
+
+TEST(StatusOrTest, MovesValueOut) {
+  StatusOr<std::vector<int>> so = std::vector<int>{1, 2, 3};
+  ASSERT_TRUE(so.ok());
+  const std::vector<int> taken = std::move(so).value();
+  EXPECT_EQ(taken, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(StatusOrTest, ErrorStateExposesStatus) {
+  const StatusOr<int> so = ResourceExhaustedError("full").WithContext("queue");
+  EXPECT_FALSE(so.ok());
+  EXPECT_EQ(so.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(so.status().ToString(), "RESOURCE_EXHAUSTED: queue: full");
+}
+
+}  // namespace
+}  // namespace ktx

@@ -246,6 +246,51 @@ TEST(TraceTest, DisabledByDefaultAndJsonWellFormed) {
   EXPECT_NE(json.find("json_me"), std::string::npos);
 }
 
+TEST(VDeviceFaultTest, UnknownKeyAndCleanDeviceReturnOk) {
+  VDevice dev;
+  EXPECT_FALSE(dev.has_armed_faults());
+  EXPECT_TRUE(dev.TakeFault("session:0").ok());
+  EXPECT_TRUE(dev.TakeFault("device").ok());
+}
+
+TEST(VDeviceFaultTest, ArmedFaultFiresOnceWithContext) {
+  VDevice dev;
+  dev.InjectFault("session:3", InternalError("simulated ECC error"));
+  EXPECT_TRUE(dev.has_armed_faults());
+  EXPECT_TRUE(dev.TakeFault("session:1").ok());  // other keys unaffected
+
+  const Status hit = dev.TakeFault("session:3");
+  ASSERT_FALSE(hit.ok());
+  EXPECT_EQ(hit.code(), StatusCode::kInternal);
+  EXPECT_EQ(hit.message(), "simulated ECC error");
+  ASSERT_EQ(hit.context().size(), 1u);
+  EXPECT_NE(hit.context()[0].find("session:3"), std::string::npos);
+
+  // Consumed: the plan disarms after firing.
+  EXPECT_TRUE(dev.TakeFault("session:3").ok());
+  EXPECT_FALSE(dev.has_armed_faults());
+}
+
+TEST(VDeviceFaultTest, AfterPollsCountsDownBeforeFiring) {
+  VDevice dev;
+  dev.InjectFault("device", ResourceExhaustedError("vram gone"), /*after_polls=*/2);
+  EXPECT_TRUE(dev.TakeFault("device").ok());  // poll 1
+  EXPECT_TRUE(dev.TakeFault("device").ok());  // poll 2
+  const Status hit = dev.TakeFault("device");  // poll 3 fires
+  ASSERT_FALSE(hit.ok());
+  EXPECT_EQ(hit.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(dev.TakeFault("device").ok());
+}
+
+TEST(VDeviceFaultTest, RearmingReplacesThePriorPlan) {
+  VDevice dev;
+  dev.InjectFault("device", InternalError("first"), /*after_polls=*/5);
+  dev.InjectFault("device", InternalError("second"));
+  const Status hit = dev.TakeFault("device");
+  ASSERT_FALSE(hit.ok());
+  EXPECT_EQ(hit.message(), "second");
+}
+
 TEST(VGraphDeathTest, SynchronizeDuringCaptureAborts) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   ASSERT_DEATH(
