@@ -1,0 +1,112 @@
+// Streaming latency histogram for serving-quality metrics (TTFT / TBT
+// percentiles). Local hybrid serving is judged on *tail* time-between-tokens,
+// not aggregate throughput, so the serving loop records every gap into one of
+// these and reports p50/p95/p99 instead of a single mean.
+//
+// Layout: geometric (log-spaced) buckets, kBucketsPerOctave per power of two,
+// spanning [kMinSeconds, kMaxSeconds] — ~9% relative resolution at 8 buckets
+// per octave, plenty for the >= 3x tail assertions the benches make. Record
+// is O(1) with no allocation (the bucket array is inline), so it is safe on
+// the decode hot path; Percentile walks the fixed-size array.
+//
+// Percentile interpolates linearly inside the target bucket and clamps to the
+// exactly-tracked [min, max], so single-sample histograms report that sample
+// and p100 is always the true maximum.
+
+#ifndef KTX_SRC_COMMON_HISTOGRAM_H_
+#define KTX_SRC_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace ktx {
+
+class LatencyHistogram {
+ public:
+  void Record(double seconds) {
+    ++counts_[BucketIndex(seconds)];
+    ++count_;
+    sum_ += seconds;
+    if (seconds < min_ || count_ == 1) {
+      min_ = seconds;
+    }
+    if (seconds > max_ || count_ == 1) {
+      max_ = seconds;
+    }
+  }
+
+  std::int64_t count() const { return count_; }
+  double sum_seconds() const { return sum_; }
+  double mean_seconds() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min_seconds() const { return count_ == 0 ? 0.0 : min_; }
+  double max_seconds() const { return count_ == 0 ? 0.0 : max_; }
+
+  // Value at percentile p in [0, 100]; 0.0 on an empty histogram.
+  double Percentile(double p) const {
+    if (count_ == 0) {
+      return 0.0;
+    }
+    if (p <= 0.0) {
+      return min_;
+    }
+    if (p >= 100.0) {
+      return max_;
+    }
+    // Rank of the target sample (1-based, nearest-rank with interpolation).
+    const double target = p / 100.0 * static_cast<double>(count_);
+    std::int64_t cumulative = 0;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+      if (counts_[b] == 0) {
+        continue;
+      }
+      const std::int64_t next = cumulative + counts_[b];
+      if (static_cast<double>(next) >= target) {
+        const double fraction =
+            (target - static_cast<double>(cumulative)) / static_cast<double>(counts_[b]);
+        const double low = BucketLowerBound(b);
+        const double high = BucketUpperBound(b);
+        const double value = low + fraction * (high - low);
+        // The true extremes are tracked exactly; never report past them.
+        return value < min_ ? min_ : (value > max_ ? max_ : value);
+      }
+      cumulative = next;
+    }
+    return max_;
+  }
+
+  void Reset() { *this = LatencyHistogram(); }
+
+ private:
+  static constexpr double kMinSeconds = 1e-7;  // 0.1 us
+  static constexpr int kBucketsPerOctave = 8;  // 2^(1/8) ~ 9% resolution
+  static constexpr int kOctaves = 37;          // ~1e-7 s .. ~1.4e4 s
+  static constexpr int kNumBuckets = kOctaves * kBucketsPerOctave;
+
+  static std::size_t BucketIndex(double seconds) {
+    if (!(seconds > kMinSeconds)) {  // also catches NaN and non-positive
+      return 0;
+    }
+    const double octaves = std::log2(seconds / kMinSeconds);
+    const auto index = static_cast<std::int64_t>(octaves * kBucketsPerOctave);
+    return index >= kNumBuckets ? kNumBuckets - 1 : static_cast<std::size_t>(index);
+  }
+  static double BucketLowerBound(std::size_t index) {
+    return kMinSeconds *
+           std::exp2(static_cast<double>(index) / kBucketsPerOctave);
+  }
+  static double BucketUpperBound(std::size_t index) {
+    return kMinSeconds *
+           std::exp2(static_cast<double>(index + 1) / kBucketsPerOctave);
+  }
+
+  std::array<std::int64_t, kNumBuckets> counts_{};
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_COMMON_HISTOGRAM_H_

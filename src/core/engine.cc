@@ -371,28 +371,39 @@ void HybridEngine::EnqueueForward(DecodeBuffers* bufs, std::int64_t m, bool allo
 
 Tensor HybridEngine::Prefill(int session, const std::vector<int>& tokens) {
   KTX_CHECK(!tokens.empty());
-  KvCache* cache = sessions_.at(static_cast<std::size_t>(session)).get();
-  active_cache_ = cache;
-  Tensor last_logits;
-  std::size_t offset = 0;
-  while (offset < tokens.size()) {
-    const std::int64_t m = std::min<std::int64_t>(
-        options_.prefill_chunk, static_cast<std::int64_t>(tokens.size() - offset));
-    DecodeBuffers bufs(config_, m);
-    for (std::int64_t t = 0; t < m; ++t) {
-      bufs.token_ids[static_cast<std::size_t>(t)] = tokens[offset + static_cast<std::size_t>(t)];
-    }
-    bufs.pos0.store(cache->position());
-    // Deferral is disabled in prefill (§4.1: prefill's expert coverage would
-    // double the memory footprint).
-    EnqueueForward(&bufs, m, /*allow_deferral=*/false, /*batched=*/false);
-    SyncAllStreams();
-    cache->Advance(m);
-    counters_.prefill_tokens += m;
-    last_logits = bufs.logits.Slice(m - 1, 1).Clone();
-    offset += static_cast<std::size_t>(m);
+  // Single-shot prefill is the cursor loop driven to completion in one call;
+  // sharing PrefillChunk keeps the chunk boundaries (and therefore the bits)
+  // identical between the two entry points by construction.
+  PrefillCursor cursor;
+  cursor.session_ = session;
+  cursor.tokens_ = tokens;
+  while (!cursor.done()) {
+    PrefillChunk(&cursor);
   }
-  return last_logits;
+  return cursor.last_logits_;
+}
+
+std::int64_t HybridEngine::PrefillChunk(PrefillCursor* cursor) {
+  KvCache* cache = sessions_.at(static_cast<std::size_t>(cursor->session_)).get();
+  active_cache_ = cache;
+  const std::int64_t m = std::min<std::int64_t>(options_.prefill_chunk,
+                                                cursor->remaining_tokens());
+  KTX_CHECK_GE(m, 1);
+  DecodeBuffers bufs(config_, m);
+  for (std::int64_t t = 0; t < m; ++t) {
+    bufs.token_ids[static_cast<std::size_t>(t)] =
+        cursor->tokens_[cursor->offset_ + static_cast<std::size_t>(t)];
+  }
+  bufs.pos0.store(cache->position());
+  // Deferral is disabled in prefill (§4.1: prefill's expert coverage would
+  // double the memory footprint).
+  EnqueueForward(&bufs, m, /*allow_deferral=*/false, /*batched=*/false);
+  SyncAllStreams();
+  cache->Advance(m);
+  counters_.prefill_tokens += m;
+  cursor->offset_ += static_cast<std::size_t>(m);
+  cursor->last_logits_ = bufs.logits.Slice(m - 1, 1).Clone();
+  return m;
 }
 
 Tensor HybridEngine::DecodeStep(int session, int token) {
@@ -548,6 +559,16 @@ Status HybridEngine::TakeBackendFault() {
 }
 
 StatusOr<Tensor> HybridEngine::TryPrefill(int session, const std::vector<int>& tokens) {
+  KTX_ASSIGN_OR_RETURN(PrefillCursor cursor, StartPrefill(session, tokens));
+  // One fault poll for the whole prompt (the resumable path polls per chunk).
+  KTX_RETURN_IF_ERROR(TakeBackendFault().WithContext("prefill"));
+  while (!cursor.done()) {
+    PrefillChunk(&cursor);
+  }
+  return cursor.logits();
+}
+
+StatusOr<PrefillCursor> HybridEngine::StartPrefill(int session, std::vector<int> tokens) {
   KTX_RETURN_IF_ERROR(ValidateSession(session).WithContext("prefill"));
   if (tokens.empty()) {
     return InvalidArgumentError("prefill: empty prompt");
@@ -559,6 +580,8 @@ StatusOr<Tensor> HybridEngine::TryPrefill(int session, const std::vector<int>& t
                                   std::to_string(config_.vocab) + ")");
     }
   }
+  // KV headroom for the whole prompt, validated once: chunks never re-check
+  // (the session is exclusively this prompt's between Start and done).
   const KvCache& cache = *sessions_[static_cast<std::size_t>(session)];
   if (!cache.CanAdvance(static_cast<std::int64_t>(tokens.size()))) {
     return ResourceExhaustedError("prompt of " + std::to_string(tokens.size()) +
@@ -567,8 +590,36 @@ StatusOr<Tensor> HybridEngine::TryPrefill(int session, const std::vector<int>& t
                                   std::to_string(cache.max_seq()) + ")")
         .WithContext("prefill");
   }
-  KTX_RETURN_IF_ERROR(TakeBackendFault().WithContext("prefill"));
-  return Prefill(session, tokens);
+  PrefillCursor cursor;
+  cursor.session_ = session;
+  cursor.tokens_ = std::move(tokens);
+  return cursor;
+}
+
+StatusOr<std::int64_t> HybridEngine::TryPrefillNext(PrefillCursor* cursor) {
+  if (cursor == nullptr || !cursor->valid()) {
+    return InvalidArgumentError("prefill_next: cursor was not produced by StartPrefill");
+  }
+  if (cursor->done()) {
+    return InvalidArgumentError("prefill_next: cursor already processed all " +
+                                std::to_string(cursor->total_tokens()) + " prompt tokens");
+  }
+  KTX_RETURN_IF_ERROR(ValidateSession(cursor->session_).WithContext("prefill_next"));
+  // Defensive re-check: StartPrefill reserved headroom for the whole prompt,
+  // but a caller that Reset or decoded this session mid-cursor voids that.
+  const std::int64_t m =
+      std::min<std::int64_t>(options_.prefill_chunk, cursor->remaining_tokens());
+  const KvCache& cache = *sessions_[static_cast<std::size_t>(cursor->session_)];
+  if (!cache.CanAdvance(m)) {
+    return ResourceExhaustedError("chunk of " + std::to_string(m) +
+                                  " tokens does not fit the kv cache (position " +
+                                  std::to_string(cache.position()) + ", max_seq " +
+                                  std::to_string(cache.max_seq()) + ")")
+        .WithContext("prefill_next");
+  }
+  // Polled before any mutation: a fault leaves the cursor resumable.
+  KTX_RETURN_IF_ERROR(TakeBackendFault().WithContext("prefill_next"));
+  return PrefillChunk(cursor);
 }
 
 StatusOr<Tensor> HybridEngine::TryDecodeBatch(const std::vector<SessionToken>& batch) {

@@ -118,6 +118,42 @@ struct SessionToken {
   int token = 0;
 };
 
+// Resumable chunked-prefill state for one session (stall-free serving).
+//
+// HybridEngine::StartPrefill validates the whole prompt up front and returns
+// one of these; each TryPrefillNext call advances exactly ONE engine chunk —
+// min(prefill_chunk, tokens left), cut at the same offsets Prefill()'s
+// internal loop uses — so a prompt driven to completion through a cursor
+// produces logits bit-identical to a single-shot Prefill of the same prompt
+// (chunk boundaries decide tokens-per-expert and therefore the ARI kernel
+// kind, so they must never depend on the caller's pacing). Deferral stays off
+// (§4.1), and other sessions may decode freely between chunks: prefill runs
+// eagerly against this cursor's own KV cache while batched decode replays
+// read per-row state, so interleaving cannot perturb either side.
+class PrefillCursor {
+ public:
+  PrefillCursor() = default;  // invalid until produced by StartPrefill
+
+  bool valid() const { return session_ >= 0; }
+  int session() const { return session_; }
+  std::int64_t total_tokens() const { return static_cast<std::int64_t>(tokens_.size()); }
+  std::int64_t processed_tokens() const { return static_cast<std::int64_t>(offset_); }
+  std::int64_t remaining_tokens() const { return total_tokens() - processed_tokens(); }
+  bool done() const { return valid() && offset_ >= tokens_.size(); }
+
+  // Logits of the prompt's final token ([1, vocab]); only meaningful once
+  // done() — the serving loop samples the request's first token from these.
+  const Tensor& logits() const { return last_logits_; }
+
+ private:
+  friend class HybridEngine;
+
+  int session_ = -1;
+  std::vector<int> tokens_;
+  std::size_t offset_ = 0;
+  Tensor last_logits_;
+};
+
 class HybridEngine {
  public:
   HybridEngine(MoeModelConfig config, std::shared_ptr<const ModelWeights> weights,
@@ -161,6 +197,20 @@ class HybridEngine {
   StatusOr<Tensor> TryPrefill(int session, const std::vector<int>& tokens);
   StatusOr<Tensor> TryDecodeBatch(const std::vector<SessionToken>& batch);
   StatusOr<int> TryCreateSession();
+
+  // --- Resumable prefill (stall-free serving) -------------------------------
+  // StartPrefill validates everything TryPrefill would — session id, token
+  // range, and KV headroom for the WHOLE prompt, once, up front — but runs no
+  // forward work: it returns a cursor positioned at token 0. TryPrefillNext
+  // advances one engine chunk (at most prefill_chunk tokens) and returns how
+  // many prompt tokens it processed; the caller paces calls against its own
+  // token budget and decodes other sessions in between. Backend faults are
+  // polled per chunk, BEFORE any state mutation, so a failed call leaves the
+  // cursor and the session's KV position untouched (resumable or safely
+  // retireable). Calling TryPrefillNext on an invalid or completed cursor is
+  // kInvalidArgument.
+  StatusOr<PrefillCursor> StartPrefill(int session, std::vector<int> tokens);
+  StatusOr<std::int64_t> TryPrefillNext(PrefillCursor* cursor);
 
   // KV-cache positions left before `session`'s cache tensors run out (a
   // decode step needs >= 1). The serving loop checks this each sweep and
@@ -212,6 +262,9 @@ class HybridEngine {
 
   void BuildCpuExperts();
   Status ValidateSession(int session) const;
+  // Runs the cursor's next chunk (unchecked: capacity and tokens validated by
+  // StartPrefill). Returns the number of prompt tokens advanced.
+  std::int64_t PrefillChunk(PrefillCursor* cursor);
   // Enqueues the full layer stack onto the stream. Buffers live in `bufs`.
   // With batched=false, processes `m` tokens of one sequence (active_cache_)
   // starting at bufs->pos0 — the prefill / verify shape. With batched=true,

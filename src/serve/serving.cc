@@ -97,8 +97,23 @@ std::uint64_t ServingLoop::Submit(GenerationRequest request) {
   return id;
 }
 
+void ServingLoop::NoteFirstToken(Active* active) {
+  const double now = active->clock.ElapsedSeconds();
+  active->result.time_to_first_token_s = now;
+  active->last_emit_s = now;
+  stats_.ttft_s.Record(now);
+}
+
+void ServingLoop::NoteDecodedToken(Active* active) {
+  const double now = active->clock.ElapsedSeconds();
+  stats_.tbt_s.Record(now - active->last_emit_s);
+  active->last_emit_s = now;
+}
+
 void ServingLoop::AdmitFromQueue() {
-  while (!queue_.empty() && static_cast<int>(active_.size()) < options_.max_concurrent) {
+  const bool interleaved = options_.prefill_budget_tokens > 0;
+  while (!queue_.empty() && static_cast<int>(prefilling_.size() + active_.size()) <
+                                options_.max_concurrent) {
     Pending pending = std::move(queue_.front());
     queue_.pop_front();
     const double waited_s = pending.submitted.ElapsedSeconds();
@@ -128,6 +143,31 @@ void ServingLoop::AdmitFromQueue() {
     active.result.prompt_tokens = static_cast<std::int64_t>(active.request.prompt.size());
     active.clock = pending.submitted;  // metrics are measured from Submit
     active.result.queue_seconds = waited_s;
+    // The row holds a slot from here on, whichever branch it takes below —
+    // including an immediate failure — so peak_concurrency counts it now.
+    stats_.peak_concurrency =
+        std::max(stats_.peak_concurrency,
+                 static_cast<int>(prefilling_.size() + active_.size()) + 1);
+
+    if (interleaved) {
+      // Stall-free admission: validate everything (KV headroom for the whole
+      // prompt included) but run no prefill work inside the admission sweep.
+      auto cursor = engine_->StartPrefill(active.session, active.request.prompt);
+      if (!cursor.ok()) {
+        const FinishReason reason =
+            cursor.status().code() == StatusCode::kResourceExhausted
+                ? FinishReason::kKvExhausted
+                : FinishReason::kBackendError;
+        FailRow(std::move(active), reason, cursor.status().WithContext("admission"));
+        continue;
+      }
+      active.cursor = std::move(*cursor);
+      prefilling_.push_back(std::move(active));
+      continue;
+    }
+
+    // Synchronous admission (prefill_budget_tokens == 0): the legacy path —
+    // the whole prompt runs here, stalling this sweep's decodes behind it.
     auto logits = engine_->TryPrefill(active.session, active.request.prompt);
     if (!logits.ok()) {
       // The prompt itself was validated at Submit; what's left is capacity
@@ -136,15 +176,60 @@ void ServingLoop::AdmitFromQueue() {
       const FinishReason reason = logits.status().code() == StatusCode::kResourceExhausted
                                       ? FinishReason::kKvExhausted
                                       : FinishReason::kBackendError;
-      active_.push_back(std::move(active));
-      FailActive(active_.size() - 1, reason, logits.status().WithContext("admission"));
+      FailRow(std::move(active), reason, logits.status().WithContext("admission"));
       continue;
     }
+    const auto prompt_tokens = static_cast<std::int64_t>(active.request.prompt.size());
+    const std::int64_t chunk = engine_->options().prefill_chunk;
+    stats_.prefill_tokens += prompt_tokens;
+    stats_.prefill_chunks += (prompt_tokens + chunk - 1) / chunk;
     active.last_token = active.sampler.Sample(*logits);
-    active.result.time_to_first_token_s = active.clock.ElapsedSeconds();
+    NoteFirstToken(&active);
     active_.push_back(std::move(active));
-    stats_.peak_concurrency =
-        std::max(stats_.peak_concurrency, static_cast<int>(active_.size()));
+  }
+}
+
+void ServingLoop::AdvancePrefill() {
+  std::int64_t spent = 0;
+  // Oldest request first (admission order), one engine chunk at a time. The
+  // budget is checked before each chunk: a sweep with prefill work always
+  // advances at least one chunk, and overshoots by < prefill_chunk tokens.
+  while (!prefilling_.empty() && spent < options_.prefill_budget_tokens) {
+    Active& row = prefilling_.front();
+    if (row.request.deadline_s > 0.0 &&
+        row.clock.ElapsedSeconds() > row.request.deadline_s) {
+      Active failed = std::move(row);
+      prefilling_.erase(prefilling_.begin());
+      FailRow(std::move(failed), FinishReason::kDeadline,
+              DeadlineExceededError(
+                  "deadline of " + std::to_string(failed.request.deadline_s) +
+                  "s expired after " + std::to_string(failed.cursor.processed_tokens()) +
+                  " of " + std::to_string(failed.cursor.total_tokens()) +
+                  " prompt tokens prefilled"));
+      continue;
+    }
+    auto advanced = engine_->TryPrefillNext(&row.cursor);
+    if (!advanced.ok()) {
+      const FinishReason reason =
+          advanced.status().code() == StatusCode::kResourceExhausted
+              ? FinishReason::kKvExhausted
+              : FinishReason::kBackendError;
+      Active failed = std::move(row);
+      prefilling_.erase(prefilling_.begin());
+      FailRow(std::move(failed), reason,
+              advanced.status().WithContext("request " + std::to_string(failed.id)));
+      continue;
+    }
+    spent += *advanced;
+    stats_.prefill_tokens += *advanced;
+    ++stats_.prefill_chunks;
+    if (row.cursor.done()) {
+      row.last_token = row.sampler.Sample(row.cursor.logits());
+      NoteFirstToken(&row);
+      Active done = std::move(row);
+      prefilling_.erase(prefilling_.begin());
+      active_.push_back(std::move(done));
+    }
   }
 }
 
@@ -166,15 +251,7 @@ bool ServingLoop::ConsumeToken(Active* active) {
   return false;
 }
 
-void ServingLoop::FailActive(std::size_t index, FinishReason reason, Status status) {
-  Active& active = active_[index];
-  active.result.finish_reason = reason;
-  active.result.status = std::move(status);
-  Retire(index);
-}
-
-void ServingLoop::Retire(std::size_t index) {
-  Active& active = active_[index];
+void ServingLoop::RetireRow(Active&& active) {
   active.result.ok = active.result.status.ok();
   active.result.stopped_at_eos = active.result.finish_reason == FinishReason::kEos;
   active.result.total_seconds = active.clock.ElapsedSeconds();
@@ -186,10 +263,56 @@ void ServingLoop::Retire(std::size_t index) {
     ++stats_.requests_failed;
   }
   completed_.push_back(std::move(active.result));
+}
+
+void ServingLoop::FailRow(Active&& active, FinishReason reason, Status status) {
+  active.result.finish_reason = reason;
+  active.result.status = std::move(status);
+  RetireRow(std::move(active));
+}
+
+void ServingLoop::FailActive(std::size_t index, FinishReason reason, Status status) {
+  Active& active = active_[index];
+  active.result.finish_reason = reason;
+  active.result.status = std::move(status);
+  Retire(index);
+}
+
+void ServingLoop::Retire(std::size_t index) {
+  Active active = std::move(active_[index]);
   active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(index));
+  RetireRow(std::move(active));
 }
 
 void ServingLoop::SweepFailures() {
+  // Prefilling rows: deadline and per-session fault (their KV headroom was
+  // reserved whole at StartPrefill, so no capacity check until they decode).
+  for (std::size_t i = 0; i < prefilling_.size();) {
+    Active& row = prefilling_[i];
+    Status failure;
+    FinishReason reason = FinishReason::kNone;
+    if (row.request.deadline_s > 0.0 &&
+        row.clock.ElapsedSeconds() > row.request.deadline_s) {
+      reason = FinishReason::kDeadline;
+      failure = DeadlineExceededError(
+          "deadline of " + std::to_string(row.request.deadline_s) + "s expired after " +
+          std::to_string(row.cursor.processed_tokens()) + " of " +
+          std::to_string(row.cursor.total_tokens()) + " prompt tokens prefilled");
+    } else {
+      Status fault = engine_->TakeSessionFault(row.session);
+      if (!fault.ok()) {
+        reason = FinishReason::kBackendError;
+        failure = fault.WithContext("request " + std::to_string(row.id));
+      }
+    }
+    if (reason == FinishReason::kNone) {
+      ++i;
+      continue;
+    }
+    Active failed = std::move(row);
+    prefilling_.erase(prefilling_.begin() + static_cast<std::ptrdiff_t>(i));
+    FailRow(std::move(failed), reason, std::move(failure));
+  }
   for (std::size_t i = 0; i < active_.size();) {
     Active& active = active_[i];
     if (active.request.deadline_s > 0.0 &&
@@ -234,12 +357,14 @@ void ServingLoop::DecodeActive() {
       ++stats_.decoded_tokens;
       stats_.peak_batch = std::max(stats_.peak_batch, 1);
       active.last_token = active.sampler.Sample(*logits);
+      NoteDecodedToken(&active);
       ++i;
     }
     return;
   }
   // One DecodeBatch sweep over every surviving request (chunked only if the
-  // configured concurrency exceeds the engine's batch capacity).
+  // configured concurrency exceeds the engine's batch capacity). Prefilling
+  // rows live in their own vector, so active_ is exactly the decode set.
   const auto max_batch = static_cast<std::size_t>(engine_->options().max_batch);
   for (std::size_t begin = 0; begin < active_.size();) {
     const std::size_t rows = std::min(max_batch, active_.size() - begin);
@@ -264,6 +389,7 @@ void ServingLoop::DecodeActive() {
       Active& active = active_[begin + r];
       active.last_token =
           active.sampler.Sample(logits->Slice(static_cast<std::int64_t>(r), 1));
+      NoteDecodedToken(&active);
     }
     ++stats_.decode_iterations;
     stats_.decoded_tokens += static_cast<std::int64_t>(rows);
@@ -274,8 +400,12 @@ void ServingLoop::DecodeActive() {
 
 std::vector<GenerationResult> ServingLoop::RunToCompletion() {
   // Rejected-at-submit results recorded before this call stay in completed_.
-  while (!queue_.empty() || !active_.empty()) {
+  while (!queue_.empty() || !prefilling_.empty() || !active_.empty()) {
     AdmitFromQueue();
+    // Spend this sweep's prefill budget before decoding: completed prompts
+    // sample their first token here and decode in this very sweep, exactly
+    // like the synchronous path's admission-then-decode ordering.
+    AdvancePrefill();
     // Consume each request's pending sampled token; retire finished rows in
     // place so their slots refill from the queue next iteration.
     for (std::size_t i = 0; i < active_.size();) {
@@ -288,7 +418,7 @@ std::vector<GenerationResult> ServingLoop::RunToCompletion() {
     // Per-row terminal checks (deadline, injected fault, KV room) before the
     // sweep: a failing row retires here and its siblings decode unaffected.
     SweepFailures();
-    // Everyone still active needs exactly one more token: one batched sweep.
+    // Everyone still decoding needs exactly one more token: one batched sweep.
     DecodeActive();
   }
   return std::move(completed_);

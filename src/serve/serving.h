@@ -3,22 +3,37 @@
 //
 // Requests queue FIFO behind a bounded admission queue; the loop admits up to
 // `max_concurrent` generations, each on its own engine session (independent
-// KV cache over the shared weights and captured decode graph), and prefills
-// on admission. Decoding is *continuous batching*: every iteration admits
-// from the queue into free slots, decodes ALL active requests in one
-// HybridEngine::DecodeBatch call (one graph replay, one MoE request per layer
-// for the whole batch), and retires finished rows in place — a freed slot is
-// refilled on the very next iteration. Per-request outputs are bit-identical
-// to the sequential batch-1 loop (engine guarantee); `batched_decode = false`
-// keeps the old round-robin DecodeStep loop, which tests use as the reference.
+// KV cache over the shared weights and captured decode graph). Decoding is
+// *continuous batching*: every iteration admits from the queue into free
+// slots, decodes ALL decoding requests in one HybridEngine::DecodeBatch call
+// (one graph replay, one MoE request per layer for the whole batch), and
+// retires finished rows in place — a freed slot is refilled on the very next
+// iteration. Per-request outputs are bit-identical to the sequential batch-1
+// loop (engine guarantee); `batched_decode = false` keeps the old round-robin
+// DecodeStep loop, which tests use as the reference.
+//
+// Stall-free admission (§4.1 chunked prefill, Sarathi-style): with
+// `prefill_budget_tokens > 0` (the default) an admitted request enters a
+// *prefilling* state holding an engine PrefillCursor instead of running its
+// whole prompt synchronously. Each sweep spends at most the budget advancing
+// prompt tokens — whole engine chunks, oldest request first — then decodes
+// every active row in one batch, so the decode cadence (TBT) is bounded by
+// the budget, not by the longest queued prompt. Budget accounting is
+// whole-chunk: it is checked before each chunk, guaranteeing at least one
+// chunk of progress per sweep and bounding per-sweep overshoot by
+// prefill_chunk - 1 tokens. A budget of 0 restores synchronous admission
+// (the whole prompt prefills inside the admitting sweep), which benches use
+// as the stall baseline. Token streams are bit-identical between the two
+// modes: chunk boundaries are engine-fixed and sessions are isolated.
 //
 // Request lifecycle: every request ends in exactly one terminal state,
 // recorded on its GenerationResult as {ok, status, finish_reason}. Invalid
 // requests and a full queue are rejected at Submit (never an abort); admitted
 // requests retire with EOS / length on success, or kv_exhausted / deadline /
 // backend_error when capacity runs out, the wall-clock budget expires, or an
-// injected backend fault hits their session. A failing row is retired in
-// place: its siblings in the same DecodeBatch sweep keep decoding and their
+// injected backend fault hits their session — including *during* a chunked
+// prefill: deadlines are re-checked and faults polled between chunks, and a
+// request that dies mid-prefill retires alone while its decoding siblings'
 // outputs are unchanged (batch-composition independence, see engine.h).
 // Programmer-error invariants inside the engine remain KTX_CHECK aborts.
 //
@@ -34,6 +49,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/histogram.h"
 #include "src/common/status.h"
 #include "src/common/stopwatch.h"
 #include "src/core/engine.h"
@@ -48,7 +64,7 @@ enum class FinishReason {
   kLength,        // reached max_new_tokens
   kKvExhausted,   // session KV cache ran out of positions mid-generation
   kRejected,      // never admitted: invalid request, full queue, no session
-  kDeadline,      // wall-clock deadline expired (queued or mid-generation)
+  kDeadline,      // wall-clock deadline expired (queued, prefilling or decoding)
   kBackendError,  // backend fault attributed to this request (or its sweep)
 };
 std::string_view FinishReasonName(FinishReason reason);
@@ -59,8 +75,9 @@ struct GenerationRequest {
   SamplerOptions sampling;  // temperature 0 = greedy
   int eos_token = -1;       // stop token; -1 disables
   // Wall-clock budget measured from Submit; <= 0 disables. Checked at
-  // admission and once per decode sweep; an expired request retires with
-  // finish_reason kDeadline and a kDeadlineExceeded status.
+  // admission, between prefill chunks, and once per decode sweep; an expired
+  // request retires with finish_reason kDeadline and a kDeadlineExceeded
+  // status.
   double deadline_s = 0.0;
 };
 
@@ -84,12 +101,21 @@ struct GenerationResult {
 
 struct ServingOptions {
   // Bounds simultaneously active generations (sessions are pooled, reused).
+  // Prefilling requests occupy a slot: they hold a session.
   int max_concurrent = 2;
   // Continuous batching (default) vs. the round-robin batch-1 reference loop.
   bool batched_decode = true;
   // Bound on queued-but-unadmitted requests. Submit past it rejects the new
   // request with kResourceExhausted instead of queueing without limit.
   int max_queue = 256;
+  // Prompt tokens each sweep may spend advancing prefilling requests before
+  // the decode batch runs (Sarathi-style chunked-prefill budget). Spent in
+  // whole engine chunks, checked before each chunk, oldest request first:
+  // a sweep always makes >= 1 chunk of progress and overshoots by at most
+  // prefill_chunk - 1 tokens. Lower budget => tighter TBT bound for decoding
+  // neighbors but later TTFT for long prompts; 0 => synchronous admission
+  // (the legacy stall-prone behavior, kept as the measurable baseline).
+  std::int64_t prefill_budget_tokens = 256;
 };
 
 class ServingLoop {
@@ -109,9 +135,22 @@ class ServingLoop {
     // Tokens produced by those decode calls (excludes the prefill-sampled
     // first token of each request).
     std::int64_t decoded_tokens = 0;
+    // Prompt tokens pushed through prefill, and the engine chunks that
+    // carried them (interleaved mode advances chunk by chunk; synchronous
+    // admission counts one chunk per prefill_chunk-sized piece).
+    std::int64_t prefill_tokens = 0;
+    std::int64_t prefill_chunks = 0;
     int peak_concurrency = 0;
     // Widest single decode batch issued.
     int peak_batch = 0;
+    // Streaming latency distributions (seconds), the SLO view of the loop:
+    // ttft_s records Submit -> first sampled token per admitted request;
+    // tbt_s records every gap between consecutive sampled tokens of the same
+    // request, across all requests. Tail TBT is what a synchronous long
+    // prefill wrecks and the budget bounds — p99(tbt_s) is the number the
+    // stall-free bench asserts on.
+    LatencyHistogram ttft_s;
+    LatencyHistogram tbt_s;
   };
 
   // The engine must outlive the loop.
@@ -126,10 +165,13 @@ class ServingLoop {
   // any other. Thread-compatible (call from the same thread as Run*).
   std::uint64_t Submit(GenerationRequest request);
 
-  std::size_t pending() const { return queue_.size() + active_.size(); }
+  std::size_t pending() const {
+    return queue_.size() + prefilling_.size() + active_.size();
+  }
 
-  // Runs admission + batched decode until everything queued completes.
-  // Results are returned in terminal order (rejections first).
+  // Runs admission + budgeted prefill + batched decode until everything
+  // queued completes. Results are returned in terminal order (rejections
+  // first).
   std::vector<GenerationResult> RunToCompletion();
 
   const Stats& stats() const { return stats_; }
@@ -141,13 +183,18 @@ class ServingLoop {
     Stopwatch submitted;  // running since Submit
   };
 
+  // One admitted request. Lives in prefilling_ while its PrefillCursor still
+  // has prompt tokens left (the kPrefilling state), then moves to active_
+  // once its first token is sampled (the decoding state).
   struct Active {
     std::uint64_t id = 0;
     int session = -1;
     GenerationRequest request;
     GenerationResult result;
     Sampler sampler;
+    PrefillCursor cursor;  // engaged while prefilling
     int last_token = -1;
+    double last_emit_s = 0.0;  // clock reading at the previous sampled token
     Stopwatch clock;  // copied from Pending::submitted: running since Submit
 
     Active(std::uint64_t rid, GenerationRequest req)
@@ -160,16 +207,28 @@ class ServingLoop {
   void Reject(std::uint64_t id, const GenerationRequest& request, Status status,
               FinishReason reason, double elapsed_s);
   void AdmitFromQueue();
+  // Spends this sweep's prefill token budget advancing prefilling requests,
+  // oldest first; completed ones sample their first token and join active_.
+  // Deadlines are re-checked between chunks; a chunk-level engine error
+  // (injected fault, KV overrun) retires only that request.
+  void AdvancePrefill();
+  // Records a freshly sampled token into the latency histograms.
+  void NoteFirstToken(Active* active);
+  void NoteDecodedToken(Active* active);
   // Consumes `active`'s pending sampled token; returns true if the request
   // is finished (EOS or max_new_tokens) and should be retired.
   bool ConsumeToken(Active* active);
-  // Retires rows whose deadline expired, whose session has an injected
-  // backend fault, or whose KV cache has no room for the next token —
-  // leaving their batch siblings untouched.
+  // Retires rows whose deadline expired or whose session has an injected
+  // backend fault (prefilling and decoding rows), or whose KV cache has no
+  // room for the next token (decoding rows) — leaving batch siblings
+  // untouched.
   void SweepFailures();
+  // Terminal bookkeeping shared by every retirement path.
+  void RetireRow(Active&& active);
+  void FailRow(Active&& active, FinishReason reason, Status status);
   void FailActive(std::size_t index, FinishReason reason, Status status);
   void Retire(std::size_t index);
-  // Decodes one token for every active request: one DecodeBatch sweep
+  // Decodes one token for every decoding request: one DecodeBatch sweep
   // (chunked by the engine's max_batch) or sequential DecodeSteps. A
   // whole-chunk backend failure (not attributable to one row) retires every
   // row of that chunk with kBackendError; other chunks are unaffected.
@@ -179,7 +238,8 @@ class ServingLoop {
   ServingOptions options_;
   std::uint64_t next_id_ = 1;
   std::deque<Pending> queue_;
-  std::vector<Active> active_;
+  std::vector<Active> prefilling_;  // admitted, prompt not fully processed
+  std::vector<Active> active_;      // decoding
   std::vector<int> free_sessions_;
   std::vector<GenerationResult> completed_;
   Stats stats_;

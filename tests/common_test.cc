@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <numeric>
 #include <thread>
 #include <vector>
 
 #include "src/common/align.h"
 #include "src/common/barrier.h"
+#include "src/common/histogram.h"
 #include "src/common/queues.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
@@ -361,6 +364,80 @@ TEST(RngTest, UniformInRange) {
     EXPECT_GE(v, 2.0);
     EXPECT_LT(v, 3.0);
   }
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Percentile(50.0), 0.0);
+  EXPECT_EQ(h.min_seconds(), 0.0);
+  EXPECT_EQ(h.max_seconds(), 0.0);
+  EXPECT_EQ(h.mean_seconds(), 0.0);
+}
+
+TEST(LatencyHistogramTest, SingleSampleIsEveryPercentile) {
+  LatencyHistogram h;
+  h.Record(0.125);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 0.125);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 0.125);
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 0.125);
+  EXPECT_DOUBLE_EQ(h.min_seconds(), 0.125);
+  EXPECT_DOUBLE_EQ(h.max_seconds(), 0.125);
+}
+
+TEST(LatencyHistogramTest, PercentilesAreMonotoneAndBucketAccurate) {
+  // 1000 samples spread over three decades: percentile estimates must be
+  // monotone in p and land within the ~9% bucket resolution of the exact
+  // order statistics.
+  LatencyHistogram h;
+  std::vector<double> exact;
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = std::exp2(rng.Uniform(-10.0, 0.0));  // ~1 ms .. 1 s
+    h.Record(v);
+    exact.push_back(v);
+  }
+  std::sort(exact.begin(), exact.end());
+  double prev = 0.0;
+  for (const double p : {1.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0}) {
+    const double estimate = h.Percentile(p);
+    EXPECT_GE(estimate, prev) << "p" << p;
+    prev = estimate;
+    const std::size_t rank = static_cast<std::size_t>(p / 100.0 * (exact.size() - 1));
+    EXPECT_NEAR(estimate, exact[rank], exact[rank] * 0.25) << "p" << p;
+  }
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), exact.back());
+}
+
+TEST(LatencyHistogramTest, TailSeparationSurvivesBucketing) {
+  // The serving bench's shape: many fast decode gaps plus a few huge stall
+  // gaps. p50 must stay at the fast mode while p99 reports the stalls —
+  // a 100x true separation must not collapse below ~10x through bucketing.
+  LatencyHistogram h;
+  for (int i = 0; i < 195; ++i) {
+    h.Record(1e-3);
+  }
+  for (int i = 0; i < 5; ++i) {
+    h.Record(1e-1);
+  }
+  EXPECT_LT(h.Percentile(50.0), 2e-3);
+  EXPECT_GT(h.Percentile(99.0), 5e-2);
+  EXPECT_GT(h.Percentile(99.0) / h.Percentile(50.0), 10.0);
+}
+
+TEST(LatencyHistogramTest, OutOfRangeAndResetBehave) {
+  LatencyHistogram h;
+  h.Record(0.0);    // clamps to the bottom bucket
+  h.Record(-1.0);   // non-positive: also bottom bucket, exact min tracked
+  h.Record(1e9);    // beyond the top bucket: clamped, exact max tracked
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.min_seconds(), -1.0);
+  EXPECT_DOUBLE_EQ(h.max_seconds(), 1e9);
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 1e9);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Percentile(99.0), 0.0);
 }
 
 }  // namespace
