@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <limits>
+#include <mutex>
+#include <numeric>
 
 #include "src/common/logging.h"
 #include "src/cpu/activation.h"
@@ -42,6 +45,25 @@ struct HybridEngine::DecodeBuffers {
   // One immediate + one deferred request per layer index.
   std::vector<std::unique_ptr<MoeRequest>> imm_requests;
   std::vector<std::unique_ptr<MoeRequest>> def_requests;
+
+  // First attention failure of the in-flight step (KV overflow surfaced as a
+  // Status instead of an abort). Kernels on different pipeline streams may
+  // race to record; checked and cleared after SyncAllStreams, before any
+  // position advances — so a failed step mutates no session accounting.
+  std::mutex attn_mu;
+  Status attn_status;
+  void RecordAttnFailure(const Status& status) {
+    std::lock_guard<std::mutex> lock(attn_mu);
+    if (attn_status.ok()) {
+      attn_status = status;
+    }
+  }
+  Status TakeAttnStatus() {
+    std::lock_guard<std::mutex> lock(attn_mu);
+    Status status = attn_status;
+    attn_status = Status();
+    return status;
+  }
 
   DecodeBuffers(const MoeModelConfig& config, std::int64_t tokens) : m(tokens) {
     token_ids.resize(static_cast<std::size_t>(tokens), 0);
@@ -87,7 +109,24 @@ HybridEngine::HybridEngine(MoeModelConfig config, std::shared_ptr<const ModelWei
     // Cross-stream events cannot be captured into a graph (as in real CUDA).
     options_.use_cuda_graph = false;
   }
-  sessions_.push_back(std::make_unique<KvCache>(config_));
+  if (options_.kv_pool_blocks != 0) {
+    KvPoolOptions pool_opts;
+    pool_opts.block_size = options_.kv_block_size;
+    if (options_.kv_pool_blocks > 0) {
+      pool_opts.num_blocks = options_.kv_pool_blocks;
+    } else {
+      // Auto-size: one full context per potential session — the contiguous
+      // worst case in bytes, but committed lazily and shareable.
+      const std::int64_t contexts =
+          std::max<std::int64_t>(1, options_.max_sessions > 0 ? options_.max_sessions
+                                                              : options_.max_batch);
+      const std::int64_t per_context =
+          (config_.max_seq + pool_opts.block_size - 1) / pool_opts.block_size;
+      pool_opts.num_blocks = contexts * per_context;
+    }
+    kv_pool_ = std::make_unique<KvBlockPool>(config_, pool_opts);
+  }
+  sessions_.push_back(NewKvCache());
   active_cache_ = sessions_[0].get();
   for (int stage = 0; stage < options_.pipeline_stages; ++stage) {
     devices_.push_back(std::make_unique<VDevice>(options_.device));
@@ -99,6 +138,11 @@ HybridEngine::HybridEngine(MoeModelConfig config, std::shared_ptr<const ModelWei
   // Pre-size the MoE forward workspaces at the decode shape so the steady
   // decode loop performs zero heap allocations from the first token.
   service_->Reserve(std::max<std::int64_t>(8, options_.max_batch), /*max_slots=*/config_.top_k);
+}
+
+std::unique_ptr<KvCache> HybridEngine::NewKvCache() const {
+  return kv_pool_ != nullptr ? std::make_unique<KvCache>(config_, kv_pool_.get())
+                             : std::make_unique<KvCache>(config_);
 }
 
 HybridEngine::~HybridEngine() {
@@ -217,17 +261,25 @@ void HybridEngine::EnqueueForward(DecodeBuffers* bufs, std::int64_t m, bool allo
         "attention",
         [this, bufs, lw, l, live, batched] {
           const std::int64_t m = live();
+          Status status;
           if (batched) {
             // Each row is an independent single-token stream against its own
-            // KV cache — exactly the sequential m=1 math per row.
-            AttentionDecodeBatch(config_, lw->attn, bufs->normed.f32(), m,
-                                 bufs->row_pos.data(), bufs->row_caches.data(), l,
-                                 bufs->attn_out.f32());
+            // KV cache — exactly the sequential m=1 math per row. The layer
+            // views (block-table indirection included) are built inside the
+            // call, at exec time, so a growing table never recaptures.
+            status = AttentionDecodeBatch(config_, lw->attn, bufs->normed.f32(), m,
+                                          bufs->row_pos.data(), bufs->row_caches.data(), l,
+                                          bufs->attn_out.f32());
           } else {
             const std::int64_t pos = bufs->pos0.load(std::memory_order_relaxed);
-            AttentionForward(config_, lw->attn, bufs->normed.f32(), m, pos,
-                             &active_cache_->layer(l),
-                             bufs->attn_out.f32());
+            status = AttentionForward(config_, lw->attn, bufs->normed.f32(), m, pos,
+                                      active_cache_->layer(l), bufs->attn_out.f32());
+          }
+          if (!status.ok()) {
+            // KV overflow is recoverable: record it for the post-sync check
+            // and let the rest of the (discarded) step run through.
+            bufs->RecordAttnFailure(status);
+            return;
           }
           AddInPlace(bufs->x.f32(), bufs->attn_out.f32(), m * config_.hidden);
         },
@@ -370,25 +422,30 @@ void HybridEngine::EnqueueForward(DecodeBuffers* bufs, std::int64_t m, bool allo
 }
 
 Tensor HybridEngine::Prefill(int session, const std::vector<int>& tokens) {
-  KTX_CHECK(!tokens.empty());
   // Single-shot prefill is the cursor loop driven to completion in one call;
-  // sharing PrefillChunk keeps the chunk boundaries (and therefore the bits)
-  // identical between the two entry points by construction.
-  PrefillCursor cursor;
-  cursor.session_ = session;
-  cursor.tokens_ = tokens;
-  while (!cursor.done()) {
-    PrefillChunk(&cursor);
+  // sharing StartPrefill + PrefillChunk keeps the chunk boundaries (and
+  // therefore the bits) identical between the two entry points by
+  // construction — and gives the unchecked path prefix-cache reuse too.
+  sessions_.at(static_cast<std::size_t>(session));  // unchecked contract: throws
+  auto cursor = StartPrefill(session, tokens);
+  KTX_CHECK(cursor.ok()) << cursor.status().ToString();
+  while (!cursor->done()) {
+    auto advanced = PrefillChunk(&*cursor);
+    KTX_CHECK(advanced.ok()) << "KV cache overflow: " << advanced.status().ToString();
   }
-  return cursor.last_logits_;
+  return cursor->last_logits_;
 }
 
-std::int64_t HybridEngine::PrefillChunk(PrefillCursor* cursor) {
+StatusOr<std::int64_t> HybridEngine::PrefillChunk(PrefillCursor* cursor) {
   KvCache* cache = sessions_.at(static_cast<std::size_t>(cursor->session_)).get();
   active_cache_ = cache;
   const std::int64_t m = std::min<std::int64_t>(options_.prefill_chunk,
                                                 cursor->remaining_tokens());
   KTX_CHECK_GE(m, 1);
+  // StartPrefill reserved every block the prompt needs; this is a no-op
+  // unless the caller decoded this session mid-cursor (then it may COW or
+  // allocate — or fail recoverably, leaving the cursor resumable).
+  KTX_RETURN_IF_ERROR(cache->PrepareAppend(m).WithContext("prefill chunk"));
   DecodeBuffers bufs(config_, m);
   for (std::int64_t t = 0; t < m; ++t) {
     bufs.token_ids[static_cast<std::size_t>(t)] =
@@ -399,9 +456,23 @@ std::int64_t HybridEngine::PrefillChunk(PrefillCursor* cursor) {
   // double the memory footprint).
   EnqueueForward(&bufs, m, /*allow_deferral=*/false, /*batched=*/false);
   SyncAllStreams();
+  KTX_RETURN_IF_ERROR(bufs.TakeAttnStatus().WithContext("prefill chunk"));
   cache->Advance(m);
   counters_.prefill_tokens += m;
   cursor->offset_ += static_cast<std::size_t>(m);
+  // Publish every newly-completed full prompt block to the pool's prefix
+  // cache (hash chain indexes == block-table indexes: hashes are only
+  // computed for prompts that started at position 0).
+  if (kv_pool_ != nullptr && options_.enable_prefix_cache) {
+    const std::int64_t bs = kv_pool_->block_size();
+    while (cursor->registered_blocks_ <
+               static_cast<std::int64_t>(cursor->block_hashes_.size()) &&
+           (cursor->registered_blocks_ + 1) * bs <= cache->position()) {
+      const auto b = static_cast<std::size_t>(cursor->registered_blocks_);
+      kv_pool_->RegisterPrefix(cursor->block_hashes_[b], cache->block_table()[b]);
+      ++cursor->registered_blocks_;
+    }
+  }
   cursor->last_logits_ = bufs.logits.Slice(m - 1, 1).Clone();
   return m;
 }
@@ -429,6 +500,12 @@ void HybridEngine::EnsureDecodeCapacity(std::int64_t rows) {
 }
 
 Tensor HybridEngine::DecodeBatch(const std::vector<SessionToken>& batch) {
+  auto logits = RunDecodeBatch(batch);
+  KTX_CHECK(logits.ok()) << "KV cache overflow: " << logits.status().ToString();
+  return *std::move(logits);
+}
+
+StatusOr<Tensor> HybridEngine::RunDecodeBatch(const std::vector<SessionToken>& batch) {
   const auto b = static_cast<std::int64_t>(batch.size());
   KTX_CHECK_GE(b, 1);
   KTX_CHECK_LE(b, options_.max_batch) << "DecodeBatch wider than EngineOptions::max_batch";
@@ -437,6 +514,15 @@ Tensor HybridEngine::DecodeBatch(const std::vector<SessionToken>& batch) {
       KTX_CHECK(batch[i].session != batch[j].session)
           << "DecodeBatch rows must target distinct sessions";
     }
+  }
+  // Reserve each row's next KV row up front (paged: may COW a shared tail or
+  // allocate a block). Failures are recoverable: no position has advanced and
+  // no forward work has run.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    KvCache* cache = sessions_.at(static_cast<std::size_t>(batch[i].session)).get();
+    KTX_RETURN_IF_ERROR(cache->PrepareAppend(1).WithContext(
+        "decode row " + std::to_string(i) + " (session " +
+        std::to_string(batch[i].session) + ")"));
   }
   EnsureDecodeCapacity(b);
   DecodeBuffers* bufs = decode_bufs_.get();
@@ -465,6 +551,7 @@ Tensor HybridEngine::DecodeBatch(const std::vector<SessionToken>& batch) {
     EnqueueForward(bufs, b, /*allow_deferral=*/true, /*batched=*/true);
   }
   SyncAllStreams();
+  KTX_RETURN_IF_ERROR(bufs->TakeAttnStatus().WithContext("decode"));
   for (std::int64_t r = 0; r < b; ++r) {
     bufs->row_caches[static_cast<std::size_t>(r)]->Advance(1);
   }
@@ -479,6 +566,8 @@ Tensor HybridEngine::VerifyStep(int session, const std::vector<int>& tokens) {
   KvCache* cache = sessions_.at(static_cast<std::size_t>(session)).get();
   active_cache_ = cache;
   const std::int64_t m = static_cast<std::int64_t>(tokens.size());
+  const Status prepared = cache->PrepareAppend(m);
+  KTX_CHECK(prepared.ok()) << "KV cache overflow: " << prepared.ToString();
   DecodeBuffers bufs(config_, m);
   for (std::int64_t t = 0; t < m; ++t) {
     bufs.token_ids[static_cast<std::size_t>(t)] = tokens[static_cast<std::size_t>(t)];
@@ -488,6 +577,8 @@ Tensor HybridEngine::VerifyStep(int session, const std::vector<int>& tokens) {
   // applies as in single-token decode.
   EnqueueForward(&bufs, m, /*allow_deferral=*/true, /*batched=*/false);
   SyncAllStreams();
+  const Status attn = bufs.TakeAttnStatus();
+  KTX_CHECK(attn.ok()) << "KV cache overflow: " << attn.ToString();
   cache->Advance(m);
   ++counters_.decode_steps;
   counters_.decode_tokens += m;
@@ -521,8 +612,18 @@ StatusOr<int> HybridEngine::TryCreateSession() {
                                   "max_sessions=" + std::to_string(options_.max_sessions) +
                                   " bound");
   }
-  sessions_.push_back(std::make_unique<KvCache>(config_));
+  sessions_.push_back(NewKvCache());
   return static_cast<int>(sessions_.size()) - 1;
+}
+
+StatusOr<int> HybridEngine::TryForkSession(int parent) {
+  KTX_RETURN_IF_ERROR(ValidateSession(parent).WithContext("fork"));
+  KTX_ASSIGN_OR_RETURN(const int child, TryCreateSession());
+  const Status cloned =
+      sessions_[static_cast<std::size_t>(child)]->CloneFrom(
+          *sessions_[static_cast<std::size_t>(parent)]);
+  KTX_CHECK(cloned.ok()) << cloned.ToString();  // same engine => same mode/pool
+  return child;
 }
 
 Status HybridEngine::ValidateSession(int session) const {
@@ -534,7 +635,16 @@ Status HybridEngine::ValidateSession(int session) const {
 }
 
 std::int64_t HybridEngine::KvRemaining(int session) const {
-  return sessions_.at(static_cast<std::size_t>(session))->remaining();
+  const KvCache& cache = *sessions_.at(static_cast<std::size_t>(session));
+  // No sentinel arithmetic: an unbounded cache simply has no limit to report.
+  if (!cache.has_capacity_bound()) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return cache.remaining();
+}
+
+std::int64_t HybridEngine::KvBlocksNeeded(int session, std::int64_t tokens) const {
+  return sessions_.at(static_cast<std::size_t>(session))->BlocksNeededFor(tokens);
 }
 
 void HybridEngine::InjectSessionFault(int session, Status fault, int after_polls) {
@@ -563,7 +673,10 @@ StatusOr<Tensor> HybridEngine::TryPrefill(int session, const std::vector<int>& t
   // One fault poll for the whole prompt (the resumable path polls per chunk).
   KTX_RETURN_IF_ERROR(TakeBackendFault().WithContext("prefill"));
   while (!cursor.done()) {
-    PrefillChunk(&cursor);
+    auto advanced = PrefillChunk(&cursor);
+    if (!advanced.ok()) {
+      return advanced.status();
+    }
   }
   return cursor.logits();
 }
@@ -582,8 +695,9 @@ StatusOr<PrefillCursor> HybridEngine::StartPrefill(int session, std::vector<int>
   }
   // KV headroom for the whole prompt, validated once: chunks never re-check
   // (the session is exclusively this prompt's between Start and done).
-  const KvCache& cache = *sessions_[static_cast<std::size_t>(session)];
-  if (!cache.CanAdvance(static_cast<std::int64_t>(tokens.size()))) {
+  KvCache& cache = *sessions_[static_cast<std::size_t>(session)];
+  const auto prompt_len = static_cast<std::int64_t>(tokens.size());
+  if (cache.has_capacity_bound() && cache.position() + prompt_len > cache.max_seq()) {
     return ResourceExhaustedError("prompt of " + std::to_string(tokens.size()) +
                                   " tokens does not fit the kv cache (position " +
                                   std::to_string(cache.position()) + ", max_seq " +
@@ -593,6 +707,47 @@ StatusOr<PrefillCursor> HybridEngine::StartPrefill(int session, std::vector<int>
   PrefillCursor cursor;
   cursor.session_ = session;
   cursor.tokens_ = std::move(tokens);
+
+  // Paged + empty session: adopt the longest cached prefix. Reuse length is
+  // floored to a multiple of BOTH the block size (only whole blocks are
+  // shareable) and the prefill chunk (chunk offsets decide tokens-per-expert
+  // and therefore the ARI kernel kind, so the suffix must land on the same
+  // chunk grid as a cold prefill — that is what keeps reuse bit-identical),
+  // and capped strictly below the prompt length so the final token always
+  // runs and produces logits.
+  std::int64_t adopted = 0;
+  if (kv_pool_ != nullptr && options_.enable_prefix_cache && cache.position() == 0) {
+    const std::int64_t bs = kv_pool_->block_size();
+    cursor.block_hashes_ = HashTokenBlocks(cursor.tokens_, bs);
+    const std::vector<std::int32_t> match = kv_pool_->MatchPrefix(cursor.block_hashes_);
+    const std::int64_t g = std::gcd(bs, options_.prefill_chunk);
+    const std::int64_t unit = bs / g * options_.prefill_chunk;
+    std::int64_t reuse = static_cast<std::int64_t>(match.size()) * bs;
+    reuse = reuse / unit * unit;
+    reuse = std::min(reuse, (prompt_len - 1) / unit * unit);
+    if (reuse > 0) {
+      const std::int64_t blocks = reuse / bs;
+      cache.AdoptPrefix(
+          std::vector<std::int32_t>(match.begin(), match.begin() + blocks), reuse);
+      cursor.offset_ = static_cast<std::size_t>(reuse);
+      cursor.registered_blocks_ = blocks;
+      adopted = reuse;
+      ++counters_.prefix_cache_hits;
+      counters_.prefix_tokens_reused += reuse;
+    }
+  }
+
+  // Reserve every remaining row NOW (paged: block allocations, possibly
+  // evicting stale prefix-cache entries) so chunks can never fail on
+  // allocation mid-prompt. Failure rolls back the adoption; the session is
+  // left exactly as it was.
+  const Status reserved = cache.PrepareAppend(prompt_len - adopted);
+  if (!reserved.ok()) {
+    if (adopted > 0 || cache.position() == 0) {
+      cache.Reset();  // the session was empty: free adoption + partial reservations
+    }
+    return reserved.WithContext("prefill");
+  }
   return cursor;
 }
 
@@ -655,8 +810,23 @@ StatusOr<Tensor> HybridEngine::TryDecodeBatch(const std::vector<SessionToken>& b
           .WithContext("decode row " + std::to_string(i));
     }
   }
+  // Per-row CanAdvance is optimistic when rows share the pool: N rows that
+  // each need a block can all pass with < N free blocks. Validate the step's
+  // aggregate block demand before any row mutates anything.
+  if (kv_paged()) {
+    std::int64_t need = 0;
+    for (const SessionToken& row : batch) {
+      need += sessions_[static_cast<std::size_t>(row.session)]->BlocksNeededFor(1);
+    }
+    if (need > kv_pool_->available_blocks()) {
+      return ResourceExhaustedError(
+                 "kv block pool exhausted: step needs " + std::to_string(need) +
+                 " blocks, pool has " + std::to_string(kv_pool_->available_blocks()))
+          .WithContext("decode");
+    }
+  }
   KTX_RETURN_IF_ERROR(TakeBackendFault().WithContext("decode"));
-  return DecodeBatch(batch);
+  return RunDecodeBatch(batch);
 }
 
 std::int64_t HybridEngine::position(int session) const {

@@ -74,6 +74,21 @@ struct EngineOptions {
   VDevice::Options device;
   // Tokens per prefill chunk.
   std::int64_t prefill_chunk = 256;
+  // Paged KV cache. 0 = legacy contiguous per-session caches (each sized to
+  // max_seq up front). > 0 = all sessions draw fixed-size blocks from one
+  // KvBlockPool of this many blocks, committed lazily as contexts grow and
+  // shared across sessions for common prompt prefixes (copy-on-write on
+  // divergence). -1 = auto-size: one full max_seq context's worth of blocks
+  // per potential session (max_sessions, else max_batch) — same worst-case
+  // bytes as contiguous, but lazily committed and shareable.
+  std::int64_t kv_pool_blocks = 0;
+  // Tokens per KV block (paged mode only).
+  std::int64_t kv_block_size = 16;
+  // Paged mode: register full prompt blocks in the pool's prefix cache so
+  // later prompts sharing a prefix skip that much prefill (a ref-count bump
+  // instead of forward work). Reused prefixes are bit-identical to recompute
+  // because reuse lengths are floored to prefill-chunk boundaries.
+  bool enable_prefix_cache = true;
   // Upper bound on DecodeBatch width (continuous-batching slot count). Also
   // floors moe.ari_threshold so the decode kernel-kind dispatch cannot flip
   // with batch occupancy — a prerequisite for bit-identical batched decode
@@ -110,6 +125,11 @@ struct EngineCounters {
   // Routed-expert requests submitted to the CPU service. One per MoE layer
   // per decode step regardless of batch width (two with deferral).
   std::int64_t moe_requests = 0;
+  // Prefix-cache reuse (paged mode): StartPrefill calls that adopted >= 1
+  // cached block, and the total prompt tokens served from the cache instead
+  // of prefill compute.
+  std::int64_t prefix_cache_hits = 0;
+  std::int64_t prefix_tokens_reused = 0;
 };
 
 // One row of a batched decode step: advance `session` by one `token`.
@@ -152,6 +172,11 @@ class PrefillCursor {
   std::vector<int> tokens_;
   std::size_t offset_ = 0;
   Tensor last_logits_;
+  // Paged prefix sharing: chained hashes of the prompt's full blocks
+  // (computed by StartPrefill when the session starts empty) and how many of
+  // them have been registered in — or adopted from — the pool's prefix cache.
+  std::vector<std::uint64_t> block_hashes_;
+  std::int64_t registered_blocks_ = 0;
 };
 
 class HybridEngine {
@@ -197,11 +222,25 @@ class HybridEngine {
   StatusOr<Tensor> TryPrefill(int session, const std::vector<int>& tokens);
   StatusOr<Tensor> TryDecodeBatch(const std::vector<SessionToken>& batch);
   StatusOr<int> TryCreateSession();
+  // Creates a new session whose KV state is `parent`'s at its current
+  // position. Paged engines share blocks (O(block-table) time and zero new
+  // rows until divergence, which copy-on-writes); contiguous engines deep-
+  // copy. The sibling decodes independently of the parent from then on.
+  StatusOr<int> TryForkSession(int parent);
 
   // --- Resumable prefill (stall-free serving) -------------------------------
   // StartPrefill validates everything TryPrefill would — session id, token
   // range, and KV headroom for the WHOLE prompt, once, up front — but runs no
-  // forward work: it returns a cursor positioned at token 0. TryPrefillNext
+  // forward work. In paged mode "validating headroom" is physical: every
+  // block the prompt needs is reserved from the pool here (so chunks can
+  // never fail on allocation mid-prompt), and if the session starts empty the
+  // pool's prefix cache is consulted first — the longest cached prefix match
+  // (floored to a prefill-chunk boundary, and to strictly less than the
+  // prompt so the final token's logits are always computed) is adopted as a
+  // ref-count bump, the cursor starting past it. On a reservation failure the
+  // adoption is rolled back; an abandoned successful cursor holds its blocks
+  // until Reset. The returned cursor resumes at the first un-cached token.
+  // TryPrefillNext
   // advances one engine chunk (at most prefill_chunk tokens) and returns how
   // many prompt tokens it processed; the caller paces calls against its own
   // token budget and decodes other sessions in between. Backend faults are
@@ -212,10 +251,23 @@ class HybridEngine {
   StatusOr<PrefillCursor> StartPrefill(int session, std::vector<int> tokens);
   StatusOr<std::int64_t> TryPrefillNext(PrefillCursor* cursor);
 
-  // KV-cache positions left before `session`'s cache tensors run out (a
-  // decode step needs >= 1). The serving loop checks this each sweep and
-  // retires exhausted requests with finish reason `kv_exhausted`.
+  // KV-cache positions left before `session`'s cache runs out (a decode step
+  // needs >= 1). In paged mode this is capped by what the shared pool can
+  // still supply, so it varies with other sessions' occupancy. The serving
+  // loop checks this each sweep and retires exhausted requests with finish
+  // reason `kv_exhausted`. Sessions without a capacity bound report
+  // int64 max (no sentinel arithmetic — see KvCache::has_capacity_bound).
   std::int64_t KvRemaining(int session) const;
+  // Pool blocks a `tokens`-row append to `session` would consume right now
+  // (new blocks plus a copy-on-write of a shared tail); 0 for contiguous
+  // engines. With kv_pool()->available_blocks() this lets the serving loop
+  // budget a whole decode sweep against the shared pool before issuing it —
+  // rows can each pass KvRemaining individually yet not fit together.
+  std::int64_t KvBlocksNeeded(int session, std::int64_t tokens) const;
+
+  // Paged-mode introspection. kv_pool() is null for contiguous engines.
+  bool kv_paged() const { return kv_pool_ != nullptr; }
+  const KvBlockPool* kv_pool() const { return kv_pool_.get(); }
 
   // Session-attributed fault injection (chaos testing): arms a fault on the
   // device fault plan under a per-session key. The serving loop polls
@@ -262,9 +314,16 @@ class HybridEngine {
 
   void BuildCpuExperts();
   Status ValidateSession(int session) const;
-  // Runs the cursor's next chunk (unchecked: capacity and tokens validated by
-  // StartPrefill). Returns the number of prompt tokens advanced.
-  std::int64_t PrefillChunk(PrefillCursor* cursor);
+  std::unique_ptr<KvCache> NewKvCache() const;
+  // Runs the cursor's next chunk (tokens validated and KV rows reserved by
+  // StartPrefill). Returns the number of prompt tokens advanced; on error
+  // (backend fault surfaced mid-step, KV overflow) the cursor and the
+  // session's KV position are untouched.
+  StatusOr<std::int64_t> PrefillChunk(PrefillCursor* cursor);
+  // DecodeBatch body behind the Try*/unchecked split: prepares each row's KV
+  // rows, replays (or captures) the graph, and surfaces any attention-step
+  // Status without advancing positions on failure.
+  StatusOr<Tensor> RunDecodeBatch(const std::vector<SessionToken>& batch);
   // Enqueues the full layer stack onto the stream. Buffers live in `bufs`.
   // With batched=false, processes `m` tokens of one sequence (active_cache_)
   // starting at bufs->pos0 — the prefill / verify shape. With batched=true,
@@ -294,6 +353,7 @@ class HybridEngine {
   std::shared_ptr<const NumaMoe> numa_moe_;
   std::unique_ptr<AsyncMoeService> service_;
 
+  std::unique_ptr<KvBlockPool> kv_pool_;  // null = contiguous per-session caches
   std::vector<std::unique_ptr<KvCache>> sessions_;
   KvCache* active_cache_ = nullptr;  // read by captured kernels at exec time
   EngineCounters counters_;

@@ -75,7 +75,7 @@ void AttendRow(const std::vector<float>& scores, std::int64_t len,
 }
 
 void GqaForward(const MoeModelConfig& config, const AttentionWeights& w, const float* x,
-                std::int64_t m, std::int64_t pos0, KvLayerCache* cache, float* out) {
+                std::int64_t m, std::int64_t pos0, const KvLayerView& cache, float* out) {
   const std::int64_t hidden = config.hidden;
   const std::int64_t hd = config.head_dim;
   const int heads = config.num_heads;
@@ -89,8 +89,8 @@ void GqaForward(const MoeModelConfig& config, const AttentionWeights& w, const f
   // Append new K/V to the cache, with RoPE on K.
   for (std::int64_t i = 0; i < m; ++i) {
     const std::int64_t pos = pos0 + i;
-    float* krow = cache->k.f32() + pos * kv_dim;
-    float* vrow = cache->v.f32() + pos * kv_dim;
+    float* krow = cache.k_row(pos);
+    float* vrow = cache.v_row(pos);
     RefGemm(x + i * hidden, 1, hidden, w.wk, krow, kv_dim);
     RefGemm(x + i * hidden, 1, hidden, w.wv, vrow, kv_dim);
     for (int h = 0; h < kv_heads; ++h) {
@@ -111,7 +111,7 @@ void GqaForward(const MoeModelConfig& config, const AttentionWeights& w, const f
       const int kvh = h / group;
       const float* qh = q.data() + i * q_dim + h * hd;
       for (std::int64_t j = 0; j < len; ++j) {
-        const float* kj = cache->k.f32() + j * kv_dim + kvh * hd;
+        const float* kj = cache.k_row(j) + kvh * hd;
         float dot = 0.0f;
         for (std::int64_t d = 0; d < hd; ++d) {
           dot += qh[d] * kj[d];
@@ -120,7 +120,7 @@ void GqaForward(const MoeModelConfig& config, const AttentionWeights& w, const f
       }
       AttendRow(
           scores, len,
-          [&](std::int64_t j) { return cache->v.f32() + j * kv_dim + kvh * hd; }, hd,
+          [&](std::int64_t j) { return cache.v_row(j) + kvh * hd; }, hd,
           attn_out.data() + i * q_dim + h * hd);
     }
   }
@@ -128,7 +128,7 @@ void GqaForward(const MoeModelConfig& config, const AttentionWeights& w, const f
 }
 
 void MlaForward(const MoeModelConfig& config, const AttentionWeights& w, const float* x,
-                std::int64_t m, std::int64_t pos0, KvLayerCache* cache, float* out) {
+                std::int64_t m, std::int64_t pos0, const KvLayerView& cache, float* out) {
   const std::int64_t hidden = config.hidden;
   const std::int64_t nope = config.head_dim;
   const std::int64_t rope = config.rope_dim;
@@ -154,9 +154,8 @@ void MlaForward(const MoeModelConfig& config, const AttentionWeights& w, const f
   for (std::int64_t i = 0; i < m; ++i) {
     const std::int64_t pos = pos0 + i;
     RefGemm(x + i * hidden, 1, hidden, w.w_dkv, dkv.data(), lora + rope);
-    std::memcpy(cache->ckv.f32() + pos * lora, dkv.data(),
-                static_cast<std::size_t>(lora) * sizeof(float));
-    float* krope = cache->k_rope.f32() + pos * rope;
+    std::memcpy(cache.ckv_row(pos), dkv.data(), static_cast<std::size_t>(lora) * sizeof(float));
+    float* krope = cache.k_rope_row(pos);
     std::memcpy(krope, dkv.data() + lora, static_cast<std::size_t>(rope) * sizeof(float));
     ApplyRope(krope, rope, pos);
     for (int h = 0; h < heads; ++h) {
@@ -165,11 +164,18 @@ void MlaForward(const MoeModelConfig& config, const AttentionWeights& w, const f
   }
 
   // Materialize per-position K(nope)/V from the latent for the whole window.
+  // Each GEMM row depends only on its own latent row, so running the GEMM per
+  // physically-contiguous run (whole window when contiguous, per block when
+  // paged) is bit-identical to one whole-window GEMM.
   const std::int64_t window = pos0 + m;
   std::vector<float> k_nope(static_cast<std::size_t>(window * heads * nope));
   std::vector<float> v_all(static_cast<std::size_t>(window * heads * vd));
-  RefGemm(cache->ckv.f32(), window, lora, w.w_uk, k_nope.data(), heads * nope);
-  RefGemm(cache->ckv.f32(), window, lora, w.w_uv, v_all.data(), heads * vd);
+  for (std::int64_t p = 0; p < window;) {
+    const std::int64_t run = cache.run_length(p, window);
+    RefGemm(cache.ckv_row(p), run, lora, w.w_uk, k_nope.data() + p * heads * nope, heads * nope);
+    RefGemm(cache.ckv_row(p), run, lora, w.w_uv, v_all.data() + p * heads * vd, heads * vd);
+    p += run;
+  }
 
   const float scale = 1.0f / std::sqrt(static_cast<float>(qk_head));
   std::vector<float> attn_out(static_cast<std::size_t>(m * heads * vd));
@@ -181,7 +187,7 @@ void MlaForward(const MoeModelConfig& config, const AttentionWeights& w, const f
       const float* qh = q.data() + i * q_dim + h * qk_head;
       for (std::int64_t j = 0; j < len; ++j) {
         const float* kj = k_nope.data() + (j * heads + h) * nope;
-        const float* krope = cache->k_rope.f32() + j * rope;
+        const float* krope = cache.k_rope_row(j);
         float dot = 0.0f;
         for (std::int64_t d = 0; d < nope; ++d) {
           dot += qh[d] * kj[d];
@@ -202,23 +208,31 @@ void MlaForward(const MoeModelConfig& config, const AttentionWeights& w, const f
 
 }  // namespace
 
-void AttentionForward(const MoeModelConfig& config, const AttentionWeights& w, const float* x,
-                      std::int64_t m, std::int64_t pos0, KvLayerCache* cache, float* out) {
-  KTX_CHECK_LE(pos0 + m, config.max_seq) << "KV cache overflow";
+Status AttentionForward(const MoeModelConfig& config, const AttentionWeights& w, const float* x,
+                        std::int64_t m, std::int64_t pos0, const KvLayerView& cache, float* out) {
+  if (pos0 + m > config.max_seq || pos0 + m > cache.capacity_rows()) {
+    return ResourceExhaustedError(
+        "KV cache overflow: positions [" + std::to_string(pos0) + ", " +
+        std::to_string(pos0 + m) + ") exceed max_seq " + std::to_string(config.max_seq) +
+        " or prepared rows " + std::to_string(cache.capacity_rows()));
+  }
   if (config.attention == AttentionKind::kMla) {
     MlaForward(config, w, x, m, pos0, cache, out);
   } else {
     GqaForward(config, w, x, m, pos0, cache, out);
   }
+  return OkStatus();
 }
 
-void AttentionDecodeBatch(const MoeModelConfig& config, const AttentionWeights& w, const float* x,
-                          std::int64_t rows, const std::int64_t* positions,
-                          KvCache* const* caches, int layer, float* out) {
+Status AttentionDecodeBatch(const MoeModelConfig& config, const AttentionWeights& w,
+                            const float* x, std::int64_t rows, const std::int64_t* positions,
+                            KvCache* const* caches, int layer, float* out) {
   for (std::int64_t r = 0; r < rows; ++r) {
-    AttentionForward(config, w, x + r * config.hidden, /*m=*/1, positions[r],
-                     &caches[r]->layer(layer), out + r * config.hidden);
+    KTX_RETURN_IF_ERROR(AttentionForward(config, w, x + r * config.hidden, /*m=*/1, positions[r],
+                                         caches[r]->layer(layer), out + r * config.hidden)
+                            .WithContext("decode batch row " + std::to_string(r)));
   }
+  return OkStatus();
 }
 
 AttentionCost EstimateAttentionCost(const MoeModelConfig& config, std::int64_t m,

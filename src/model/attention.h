@@ -11,6 +11,7 @@
 #ifndef KTX_SRC_MODEL_ATTENTION_H_
 #define KTX_SRC_MODEL_ATTENTION_H_
 
+#include "src/common/status.h"
 #include "src/model/config.h"
 #include "src/model/kv_cache.h"
 #include "src/tensor/tensor.h"
@@ -37,19 +38,27 @@ struct AttentionWeights {
 void ApplyRope(float* vec, std::int64_t dim, std::int64_t pos);
 
 // Processes `m` new tokens whose first absolute position is `pos0`
-// (the cache already holds positions [0, pos0)). Appends to the cache and
-// writes attention output (pre-residual) to out[m, hidden]. Causal masking.
-void AttentionForward(const MoeModelConfig& config, const AttentionWeights& w, const float* x,
-                      std::int64_t m, std::int64_t pos0, KvLayerCache* cache, float* out);
+// (the cache already holds positions [0, pos0)). Appends to the cache through
+// the row view and writes attention output (pre-residual) to out[m, hidden].
+// Causal masking. Rows are addressed via KvLayerView, so contiguous and paged
+// caches produce bit-identical results (paged windowed GEMMs run per
+// physically-contiguous block run). Returns kResourceExhausted — without
+// touching the cache — when [pos0, pos0+m) overflows config.max_seq or the
+// view's prepared capacity; engine Try* entry points propagate this instead
+// of aborting.
+Status AttentionForward(const MoeModelConfig& config, const AttentionWeights& w, const float* x,
+                        std::int64_t m, std::int64_t pos0, const KvLayerView& cache, float* out);
 
 // Batched decode: `rows` independent single-token streams, one per row of
 // x[rows, hidden]. Row r attends against caches[r]->layer(layer) at absolute
 // position positions[r]. Each row runs the exact m=1 AttentionForward math, so
 // outputs are bit-identical to `rows` sequential single-session decode steps
-// in any batch composition.
-void AttentionDecodeBatch(const MoeModelConfig& config, const AttentionWeights& w, const float* x,
-                          std::int64_t rows, const std::int64_t* positions,
-                          KvCache* const* caches, int layer, float* out);
+// in any batch composition. Stops at the first row whose append would
+// overflow (earlier rows' cache writes stand; the caller's position
+// accounting is untouched because positions only advance after a full step).
+Status AttentionDecodeBatch(const MoeModelConfig& config, const AttentionWeights& w,
+                            const float* x, std::int64_t rows, const std::int64_t* positions,
+                            KvCache* const* caches, int layer, float* out);
 
 // FLOP / byte estimates for the cost model (per layer, given m new tokens at
 // context length `seq`). Accounts for MLA matrix absorption on the decode

@@ -1,10 +1,17 @@
 #include "src/model/kv_cache.h"
 
+#include <algorithm>
+#include <cstring>
 #include <string>
 
 namespace ktx {
 
-KvCache::KvCache(const MoeModelConfig& config) : max_seq_(config.max_seq) {
+KvCache::KvCache(const MoeModelConfig& config)
+    : attention_(config.attention),
+      kv_dim_(config.num_kv_heads * config.head_dim),
+      lora_(config.kv_lora_rank),
+      rope_(config.rope_dim),
+      max_seq_(config.max_seq) {
   layers_.resize(static_cast<std::size_t>(config.num_layers));
   for (auto& layer : layers_) {
     if (config.attention == AttentionKind::kMla) {
@@ -13,22 +20,215 @@ KvCache::KvCache(const MoeModelConfig& config) : max_seq_(config.max_seq) {
       bytes_per_position_ +=
           static_cast<std::size_t>(config.kv_lora_rank + config.rope_dim) * sizeof(float);
     } else {
-      const std::int64_t kv_dim = config.num_kv_heads * config.head_dim;
-      layer.k = Tensor({config.max_seq, kv_dim}, DType::kF32);
-      layer.v = Tensor({config.max_seq, kv_dim}, DType::kF32);
-      bytes_per_position_ += 2 * static_cast<std::size_t>(kv_dim) * sizeof(float);
+      layer.k = Tensor({config.max_seq, kv_dim_}, DType::kF32);
+      layer.v = Tensor({config.max_seq, kv_dim_}, DType::kF32);
+      bytes_per_position_ += 2 * static_cast<std::size_t>(kv_dim_) * sizeof(float);
     }
   }
 }
 
-Status KvCache::TryAdvance(std::int64_t tokens) {
-  if (!CanAdvance(tokens)) {
-    return ResourceExhaustedError("kv cache exhausted: position " +
-                                  std::to_string(position_) + " + " + std::to_string(tokens) +
-                                  " exceeds max_seq " + std::to_string(max_seq_));
+KvCache::KvCache(const MoeModelConfig& config, KvBlockPool* pool)
+    : pool_(pool),
+      attention_(config.attention),
+      kv_dim_(config.num_kv_heads * config.head_dim),
+      lora_(config.kv_lora_rank),
+      rope_(config.rope_dim),
+      max_seq_(config.max_seq),
+      bytes_per_position_(pool->bytes_per_position()) {
+  KTX_CHECK(pool_ != nullptr);
+  KTX_CHECK_GE(max_seq_, 1) << "paged caches need a max_seq bound";
+}
+
+KvLayerView KvCache::layer(int i) const {
+  KTX_CHECK(paged() || !layers_.empty()) << "layer() on a storage-free KvCache";
+  KvLayerView view;
+  view.kv_dim_ = kv_dim_;
+  view.lora_ = lora_;
+  view.rope_ = rope_;
+  if (paged()) {
+    view.k_ = pool_->k_base(i);
+    view.v_ = pool_->v_base(i);
+    view.ckv_ = pool_->ckv_base(i);
+    view.k_rope_ = pool_->k_rope_base(i);
+    view.table_ = block_table_.data();
+    view.block_size_ = pool_->block_size();
+    view.capacity_rows_ = reserved_rows();
+  } else {
+    // layer() is const but views are writable: attention appends rows in
+    // place, matching the pre-paging KvLayerCache& contract.
+    auto& storage = const_cast<LayerStorage&>(layers_[static_cast<std::size_t>(i)]);
+    if (attention_ == AttentionKind::kMla) {
+      view.ckv_ = storage.ckv.f32();
+      view.k_rope_ = storage.k_rope.f32();
+    } else {
+      view.k_ = storage.k.f32();
+      view.v_ = storage.v.f32();
+    }
+    view.capacity_rows_ = max_seq_;
   }
+  return view;
+}
+
+std::int64_t KvCache::remaining() const {
+  KTX_CHECK(has_capacity_bound())
+      << "remaining() on an unbounded KvCache; check has_capacity_bound() first";
+  const std::int64_t seq_left = max_seq_ - position_;
+  if (!paged()) {
+    return seq_left;
+  }
+  // Rows already reserved in the table are free to use; beyond that, every
+  // available pool block adds block_size rows — minus one whole block when the
+  // next append must first copy-on-write a shared tail.
+  const std::int64_t bs = pool_->block_size();
+  const std::int64_t slack = reserved_rows() - position_;
+  const bool shared_tail =
+      position_ % bs != 0 &&
+      pool_->ref_count(block_table_[static_cast<std::size_t>(position_ / bs)]) > 1;
+  std::int64_t avail = pool_->available_blocks();
+  std::int64_t pool_left;
+  if (shared_tail) {
+    pool_left = avail >= 1 ? slack + (avail - 1) * bs : 0;
+  } else {
+    pool_left = slack + avail * bs;
+  }
+  return std::min(seq_left, pool_left);
+}
+
+std::int64_t KvCache::BlocksNeededFor(std::int64_t tokens) const {
+  if (!paged() || tokens <= 0) {
+    return 0;
+  }
+  const std::int64_t bs = pool_->block_size();
+  const std::int64_t needed_entries = (position_ + tokens + bs - 1) / bs;
+  std::int64_t need =
+      std::max<std::int64_t>(0, needed_entries - static_cast<std::int64_t>(block_table_.size()));
+  const bool shared_tail =
+      position_ % bs != 0 &&
+      pool_->ref_count(block_table_[static_cast<std::size_t>(position_ / bs)]) > 1;
+  if (shared_tail) {
+    ++need;  // copy-on-write of the tail block comes first
+  }
+  return need;
+}
+
+Status KvCache::PrepareAppend(std::int64_t tokens) {
+  KTX_CHECK_GE(tokens, 0);
+  if (tokens == 0) {
+    return OkStatus();
+  }
+  if (has_capacity_bound() && position_ + tokens > max_seq_) {
+    return ResourceExhaustedError("kv cache exhausted: position " + std::to_string(position_) +
+                                  " + " + std::to_string(tokens) + " exceeds max_seq " +
+                                  std::to_string(max_seq_));
+  }
+  if (!paged()) {
+    return OkStatus();
+  }
+  const std::int64_t bs = pool_->block_size();
+  // Copy-on-write: the tail block is partially ours but shared with another
+  // session (or the prefix cache); appending in place would corrupt them.
+  const std::int64_t filled = position_ % bs;
+  if (filled != 0) {
+    const std::size_t tb = static_cast<std::size_t>(position_ / bs);
+    if (pool_->ref_count(block_table_[tb]) > 1) {
+      auto fresh = pool_->AllocBlock();
+      if (!fresh.ok()) {
+        return fresh.status().WithContext("copy-on-write of shared kv tail block");
+      }
+      pool_->CopyBlockRows(block_table_[tb], *fresh, filled);
+      pool_->Unref(block_table_[tb]);
+      block_table_[tb] = *fresh;
+      ++pool_->cow_copies_;
+    }
+  }
+  const std::int64_t needed_entries = (position_ + tokens + bs - 1) / bs;
+  while (static_cast<std::int64_t>(block_table_.size()) < needed_entries) {
+    auto block = pool_->AllocBlock();
+    if (!block.ok()) {
+      // Blocks already allocated this call stay reserved in the table; they
+      // are reclaimed on Reset, and the position is untouched.
+      return block.status().WithContext("kv append of " + std::to_string(tokens) +
+                                        " tokens at position " + std::to_string(position_));
+    }
+    block_table_.push_back(*block);
+  }
+  return OkStatus();
+}
+
+Status KvCache::TryAdvance(std::int64_t tokens) {
+  if (has_capacity_bound() && tokens > remaining()) {
+    return ResourceExhaustedError("kv cache exhausted: position " + std::to_string(position_) +
+                                  " + " + std::to_string(tokens) + " exceeds max_seq " +
+                                  std::to_string(max_seq_) +
+                                  (paged() ? " or pool capacity" : ""));
+  }
+  KTX_RETURN_IF_ERROR(PrepareAppend(tokens));
   position_ += tokens;
   return OkStatus();
+}
+
+void KvCache::AdoptPrefix(const std::vector<std::int32_t>& blocks, std::int64_t tokens) {
+  KTX_CHECK(paged()) << "AdoptPrefix on a contiguous KvCache";
+  KTX_CHECK(position_ == 0 && block_table_.empty())
+      << "AdoptPrefix requires an empty cache";
+  KTX_CHECK_EQ(tokens, static_cast<std::int64_t>(blocks.size()) * pool_->block_size())
+      << "only whole blocks are shareable";
+  KTX_CHECK_LE(tokens, max_seq_);
+  for (std::int32_t block : blocks) {
+    pool_->Ref(block);
+    block_table_.push_back(block);
+  }
+  position_ = tokens;
+}
+
+Status KvCache::CloneFrom(const KvCache& parent) {
+  if (position_ != 0 || !block_table_.empty()) {
+    return FailedPreconditionError("CloneFrom requires an empty cache");
+  }
+  if (paged() != parent.paged() || (paged() && pool_ != parent.pool_)) {
+    return FailedPreconditionError("CloneFrom requires matching storage (same mode and pool)");
+  }
+  if (paged()) {
+    // Share every block covering [0, position): ref bumps only. The partial
+    // tail (if any) is now shared; the first divergent append copy-on-writes.
+    const std::int64_t bs = pool_->block_size();
+    const std::int64_t used = (parent.position_ + bs - 1) / bs;
+    for (std::int64_t b = 0; b < used; ++b) {
+      const std::int32_t block = parent.block_table_[static_cast<std::size_t>(b)];
+      pool_->Ref(block);
+      block_table_.push_back(block);
+    }
+  } else {
+    if (layers_.size() != parent.layers_.size() || max_seq_ != parent.max_seq_ ||
+        kv_dim_ != parent.kv_dim_ || lora_ != parent.lora_ || rope_ != parent.rope_) {
+      return FailedPreconditionError("CloneFrom requires matching cache geometry");
+    }
+    auto copy_rows = [&](const Tensor& src, Tensor& dst) {
+      if (src.numel() == 0) {
+        return;
+      }
+      const std::int64_t dim = src.dim(1);
+      std::memcpy(dst.f32(), src.f32(),
+                  static_cast<std::size_t>(parent.position_ * dim) * sizeof(float));
+    };
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      copy_rows(parent.layers_[l].k, layers_[l].k);
+      copy_rows(parent.layers_[l].v, layers_[l].v);
+      copy_rows(parent.layers_[l].ckv, layers_[l].ckv);
+      copy_rows(parent.layers_[l].k_rope, layers_[l].k_rope);
+    }
+  }
+  position_ = parent.position_;
+  return OkStatus();
+}
+
+void KvCache::ReleaseBlocks() {
+  if (pool_ != nullptr) {
+    for (std::int32_t block : block_table_) {
+      pool_->Unref(block);
+    }
+  }
+  block_table_.clear();
 }
 
 }  // namespace ktx

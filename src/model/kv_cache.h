@@ -1,70 +1,203 @@
-// Key/value caches for incremental decoding.
+// Key/value caches for incremental decoding: contiguous or paged.
 //
-// GQA layers cache per-position keys and values ([max_seq, kv_heads*head_dim]
-// each). MLA layers cache the joint latent c_kv ([max_seq, kv_lora_rank]) and
-// the shared decoupled-RoPE key ([max_seq, rope_dim]) — the compression that
-// makes DeepSeek's KV footprint small enough for long local contexts.
+// GQA layers cache per-position keys and values ([seq, kv_heads*head_dim]
+// each). MLA layers cache the joint latent c_kv ([seq, kv_lora_rank]) and the
+// shared decoupled-RoPE key ([seq, rope_dim]) — the compression that makes
+// DeepSeek's KV footprint small enough for long local contexts.
 //
-// Capacity is enforced: the cache tensors are max_seq rows, and advancing the
-// position past them would write out of bounds. Callers on untrusted paths
-// (engine decode/prefill, serving loop) check remaining()/TryAdvance and turn
-// exhaustion into a recoverable Status (the `kv_exhausted` finish reason);
-// Advance itself KTX_CHECKs as a last-resort invariant for internal callers.
+// Two storage modes behind one row-addressed view:
+//
+//   * Contiguous (legacy): one max_seq-row tensor per layer per stream,
+//     allocated up front. Simple, private, and the bit-identity baseline.
+//   * Paged: rows live in fixed-size blocks owned by a shared KvBlockPool;
+//     the cache holds a *block table* (block ids, in position order) and
+//     commits memory lazily, block by block, as the context grows
+//     (PrepareAppend). Blocks are ref-counted, so many sessions can map the
+//     same physical blocks for a shared prompt prefix (AdoptPrefix /
+//     CloneFrom); the first append into a shared partial block triggers a
+//     copy-on-write so divergence never corrupts a sibling or the pool's
+//     prefix cache.
+//
+// Attention reads and writes rows through KvLayerView, which performs the
+// block-table indirection per row (or a plain stride in contiguous mode) and
+// exposes contiguous runs for windowed GEMMs. Views are built at use time —
+// inside captured kernels this means at *execution* time, so a growing block
+// table never invalidates a captured decode graph.
+//
+// Capacity is enforced: callers on untrusted paths (engine decode/prefill,
+// serving loop) check remaining()/PrepareAppend and turn exhaustion into a
+// recoverable Status (the `kv_exhausted` finish reason); Advance itself
+// KTX_CHECKs as a last-resort invariant for internal callers. A
+// default-constructed cache has no storage and no capacity bound — callers
+// must consult has_capacity_bound() before asking for remaining().
 
 #ifndef KTX_SRC_MODEL_KV_CACHE_H_
 #define KTX_SRC_MODEL_KV_CACHE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/common/logging.h"
 #include "src/common/status.h"
 #include "src/model/config.h"
+#include "src/model/kv_block_pool.h"
 #include "src/tensor/tensor.h"
 
 namespace ktx {
 
-struct KvLayerCache {
-  // GQA
-  Tensor k;  // [max_seq, kv_heads * head_dim]
-  Tensor v;
-  // MLA
-  Tensor ckv;     // [max_seq, kv_lora_rank]
-  Tensor k_rope;  // [max_seq, rope_dim]
+// Row-addressed window into one layer's cache. Cheap to construct (built per
+// kernel execution); writable by design — attention appends rows through it.
+class KvLayerView {
+ public:
+  KvLayerView() = default;
+
+  // GQA rows.
+  float* k_row(std::int64_t pos) const { return k_ + phys(pos) * kv_dim_; }
+  float* v_row(std::int64_t pos) const { return v_ + phys(pos) * kv_dim_; }
+  // MLA rows.
+  float* ckv_row(std::int64_t pos) const { return ckv_ + phys(pos) * lora_; }
+  float* k_rope_row(std::int64_t pos) const { return k_rope_ + phys(pos) * rope_; }
+
+  // Length of the physically-contiguous run starting at pos, capped at
+  // `end` — the whole window in contiguous mode, at most a block in paged
+  // mode. Lets windowed GEMMs (MLA latent up-projections) run block by block
+  // with zero gathers.
+  std::int64_t run_length(std::int64_t pos, std::int64_t end) const {
+    const std::int64_t left = end - pos;
+    if (table_ == nullptr) {
+      return left;
+    }
+    const std::int64_t in_block = block_size_ - pos % block_size_;
+    return in_block < left ? in_block : left;
+  }
+
+  // Rows this view can address: max_seq (contiguous) or the rows covered by
+  // the block table (paged). Appends past this are out of bounds.
+  std::int64_t capacity_rows() const { return capacity_rows_; }
+
+ private:
+  friend class KvCache;
+
+  std::int64_t phys(std::int64_t pos) const {
+    return table_ == nullptr
+               ? pos
+               : static_cast<std::int64_t>(table_[pos / block_size_]) * block_size_ +
+                     pos % block_size_;
+  }
+
+  float* k_ = nullptr;
+  float* v_ = nullptr;
+  float* ckv_ = nullptr;
+  float* k_rope_ = nullptr;
+  std::int64_t kv_dim_ = 0;
+  std::int64_t lora_ = 0;
+  std::int64_t rope_ = 0;
+  const std::int32_t* table_ = nullptr;  // null = contiguous
+  std::int64_t block_size_ = 1;
+  std::int64_t capacity_rows_ = 0;
 };
 
 class KvCache {
  public:
-  KvCache() = default;  // no storage; max_seq() == 0 means "no capacity bound"
-  explicit KvCache(const MoeModelConfig& config);
+  KvCache() = default;  // no storage; !has_capacity_bound()
+  explicit KvCache(const MoeModelConfig& config);        // contiguous, max_seq rows
+  KvCache(const MoeModelConfig& config, KvBlockPool* pool);  // paged (pool not owned)
+  ~KvCache() { ReleaseBlocks(); }
 
-  KvLayerCache& layer(int i) { return layers_[static_cast<std::size_t>(i)]; }
-  const KvLayerCache& layer(int i) const { return layers_[static_cast<std::size_t>(i)]; }
+  KvCache(const KvCache&) = delete;
+  KvCache& operator=(const KvCache&) = delete;
 
+  // Per-layer row view. Built fresh on every call so paged views always see
+  // the current block table (captured kernels call this at exec time).
+  KvLayerView layer(int i) const;
+
+  bool paged() const { return pool_ != nullptr; }
   std::int64_t position() const { return position_; }
   std::int64_t max_seq() const { return max_seq_; }
-  // Positions left before the cache tensors run out (INT64_MAX-ish when
-  // unbounded, i.e. a default-constructed cache with no storage).
-  std::int64_t remaining() const {
-    return max_seq_ == 0 ? (std::int64_t{1} << 62) : max_seq_ - position_;
+  // A default-constructed cache has no storage and therefore no bound;
+  // remaining() is meaningless (and KTX_CHECKs) without one.
+  bool has_capacity_bound() const { return max_seq_ > 0; }
+  // Positions left before this session runs out of room: the max_seq bound,
+  // further capped in paged mode by what the shared pool can still supply
+  // (tail-block slack + free/evictable blocks, minus one block when the next
+  // append must copy-on-write a shared tail). Pool pressure makes this value
+  // time-varying across sessions.
+  std::int64_t remaining() const;
+  bool CanAdvance(std::int64_t tokens) const {
+    return !has_capacity_bound() || tokens <= remaining();
   }
-  bool CanAdvance(std::int64_t tokens) const { return tokens <= remaining(); }
 
-  // Recoverable capacity check: OK and advances, or kResourceExhausted and
-  // leaves the position untouched.
+  // Ensures rows [position, position+tokens) are writable: checks the
+  // max_seq bound, copy-on-writes a shared tail block, and allocates any
+  // missing blocks from the pool (contiguous mode only checks). Recoverable:
+  // kResourceExhausted leaves the position untouched (already-allocated
+  // blocks stay reserved in the table and are reclaimed on Reset).
+  Status PrepareAppend(std::int64_t tokens);
+  // Pool blocks PrepareAppend(tokens) would consume right now (new blocks
+  // plus a copy-on-write block if the shared tail forces one). 0 when
+  // contiguous. Lets callers validate a multi-session step against the pool
+  // aggregate before mutating anything.
+  std::int64_t BlocksNeededFor(std::int64_t tokens) const;
+
+  // Recoverable capacity check + advance (storage prepared as a side
+  // effect); or kResourceExhausted with the position untouched.
   Status TryAdvance(std::int64_t tokens);
-  // Internal-invariant flavor: callers must have checked capacity already.
+  // Internal-invariant flavor: callers must have prepared capacity already.
   void Advance(std::int64_t tokens) {
-    KTX_CHECK(CanAdvance(tokens)) << "KV cache overrun: position " << position_ << " + "
-                                  << tokens << " exceeds max_seq " << max_seq_;
+    KTX_CHECK(position_ + tokens <= reserved_rows())
+        << "KV cache overrun: position " << position_ << " + " << tokens
+        << " exceeds prepared capacity " << reserved_rows() << " (max_seq " << max_seq_
+        << ")";
     position_ += tokens;
   }
-  void Reset() { position_ = 0; }
+  void Reset() {
+    ReleaseBlocks();
+    position_ = 0;
+  }
+
+  // --- paged sharing --------------------------------------------------------
+  // Maps `tokens` positions of shared prefix into this (empty) cache: refs
+  // each block and sets the position. tokens must equal blocks.size() *
+  // block_size (only whole blocks are shareable).
+  void AdoptPrefix(const std::vector<std::int32_t>& blocks, std::int64_t tokens);
+  // Forks `parent` into this empty cache: paged caches share blocks (ref
+  // bump, O(blocks); first divergent append copy-on-writes), contiguous
+  // caches deep-copy rows. Both must be the same mode (and pool).
+  Status CloneFrom(const KvCache& parent);
+  const std::vector<std::int32_t>& block_table() const { return block_table_; }
+  const KvBlockPool* pool() const { return pool_; }
+
+  // Rows currently writable without further allocation.
+  std::int64_t reserved_rows() const {
+    if (paged()) {
+      return static_cast<std::int64_t>(block_table_.size()) * pool_->block_size();
+    }
+    return max_seq_ == 0 ? (std::int64_t{1} << 62) : max_seq_;
+  }
 
   // Bytes of cache state per position (capacity-planning reports).
   std::size_t BytesPerPosition() const { return bytes_per_position_; }
 
  private:
-  std::vector<KvLayerCache> layers_;
+  struct LayerStorage {
+    // GQA
+    Tensor k;  // [max_seq, kv_heads * head_dim]
+    Tensor v;
+    // MLA
+    Tensor ckv;     // [max_seq, kv_lora_rank]
+    Tensor k_rope;  // [max_seq, rope_dim]
+  };
+
+  void ReleaseBlocks();
+
+  std::vector<LayerStorage> layers_;  // contiguous mode
+  KvBlockPool* pool_ = nullptr;       // paged mode; not owned
+  std::vector<std::int32_t> block_table_;
+
+  AttentionKind attention_ = AttentionKind::kGqa;
+  std::int64_t kv_dim_ = 0;
+  std::int64_t lora_ = 0;
+  std::int64_t rope_ = 0;
   std::int64_t position_ = 0;
   std::int64_t max_seq_ = 0;  // 0 = unbounded (storage-free default cache)
   std::size_t bytes_per_position_ = 0;

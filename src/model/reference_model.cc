@@ -42,6 +42,11 @@ Tensor RefModel::Forward(const std::vector<int>& tokens, KvCache* cache,
   KTX_CHECK_GE(options.n_deferred, 0);
   KTX_CHECK_LE(options.n_deferred, config_.top_k);
 
+  // Trusted entry point: callers validated capacity (or accept the abort).
+  // Paged caches also need their block table extended before rows are written.
+  const Status prepared = cache->PrepareAppend(m);
+  KTX_CHECK(prepared.ok()) << "KV cache overflow: " << prepared.ToString();
+
   Tensor x({m, hidden}, DType::kF32);
   for (std::int64_t t = 0; t < m; ++t) {
     KTX_CHECK(tokens[static_cast<std::size_t>(t)] >= 0 &&
@@ -62,8 +67,10 @@ Tensor RefModel::Forward(const std::vector<int>& tokens, KvCache* cache,
     for (std::int64_t t = 0; t < m; ++t) {
       RmsNorm(x.f32() + t * hidden, lw.attn_norm.f32(), normed.f32() + t * hidden, hidden);
     }
-    AttentionForward(config_, lw.attn, normed.f32(), m, pos0, &cache->layer(l),
-                     attn_out.f32());
+    const Status attn =
+        AttentionForward(config_, lw.attn, normed.f32(), m, pos0, cache->layer(l),
+                         attn_out.f32());
+    KTX_CHECK(attn.ok()) << "KV cache overflow: " << attn.ToString();
     AddInPlace(x.f32(), attn_out.f32(), m * hidden);
 
     // FFN block.

@@ -13,6 +13,14 @@
 // All integers little-endian. Loading validates magic, version, dtype tags,
 // dimension sanity and payload sizes, and fails with a Status (never UB) on
 // truncated or corrupted input.
+//
+// KV-state serialization ("KTXV") captures one session's cache content —
+// rows [0, position) of every layer and stream — gathered LOGICALLY by
+// position. Physical layout (contiguous rows vs paged block tables, shared
+// or private blocks) never leaks into the bytes, so a paged cache with a
+// shared-prefix block table serializes identically to a contiguous cache
+// holding the same values, and state round-trips across storage modes. This
+// is the KV-shipping primitive for the scale-out tier (ROADMAP item 5).
 
 #ifndef KTX_SRC_MODEL_SERIALIZE_H_
 #define KTX_SRC_MODEL_SERIALIZE_H_
@@ -20,6 +28,7 @@
 #include <string>
 
 #include "src/common/status.h"
+#include "src/model/kv_cache.h"
 #include "src/model/weights.h"
 
 namespace ktx {
@@ -40,6 +49,17 @@ StatusOr<ModelFile> LoadModel(const std::string& path);
 // round-trip tests and fuzz-ish corruption tests cheap).
 std::string SerializeModel(const MoeModelConfig& config, const ModelWeights& weights);
 StatusOr<ModelFile> DeserializeModel(const std::string& bytes);
+
+// Serializes `cache`'s live rows ([0, position), every layer/stream) into a
+// KTXV blob. Rows are gathered by logical position: storage mode (paged or
+// contiguous) and block sharing never affect the bytes.
+std::string SerializeKvState(const MoeModelConfig& config, const KvCache& cache);
+// Restores a KTXV blob into `cache`, which must be empty (position 0) and
+// built for the same attention geometry; paged caches allocate blocks from
+// their pool as needed (kResourceExhausted if it cannot). Validates magic,
+// version, geometry, and payload size.
+Status DeserializeKvState(const std::string& bytes, const MoeModelConfig& config,
+                          KvCache* cache);
 
 }  // namespace ktx
 

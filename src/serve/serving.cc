@@ -60,6 +60,15 @@ Status ServingLoop::ValidateRequest(const GenerationRequest& request) const {
                                 " tokens exceeds the kv capacity max_seq=" +
                                 std::to_string(max_seq));
   }
+  // A request that cannot reach max_new_tokens within the session's KV bound
+  // is doomed at submit time: reject it here (kRejected, no work spent)
+  // instead of prefilling the prompt and retiring it kv_exhausted mid-decode.
+  if (static_cast<std::int64_t>(request.prompt.size()) + request.max_new_tokens > max_seq) {
+    return InvalidArgumentError(
+        "prompt of " + std::to_string(request.prompt.size()) + " tokens + max_new_tokens=" +
+        std::to_string(request.max_new_tokens) + " cannot fit the kv capacity max_seq=" +
+        std::to_string(max_seq));
+  }
   return OkStatus();
 }
 
@@ -143,17 +152,43 @@ void ServingLoop::AdmitFromQueue() {
     active.result.prompt_tokens = static_cast<std::int64_t>(active.request.prompt.size());
     active.clock = pending.submitted;  // metrics are measured from Submit
     active.result.queue_seconds = waited_s;
-    // The row holds a slot from here on, whichever branch it takes below —
-    // including an immediate failure — so peak_concurrency counts it now.
-    stats_.peak_concurrency =
-        std::max(stats_.peak_concurrency,
-                 static_cast<int>(prefilling_.size() + active_.size()) + 1);
+    // A row counts toward peak_concurrency once it truly holds a slot —
+    // including an immediate admission failure, but NOT a pool-pressure
+    // re-queue (the request goes back unadmitted).
+    const auto note_slot = [this] {
+      stats_.peak_concurrency =
+          std::max(stats_.peak_concurrency,
+                   static_cast<int>(prefilling_.size() + active_.size()) + 1);
+    };
+    // Paged engines draw KV from one shared pool: a block-reservation failure
+    // while other requests are in flight is back-pressure, not doom — their
+    // retirements return blocks. Such a request re-queues at the head
+    // (admission order preserved) and this sweep stops admitting; it only
+    // fails kv_exhausted when nothing in flight could free blocks for it.
+    const auto pool_pressure = [this](const Status& status) {
+      return engine_->kv_paged() &&
+             status.code() == StatusCode::kResourceExhausted &&
+             !(prefilling_.empty() && active_.empty());
+    };
+    const auto requeue = [this](Active&& row) {
+      free_sessions_.push_back(row.session);
+      Pending back;
+      back.id = row.id;
+      back.request = std::move(row.request);
+      back.submitted = row.clock;  // still running since Submit
+      queue_.push_front(std::move(back));
+    };
 
     if (interleaved) {
       // Stall-free admission: validate everything (KV headroom for the whole
       // prompt included) but run no prefill work inside the admission sweep.
       auto cursor = engine_->StartPrefill(active.session, active.request.prompt);
       if (!cursor.ok()) {
+        if (pool_pressure(cursor.status())) {
+          requeue(std::move(active));
+          break;
+        }
+        note_slot();
         const FinishReason reason =
             cursor.status().code() == StatusCode::kResourceExhausted
                 ? FinishReason::kKvExhausted
@@ -161,6 +196,7 @@ void ServingLoop::AdmitFromQueue() {
         FailRow(std::move(active), reason, cursor.status().WithContext("admission"));
         continue;
       }
+      note_slot();
       active.cursor = std::move(*cursor);
       prefilling_.push_back(std::move(active));
       continue;
@@ -170,6 +206,11 @@ void ServingLoop::AdmitFromQueue() {
     // the whole prompt runs here, stalling this sweep's decodes behind it.
     auto logits = engine_->TryPrefill(active.session, active.request.prompt);
     if (!logits.ok()) {
+      if (pool_pressure(logits.status())) {
+        requeue(std::move(active));
+        break;
+      }
+      note_slot();
       // The prompt itself was validated at Submit; what's left is capacity
       // (a prior request grew this session? impossible after Reset — keep the
       // mapping anyway) or an injected backend fault.
@@ -179,6 +220,7 @@ void ServingLoop::AdmitFromQueue() {
       FailRow(std::move(active), reason, logits.status().WithContext("admission"));
       continue;
     }
+    note_slot();
     const auto prompt_tokens = static_cast<std::int64_t>(active.request.prompt.size());
     const std::int64_t chunk = engine_->options().prefill_chunk;
     stats_.prefill_tokens += prompt_tokens;
@@ -256,6 +298,11 @@ void ServingLoop::RetireRow(Active&& active) {
   active.result.stopped_at_eos = active.result.finish_reason == FinishReason::kEos;
   active.result.total_seconds = active.clock.ElapsedSeconds();
   if (active.session >= 0) {
+    // Reset NOW, not at reuse: paged blocks go back to the shared pool the
+    // moment the request retires (prefix-cached blocks stay resident but
+    // evictable), so queued requests and the aggregate sweep check see the
+    // headroom immediately. Contiguous sessions just drop their position.
+    engine_->Reset(active.session);
     free_sessions_.push_back(active.session);
   }
   ++stats_.requests_completed;
@@ -330,7 +377,16 @@ void ServingLoop::SweepFailures() {
                  fault.WithContext("request " + std::to_string(active.id)));
       continue;
     }
-    if (engine_->KvRemaining(active.session) < 1) {
+    // Per-row capacity: the session-local max_seq bound. For paged engines
+    // KvRemaining also folds in pool pressure, but pressure is a *shared*
+    // condition handled by the aggregate pass below (youngest rows first) —
+    // retiring the oldest row here for blocks a younger row consumed would
+    // invert that policy.
+    const bool session_full =
+        engine_->kv_paged()
+            ? engine_->position(active.session) >= engine_->config().max_seq
+            : engine_->KvRemaining(active.session) < 1;
+    if (session_full) {
       FailActive(i, FinishReason::kKvExhausted,
                  ResourceExhaustedError(
                      "kv cache exhausted after " + std::to_string(active.result.tokens.size()) +
@@ -339,6 +395,46 @@ void ServingLoop::SweepFailures() {
       continue;
     }
     ++i;
+  }
+  if (!engine_->kv_paged() || active_.empty()) {
+    return;
+  }
+  // Aggregate pool check: rows sharing one block pool can each have room for
+  // their next token individually, yet not fit together (several rows about
+  // to cross a block boundary with fewer free blocks than that). Retire the
+  // youngest rows — least sunk prefill and decode work — until the sweep's
+  // total need fits; each retirement Resets its session, returning blocks to
+  // the pool for the survivors (and for the admission queue).
+  std::int64_t need = 0;
+  for (const Active& active : active_) {
+    need += engine_->KvBlocksNeeded(active.session, 1);
+  }
+  while (!active_.empty() && need > engine_->kv_pool()->available_blocks()) {
+    const std::size_t victim = active_.size() - 1;
+    const std::int64_t available = engine_->kv_pool()->available_blocks();
+    const std::int64_t sweep_need = need;
+    need -= engine_->KvBlocksNeeded(active_[victim].session, 1);
+    FailActive(victim, FinishReason::kKvExhausted,
+               ResourceExhaustedError("kv block pool exhausted: decode sweep needs " +
+                                      std::to_string(sweep_need) + " blocks, pool has " +
+                                      std::to_string(available) + " available"));
+  }
+}
+
+void ServingLoop::SampleKvStats() {
+  stats_.prefix_tokens_reused = engine_->counters().prefix_tokens_reused;
+  if (!engine_->kv_paged()) {
+    return;
+  }
+  const KvBlockPool::Stats pool = engine_->kv_pool()->stats();
+  stats_.kv_blocks_in_use = std::max(stats_.kv_blocks_in_use, pool.blocks_in_use);
+  if (pool.total_blocks > 0) {
+    stats_.kv_utilization = static_cast<double>(stats_.kv_blocks_in_use) /
+                            static_cast<double>(pool.total_blocks);
+  }
+  if (pool.prefix_lookups > 0) {
+    stats_.prefix_hit_rate = static_cast<double>(pool.prefix_hits) /
+                             static_cast<double>(pool.prefix_lookups);
   }
 }
 
@@ -420,7 +516,11 @@ std::vector<GenerationResult> ServingLoop::RunToCompletion() {
     SweepFailures();
     // Everyone still decoding needs exactly one more token: one batched sweep.
     DecodeActive();
+    // Pool occupancy peaks while rows are live — sample before retirements
+    // next sweep return their blocks.
+    SampleKvStats();
   }
+  SampleKvStats();  // final counter values (hit rate, tokens reused)
   return std::move(completed_);
 }
 

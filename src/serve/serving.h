@@ -151,6 +151,18 @@ class ServingLoop {
     // stall-free bench asserts on.
     LatencyHistogram ttft_s;
     LatencyHistogram tbt_s;
+    // Paged-KV pool telemetry, sampled once per sweep (all zero when the
+    // engine runs contiguous caches). prefix_tokens_reused counts prompt
+    // tokens served from the pool's prefix cache instead of prefill compute;
+    // prefix_hit_rate is cache hits over lookups (one lookup per empty-start
+    // prompt with >= 1 full block). kv_blocks_in_use is the PEAK pool
+    // occupancy observed, and kv_utilization that peak over the pool's total
+    // blocks — the capacity-planning pair: high utilization with low hit rate
+    // means the pool is sized for genuinely distinct contexts.
+    std::int64_t prefix_tokens_reused = 0;
+    double prefix_hit_rate = 0.0;
+    std::int64_t kv_blocks_in_use = 0;
+    double kv_utilization = 0.0;
   };
 
   // The engine must outlive the loop.
@@ -159,10 +171,12 @@ class ServingLoop {
   ServingLoop(HybridEngine* engine, int max_concurrent, bool batched_decode = true);
 
   // Enqueues a request and returns its id. Never aborts: an invalid request
-  // (empty prompt, out-of-vocab token, max_new_tokens < 1, prompt longer
-  // than the KV capacity) or a full queue produces an immediate terminal
-  // result with finish_reason kRejected, returned by RunToCompletion like
-  // any other. Thread-compatible (call from the same thread as Run*).
+  // (empty prompt, out-of-vocab token, max_new_tokens < 1, or a doomed
+  // capacity ask — prompt.size() + max_new_tokens > max_seq can never finish,
+  // so it is rejected here instead of burning prefill work and dying
+  // kv_exhausted later) or a full queue produces an immediate terminal result
+  // with finish_reason kRejected, returned by RunToCompletion like any
+  // other. Thread-compatible (call from the same thread as Run*).
   std::uint64_t Submit(GenerationRequest request);
 
   std::size_t pending() const {
@@ -206,6 +220,13 @@ class ServingLoop {
   // Records a terminal result for a request that never got admitted.
   void Reject(std::uint64_t id, const GenerationRequest& request, Status status,
               FinishReason reason, double elapsed_s);
+  // Fills free slots from the queue, oldest first. Admission is gated on
+  // real KV headroom: contiguous engines size every session to max_seq, but
+  // paged engines draw from one shared pool, so a request whose (post-
+  // prefix-sharing) block reservation fails while other rows are in flight
+  // is put back at the head of the queue to retry after retirements free
+  // blocks — it only fails kv_exhausted when nothing in flight could ever
+  // unblock it.
   void AdmitFromQueue();
   // Spends this sweep's prefill token budget advancing prefilling requests,
   // oldest first; completed ones sample their first token and join active_.
@@ -221,8 +242,15 @@ class ServingLoop {
   // Retires rows whose deadline expired or whose session has an injected
   // backend fault (prefilling and decoding rows), or whose KV cache has no
   // room for the next token (decoding rows) — leaving batch siblings
-  // untouched.
+  // untouched. Paged engines get a second, aggregate pass: rows sharing one
+  // block pool can each have room individually yet not fit together, so the
+  // youngest rows (least sunk work) retire kv_exhausted until the sweep's
+  // total block need fits the pool.
   void SweepFailures();
+  // Folds the engine's prefix-cache counters and the pool's occupancy into
+  // stats_ (peak-tracking for blocks in use). No-op sans paged pool except
+  // for prefix_tokens_reused, which mirrors the engine counter.
+  void SampleKvStats();
   // Terminal bookkeeping shared by every retirement path.
   void RetireRow(Active&& active);
   void FailRow(Active&& active, FinishReason reason, Status status);

@@ -351,17 +351,18 @@ TEST(ServingLifecycleTest, ExpiredDeadlineIsRejectedAtAdmissionWithoutPrefill) {
 }
 
 TEST(ServingLifecycleTest, DeadlineExpiryMidBatchRetiresOnlyThatRequest) {
-  // The doomed request asks for effectively unbounded generation under a
+  // The doomed request asks for the entire 8192-position KV budget under a
   // ~50 ms deadline: admission (sub-millisecond away) always beats the
-  // deadline, and the deadline always beats 100k decode steps — so it is
+  // deadline, and the deadline always beats ~8k decode steps — so it is
   // deterministically retired by the per-row sweep while its neighbor (a
   // short request that completes well inside the deadline) keeps decoding.
-  // max_seq is raised so KV exhaustion cannot beat the deadline.
+  // max_new_tokens exactly fills max_seq: any more would be rejected at
+  // Submit as a doomed capacity ask.
   Fixture f;
   f.config.max_seq = 8192;
   f.engine = std::make_unique<HybridEngine>(f.config, f.weights, EngineOptions{});
   ServingLoop loop(f.engine.get(), 2);
-  GenerationRequest doomed = Req({5, 5}, 100000);
+  GenerationRequest doomed = Req({5, 5}, 8190);
   doomed.deadline_s = 0.05;
   loop.Submit(std::move(doomed));
   loop.Submit(Req({1, 2, 3}, 5));
@@ -377,7 +378,7 @@ TEST(ServingLifecycleTest, DeadlineExpiryMidBatchRetiresOnlyThatRequest) {
   // It was admitted (prefill token consumed) but cut off far short of its
   // requested length.
   EXPECT_GE(expired->tokens.size(), 1u);
-  EXPECT_LT(expired->tokens.size(), 100000u);
+  EXPECT_LT(expired->tokens.size(), 8190u);
   EXPECT_GT(expired->total_seconds, 0.05);  // ran up to (and past) its deadline
 
   const auto neighbor = std::find_if(results.begin(), results.end(),
@@ -430,10 +431,11 @@ TEST(ServingLifecycleTest, InjectedSessionFaultRetiresOnlyThatRequest) {
   EXPECT_EQ(loop.stats().requests_failed, 1);
 }
 
-TEST(ServingLifecycleTest, KvExhaustionRetiresOnlyThatRequest) {
-  // A tiny KV budget: the long-prompt request runs out of cache positions
-  // mid-generation and retires with kv_exhausted; its batch sibling, with a
-  // short prompt, completes normally.
+TEST(ServingLifecycleTest, DoomedCapacityAskIsRejectedAtSubmit) {
+  // A request whose prompt + max_new_tokens can never fit max_seq used to be
+  // admitted, burn its whole prefill plus every decode step the cache could
+  // hold, and then retire kv_exhausted. It is now rejected at Submit with
+  // zero engine work; its sibling is unaffected.
   MoeModelConfig config = TinyMoeConfig();
   config.max_seq = 16;
   auto weights =
@@ -441,32 +443,85 @@ TEST(ServingLifecycleTest, KvExhaustionRetiresOnlyThatRequest) {
   HybridEngine engine(config, weights, EngineOptions{});
   ServingLoop loop(&engine, 2);
   const std::vector<int> long_prompt = {1, 2, 3, 4, 5, 6, 7, 8};
-  loop.Submit(Req(long_prompt, 20));  // wants 20 but only 9 fit
+  loop.Submit(Req(long_prompt, 20));  // 8 + 20 > 16: doomed, never admitted
   loop.Submit(Req({2}, 5));
   const auto results = loop.RunToCompletion();
   ASSERT_EQ(results.size(), 2u);
 
-  const auto exhausted = std::find_if(results.begin(), results.end(),
-                                      [](const GenerationResult& r) { return r.id == 1; });
-  ASSERT_NE(exhausted, results.end());
-  EXPECT_FALSE(exhausted->ok);
-  EXPECT_EQ(exhausted->finish_reason, FinishReason::kKvExhausted);
-  EXPECT_EQ(exhausted->status.code(), StatusCode::kResourceExhausted);
-  // Prefill fills 8 of 16 positions; 8 decode steps fill the rest, so the
-  // prefill token + 8 decoded tokens emerge before exhaustion.
-  ASSERT_EQ(exhausted->tokens.size(), 9u);
-  // The truncated stream is exactly what an unconstrained engine produces.
-  MoeModelConfig roomy = config;
-  roomy.max_seq = 128;
-  HybridEngine reference(roomy, weights, EngineOptions{});
-  EXPECT_EQ(exhausted->tokens, reference.GenerateGreedy(long_prompt, 9));
+  const auto rejected = std::find_if(results.begin(), results.end(),
+                                     [](const GenerationResult& r) { return r.id == 1; });
+  ASSERT_NE(rejected, results.end());
+  EXPECT_FALSE(rejected->ok);
+  EXPECT_EQ(rejected->finish_reason, FinishReason::kRejected);
+  EXPECT_EQ(rejected->status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(rejected->tokens.empty());
+  EXPECT_EQ(loop.stats().requests_rejected, 1);
+  // The doomed prompt never reached the engine: only the sibling prefilled.
+  EXPECT_EQ(engine.counters().prefill_tokens, 1);
 
   const auto sibling = std::find_if(results.begin(), results.end(),
                                     [](const GenerationResult& r) { return r.id == 2; });
   ASSERT_NE(sibling, results.end());
   EXPECT_TRUE(sibling->ok);
+  MoeModelConfig roomy = config;
+  roomy.max_seq = 128;
   HybridEngine solo(roomy, weights, EngineOptions{});
   EXPECT_EQ(sibling->tokens, solo.GenerateGreedy({2}, 5));
+}
+
+TEST(ServingLifecycleTest, PagedPoolPressureRetiresYoungestRowMidGeneration) {
+  // With paged KV, kv_exhausted mid-generation is a *shared-pool* condition:
+  // both requests individually fit max_seq (so Submit admits them) but their
+  // combined growth outruns a 4-block pool. The aggregate sweep check must
+  // retire the YOUNGEST row (least sunk work) and give its blocks to the
+  // older one, which then completes its full ask.
+  MoeModelConfig config = TinyMoeConfig();
+  config.max_seq = 16;
+  auto weights =
+      std::make_shared<const ModelWeights>(ModelWeights::Generate(TinyMoeConfig(), 60));
+  EngineOptions opts;
+  opts.kv_pool_blocks = 4;
+  opts.kv_block_size = 4;  // 16 rows total: exactly ONE full context
+  HybridEngine engine(config, weights, opts);
+  ServingLoop loop(&engine, 2);
+  const std::vector<int> prompt_a = {1, 2, 3, 4};
+  const std::vector<int> prompt_b = {7, 8, 9, 5};  // distinct: no prefix sharing
+  loop.Submit(Req(prompt_a, 12));  // 4 + 12 = 16: fits max_seq exactly
+  loop.Submit(Req(prompt_b, 12));
+  const auto results = loop.RunToCompletion();
+  ASSERT_EQ(results.size(), 2u);
+
+  const auto first = std::find_if(results.begin(), results.end(),
+                                  [](const GenerationResult& r) { return r.id == 1; });
+  const auto second = std::find_if(results.begin(), results.end(),
+                                   [](const GenerationResult& r) { return r.id == 2; });
+  ASSERT_NE(first, results.end());
+  ASSERT_NE(second, results.end());
+
+  // The older request rides out the pressure and finishes in full, emitting
+  // exactly what a contiguous solo engine produces.
+  EXPECT_TRUE(first->ok) << first->status.ToString();
+  EXPECT_EQ(first->finish_reason, FinishReason::kLength);
+  HybridEngine solo_a(config, weights, EngineOptions{});
+  EXPECT_EQ(first->tokens, solo_a.GenerateGreedy(prompt_a, 12));
+
+  // The younger one is cut off by the pool, not by its own max_seq — and the
+  // prefix it did emit is bit-identical to an unconstrained run.
+  EXPECT_FALSE(second->ok);
+  EXPECT_EQ(second->finish_reason, FinishReason::kKvExhausted);
+  EXPECT_EQ(second->status.code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(second->tokens.size(), 1u);
+  EXPECT_LT(second->tokens.size(), 12u);
+  HybridEngine solo_b(config, weights, EngineOptions{});
+  const std::vector<int> full_b = solo_b.GenerateGreedy(prompt_b, 12);
+  EXPECT_EQ(second->tokens,
+            std::vector<int>(full_b.begin(),
+                             full_b.begin() + static_cast<std::ptrdiff_t>(
+                                                  second->tokens.size())));
+  EXPECT_EQ(loop.stats().requests_failed, 1);
+  // Pool telemetry made it into the serving stats.
+  EXPECT_GT(loop.stats().kv_blocks_in_use, 0);
+  EXPECT_GT(loop.stats().kv_utilization, 0.0);
 }
 
 TEST(ServingLifecycleTest, SessionPoolExhaustionRejectsInsteadOfAborting) {
