@@ -1,0 +1,369 @@
+// Hotness-aware expert placement (ISSUE PR 6): Zipf vs uniform routing.
+//
+// Four-session batched decode on a 2-MoE-layer, 32-experts-per-layer model
+// (hidden 384, inter 1536, top-k 4). The router's grouped-sigmoid *selection
+// bias* — which biases which experts win top-k but never the selected
+// weights — is set to a Zipf-like decay so routing concentrates on a hot
+// subset, exactly the skew the placement manager's EMA is built to exploit.
+// The cache holds 16 experts = 25% of the 64 global experts.
+//
+// Measured against the all-CPU f32 baseline on identical weights and
+// teacher-forced token streams:
+//   * decode throughput with an int8 hot cache + 4-bit cold experts (the
+//     decode path is weight-bandwidth-bound, so fewer streamed bytes is the
+//     whole game; int8 also keeps the per-group GEMMs on the VNNI path) —
+//     acceptance gate: >= 1.5x, measured with interleaved step blocks and a
+//     median-of-ratios so machine-load drift cancels;
+//   * cache hit rate under Zipf (> 50% gate) vs uniform routing (~capacity);
+//   * logit fidelity of the quantized config (rel. error inside the
+//     INTERNALS.md §10 budget);
+//   * bit-identity of the f32 hot path (hot = cold = cpu dtype) — MaxAbsDiff
+//     must be exactly 0 while the cache demonstrably serves.
+//
+// Emits BENCH_expert_cache.json; exits non-zero if a gate fails.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "bench/accuracy_common.h"
+#include "src/core/engine.h"
+
+namespace {
+
+ktx::MoeModelConfig BenchConfig() {
+  ktx::MoeModelConfig c;
+  c.name = "expert-cache-bench";
+  c.hidden = 384;
+  c.vocab = 512;
+  c.num_layers = 3;
+  c.first_dense_layers = 1;
+  // The dense first layer and shared experts run on the (simulated) GPU and
+  // are orthogonal to expert placement; keep them small so the measurement
+  // isolates routed-expert weight streaming, which is what placement changes.
+  c.dense_inter = 96;
+  c.num_experts = 32;
+  c.top_k = 4;
+  c.moe_inter = 1536;
+  c.n_shared_experts = 0;
+  c.gating = ktx::GatingKind::kGroupedSigmoidTopK;
+  c.n_group = 1;
+  c.topk_group = 1;
+  // Attention is likewise small: QKV/O projections run on the simulated GPU
+  // and would otherwise dilute the routed-expert signal being measured.
+  c.attention = ktx::AttentionKind::kGqa;
+  c.num_heads = 2;
+  c.num_kv_heads = 1;
+  c.head_dim = 32;
+  c.max_seq = 256;
+  return c;
+}
+
+// Zipf-like selection skew: rank r gets bias 0.8 / (1 + r)^0.7, with a
+// different expert permutation per layer so the hot set spans the global
+// (layer, expert) space. Sigmoid scores live in [0, 1], so an amplitude well
+// under 1 skews selection toward the top ranks without collapsing every
+// token onto the same experts — per-token score noise keeps the picks
+// diverse (small per-expert token groups, many distinct experts streamed per
+// step), which is the regime where placement's byte savings matter. Never
+// changes a selected expert's weight.
+void ApplyZipfBias(ktx::ModelWeights* weights, const ktx::MoeModelConfig& config) {
+  for (int layer = config.first_dense_layers; layer < config.num_layers; ++layer) {
+    ktx::LayerWeights& lw = weights->layers[static_cast<std::size_t>(layer)];
+    float* bias = lw.router_bias.f32();
+    for (int e = 0; e < config.num_experts; ++e) {
+      const int rank = (e * 7 + layer * 11) % config.num_experts;
+      bias[e] = 0.8f / std::pow(1.0f + static_cast<float>(rank), 0.7f);
+    }
+  }
+}
+
+void ApplyUniformBias(ktx::ModelWeights* weights, const ktx::MoeModelConfig& config) {
+  for (int layer = config.first_dense_layers; layer < config.num_layers; ++layer) {
+    ktx::LayerWeights& lw = weights->layers[static_cast<std::size_t>(layer)];
+    std::memset(lw.router_bias.f32(), 0,
+                sizeof(float) * static_cast<std::size_t>(config.num_experts));
+  }
+}
+
+constexpr int kSessions = 4;
+constexpr int kWarmupSteps = 32;
+constexpr int kTimedSteps = 48;
+
+int ForcedToken(const ktx::MoeModelConfig& config, int step, int session) {
+  return (step * 29 + session * 13 + 7) % static_cast<int>(config.vocab);
+}
+
+struct RunResult {
+  double tokens_per_second = 0.0;
+  ktx::ExpertCacheStats cache;
+  ktx::Tensor logits0;  // session 0's timed-step logits, [kTimedSteps, vocab]
+  std::vector<int> sessions;  // live session ids, for continued stepping
+};
+
+// Teacher-forced batched decode: warmup (EMA convergence + promotions), then
+// timed steps. The forced token streams are deterministic, so two engines on
+// the same weights see identical routing inputs position by position.
+RunResult Run(ktx::HybridEngine* engine, const ktx::MoeModelConfig& config) {
+  std::vector<int> sessions;
+  for (int i = 0; i < kSessions; ++i) {
+    sessions.push_back(i == 0 ? 0 : engine->CreateSession());
+    std::vector<int> prompt;
+    for (int t = 0; t < 8; ++t) {
+      prompt.push_back((t * 17 + i * 5 + 3) % static_cast<int>(config.vocab));
+    }
+    engine->Prefill(sessions.back(), prompt);
+  }
+  auto step_batch = [&](int step) {
+    std::vector<ktx::SessionToken> batch;
+    for (int i = 0; i < kSessions; ++i) {
+      batch.push_back(ktx::SessionToken{sessions[static_cast<std::size_t>(i)],
+                                        ForcedToken(config, step, i)});
+    }
+    return engine->DecodeBatch(batch);
+  };
+  for (int step = 0; step < kWarmupSteps; ++step) {
+    step_batch(step);
+  }
+  if (engine->expert_cache() != nullptr) {
+    engine->expert_cache()->SyncTransfers();
+  }
+  const ktx::ExpertCacheStats warm = engine->expert_cache_stats();
+
+  RunResult r;
+  r.logits0 = ktx::Tensor({kTimedSteps, config.vocab}, ktx::DType::kF32);
+  // Median per-step time, not total elapsed: on a shared single-core box a
+  // single preemption burst inside the timed window skews a sum by 10-20%,
+  // while the median step is immune to a handful of outliers.
+  std::vector<double> step_seconds;
+  step_seconds.reserve(kTimedSteps);
+  for (int step = 0; step < kTimedSteps; ++step) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const ktx::Tensor logits = step_batch(kWarmupSteps + step);
+    const auto t1 = std::chrono::steady_clock::now();
+    step_seconds.push_back(std::chrono::duration<double>(t1 - t0).count());
+    std::memcpy(r.logits0.f32() + static_cast<std::int64_t>(step) * config.vocab,
+                logits.f32(), sizeof(float) * static_cast<std::size_t>(config.vocab));
+  }
+  std::sort(step_seconds.begin(), step_seconds.end());
+  const double median = step_seconds[step_seconds.size() / 2];
+  r.tokens_per_second = static_cast<double>(kSessions) / median;
+  // Hit rate over the timed window only (the warmup covers the cold start).
+  const ktx::ExpertCacheStats total = engine->expert_cache_stats();
+  r.cache = total;
+  r.cache.lookups = total.lookups - warm.lookups;
+  r.cache.hits = total.hits - warm.hits;
+  r.sessions = sessions;
+  return r;
+}
+
+double MedianOf(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+// One further timed decode step continuing an engine's teacher-forced
+// streams. Returns seconds.
+double TimedStep(ktx::HybridEngine* engine, const ktx::MoeModelConfig& config,
+                 const std::vector<int>& sessions, int step) {
+  std::vector<ktx::SessionToken> batch;
+  for (int i = 0; i < kSessions; ++i) {
+    batch.push_back(ktx::SessionToken{sessions[static_cast<std::size_t>(i)],
+                                      ForcedToken(config, step, i)});
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  engine->DecodeBatch(batch);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// Speedup measurement robust to machine-load drift: alternate short blocks
+// of baseline and placed steps so both engines sample the same load, take
+// the median step time of each block, and gate on the median of the
+// per-round ratios. A load spike then lands on adjacent blocks of BOTH
+// configs (one bad ratio, discarded by the median) instead of inflating one
+// engine's whole timed window.
+struct SpeedupResult {
+  double ratio = 0.0;
+  double base_tok_s = 0.0;
+  double placed_tok_s = 0.0;
+};
+
+SpeedupResult InterleavedSpeedup(ktx::HybridEngine* base_engine,
+                                 const std::vector<int>& base_sessions,
+                                 ktx::HybridEngine* placed_engine,
+                                 const std::vector<int>& placed_sessions,
+                                 const ktx::MoeModelConfig& config, int first_step) {
+  constexpr int kRounds = 9;
+  constexpr int kRoundSteps = 6;
+  std::vector<double> ratios, base_all, placed_all;
+  int step = first_step;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<double> b, p;
+    for (int i = 0; i < kRoundSteps; ++i) {
+      b.push_back(TimedStep(base_engine, config, base_sessions, step + i));
+    }
+    for (int i = 0; i < kRoundSteps; ++i) {
+      p.push_back(TimedStep(placed_engine, config, placed_sessions, step + i));
+    }
+    step += kRoundSteps;
+    ratios.push_back(MedianOf(b) / MedianOf(p));
+    base_all.insert(base_all.end(), b.begin(), b.end());
+    placed_all.insert(placed_all.end(), p.begin(), p.end());
+  }
+  SpeedupResult r;
+  r.ratio = MedianOf(ratios);
+  r.base_tok_s = static_cast<double>(kSessions) / MedianOf(base_all);
+  r.placed_tok_s = static_cast<double>(kSessions) / MedianOf(placed_all);
+  return r;
+}
+
+ktx::EngineOptions BaseOptions() {
+  ktx::EngineOptions options;
+  options.cpu_weight_dtype = ktx::DType::kF32;
+  return options;
+}
+
+ktx::EngineOptions PlacedOptions(const ktx::MoeModelConfig& config, ktx::DType hot,
+                                 ktx::DType cold) {
+  ktx::EngineOptions options = BaseOptions();
+  options.placement.enabled = true;
+  options.placement.capacity = config.num_moe_layers() * config.num_experts / 4;  // 25%
+  options.placement.hot_dtype = hot;
+  options.placement.cold_dtype = cold;
+  options.placement.update_interval = 2;
+  return options;
+}
+
+}  // namespace
+
+int main() {
+  const ktx::MoeModelConfig config = BenchConfig();
+  const int capacity = config.num_moe_layers() * config.num_experts / 4;
+  std::printf("=== Hotness-aware expert placement: Zipf vs uniform routing ===\n");
+  std::printf("fixture: %d MoE layers x %d experts, hidden %lld, inter %lld, top-%d, "
+              "cache capacity %d (25%%), %d sessions\n\n",
+              config.num_moe_layers(), config.num_experts,
+              static_cast<long long>(config.hidden),
+              static_cast<long long>(config.moe_inter), config.top_k, capacity, kSessions);
+
+  ktx::ModelWeights zipf_w = ktx::ModelWeights::Generate(config, 2024);
+  ApplyZipfBias(&zipf_w, config);
+  auto zipf = std::make_shared<const ktx::ModelWeights>(std::move(zipf_w));
+  ktx::ModelWeights uniform_w = ktx::ModelWeights::Generate(config, 2024);
+  ApplyUniformBias(&uniform_w, config);
+  auto uniform = std::make_shared<const ktx::ModelWeights>(std::move(uniform_w));
+
+  // All-CPU f32 baseline and the deployed config (i8 hot + i4 cold), both
+  // on the Zipf-skewed weights with identical teacher-forced streams. Both
+  // engines stay live so the speedup can be measured with interleaved step
+  // blocks afterwards.
+  ktx::HybridEngine base_engine(config, zipf, BaseOptions());
+  RunResult base = Run(&base_engine, config);
+  ktx::HybridEngine placed_engine(
+      config, zipf, PlacedOptions(config, ktx::DType::kI8, ktx::DType::kI4));
+  RunResult placed = Run(&placed_engine, config);
+  const SpeedupResult speedup =
+      InterleavedSpeedup(&base_engine, base.sessions, &placed_engine, placed.sessions,
+                         config, kWarmupSteps + kTimedSteps);
+  // Same placed config under uniform routing: the skew, not the cache size,
+  // is what buys the hit rate.
+  RunResult uniform_placed;
+  {
+    ktx::HybridEngine engine(config, uniform,
+                             PlacedOptions(config, ktx::DType::kI8, ktx::DType::kI4));
+    uniform_placed = Run(&engine, config);
+  }
+  // Bit-identity config: hot = cold = cpu dtype (f32) must reproduce the
+  // baseline bit for bit while the cache serves.
+  double ident_max_diff = 0.0;
+  std::int64_t ident_hits = 0;
+  {
+    ktx::HybridEngine engine(config, zipf,
+                             PlacedOptions(config, ktx::DType::kF32, ktx::DType::kF32));
+    const RunResult ident = Run(&engine, config);
+    ident_max_diff = ktx::MaxAbsDiff(ident.logits0, base.logits0);
+    ident_hits = ident.cache.hits;
+  }
+
+  const double ratio = speedup.ratio;
+  const double zipf_hit = placed.cache.hit_rate();
+  const double uniform_hit = uniform_placed.cache.hit_rate();
+  const ktx_bench::Fidelity fid = ktx_bench::Compare(base.logits0, placed.logits0);
+
+  std::printf("%-28s %12s %10s %12s\n", "config", "tok/s", "hit rate", "vGPU KiB");
+  std::printf("%-28s %12.2f %10s %12s\n", "all-CPU f32 baseline", speedup.base_tok_s,
+              "-", "-");
+  std::printf("%-28s %12.2f %9.1f%% %12.1f\n", "i8 hot + i4 cold (zipf)",
+              speedup.placed_tok_s, zipf_hit * 100.0,
+              static_cast<double>(placed.cache.hot_bytes) / 1024.0);
+  std::printf("%-28s %12.2f %9.1f%% %12.1f\n", "i8 hot + i4 cold (unif)",
+              uniform_placed.tokens_per_second, uniform_hit * 100.0,
+              static_cast<double>(uniform_placed.cache.hot_bytes) / 1024.0);
+  std::printf("\nspeedup %.2fx | promotions %lld demotions %lld | cold bytes avoided "
+              "%.1f MiB\n",
+              ratio, static_cast<long long>(placed.cache.promotions),
+              static_cast<long long>(placed.cache.demotions),
+              static_cast<double>(placed.cache.cold_bytes_saved) / (1024.0 * 1024.0));
+  std::printf("quantized fidelity vs f32: rel err %.4f, top-1 %.1f%%, confident %.1f%%, "
+              "KL %.5f\n",
+              fid.rel_error, fid.top1_agreement, fid.confident_agreement, fid.mean_kl);
+  std::printf("f32 hot-path bit-identity: max |diff| %.1e (cache hits %lld)\n",
+              ident_max_diff, static_cast<long long>(ident_hits));
+
+  const bool gate_speedup = ratio >= 1.5;
+  const bool gate_hit = zipf_hit > 0.5;
+  const bool gate_fidelity = fid.rel_error < 0.15;
+  const bool gate_identity = ident_max_diff == 0.0 && ident_hits > 0;
+
+  std::FILE* f = std::fopen("BENCH_expert_cache.json", "w");
+  if (f != nullptr) {
+    std::fprintf(
+        f,
+        "{\n  \"fixture\": {\"moe_layers\": %d, \"experts_per_layer\": %d, "
+        "\"hidden\": %lld, \"inter\": %lld, \"top_k\": %d, \"capacity\": %d,\n"
+        "              \"sessions\": %d, \"warmup_steps\": %d, \"timed_steps\": %d, "
+        "\"skew\": \"zipf selection bias 0.8/(1+rank)^0.7\"},\n",
+        config.num_moe_layers(), config.num_experts, static_cast<long long>(config.hidden),
+        static_cast<long long>(config.moe_inter), config.top_k, capacity, kSessions,
+        kWarmupSteps, kTimedSteps);
+    std::fprintf(f,
+                 "  \"baseline_f32_tok_s\": %.3f,\n"
+                 "  \"placed_i8_i4_tok_s\": %.3f,\n"
+                 "  \"speedup\": %.4f,\n"
+                 "  \"zipf_hit_rate\": %.4f,\n"
+                 "  \"uniform_hit_rate\": %.4f,\n"
+                 "  \"promotions\": %lld,\n  \"demotions\": %lld,\n"
+                 "  \"hot_bytes\": %lld,\n  \"cold_bytes_saved\": %lld,\n",
+                 speedup.base_tok_s, speedup.placed_tok_s, ratio, zipf_hit,
+                 uniform_hit, static_cast<long long>(placed.cache.promotions),
+                 static_cast<long long>(placed.cache.demotions),
+                 static_cast<long long>(placed.cache.hot_bytes),
+                 static_cast<long long>(placed.cache.cold_bytes_saved));
+    std::fprintf(f,
+                 "  \"quantized_rel_error\": %.6f,\n"
+                 "  \"quantized_confident_agreement\": %.2f,\n"
+                 "  \"f32_hot_path_max_abs_diff\": %.9g,\n"
+                 "  \"f32_hot_path_hits\": %lld,\n"
+                 "  \"gates\": {\"speedup_ge_1.5\": %s, \"zipf_hit_gt_0.5\": %s, "
+                 "\"rel_error_lt_0.15\": %s, \"bit_identical\": %s}\n}\n",
+                 fid.rel_error, fid.confident_agreement, ident_max_diff,
+                 static_cast<long long>(ident_hits), gate_speedup ? "true" : "false",
+                 gate_hit ? "true" : "false", gate_fidelity ? "true" : "false",
+                 gate_identity ? "true" : "false");
+    std::fclose(f);
+  }
+
+  if (!gate_speedup || !gate_hit || !gate_fidelity || !gate_identity) {
+    std::printf("\nGATE FAILURE: speedup>=1.5 %d, zipf hit>0.5 %d, rel_err<0.15 %d, "
+                "bit-identical %d\n",
+                gate_speedup, gate_hit, gate_fidelity, gate_identity);
+    return 1;
+  }
+  std::printf("\nall gates pass\n");
+  return 0;
+}

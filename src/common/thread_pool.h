@@ -42,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/align.h"
 #include "src/common/status.h"
 
 namespace ktx {
@@ -116,13 +117,25 @@ class ThreadPool {
   bool stop_ = false;
 
   // ParallelRun slot; see the protocol note at the top of the file.
+  //
+  // Cache-line layout matters here: `run_cursor_` takes a CAS from every
+  // worker on every chunk claim, and `run_done_` takes a fetch_add from every
+  // worker on every chunk retire while the caller spins reading it. When the
+  // two shared the line with each other (and with the read-mostly descriptor
+  // fields), each retire invalidated every in-flight claim and each claim
+  // stalled the caller's completion spin — visible as a mid-size-n dispatch
+  // cliff in BENCH_moe_hotpath.json (n=256 cost ~2.3x n=64/n=1024, where the
+  // claim and retire rates peak together). Each contended word gets a private
+  // line; the descriptor fields (written once per run, read-only during it)
+  // share a third.
   std::mutex run_mu_;  // serializes ParallelRun callers only
-  std::atomic<std::uint64_t> run_cursor_{0};
-  std::atomic<RunFn> run_fn_{nullptr};
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> run_cursor_{0};
+  alignas(kCacheLineBytes) std::atomic<std::size_t> run_done_{0};
+  alignas(kCacheLineBytes) std::atomic<RunFn> run_fn_{nullptr};
   std::atomic<void*> run_ctx_{nullptr};
   std::atomic<std::size_t> run_n_{0};
   std::atomic<std::size_t> run_chunk_{1};
-  std::atomic<std::size_t> run_done_{0};
+  char run_pad_[kCacheLineBytes];  // keeps fault_mu_ off the descriptor line
 
   // Injected-fault latch (see InjectFault).
   mutable std::mutex fault_mu_;

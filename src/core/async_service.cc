@@ -44,7 +44,8 @@ void AsyncMoeService::ControlLoop() {
     MoeRequest* r = *request;
     if (r->slot_end > r->slot_begin) {
       MoeStats local;
-      moe_->Forward(r->x, r->tokens, *r->routing, r->slot_begin, r->slot_end, r->y, &local);
+      moe_->Forward(r->x, r->tokens, *r->routing, r->slot_begin, r->slot_end, r->y, &local,
+                    r->hot);
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.requests;
@@ -54,6 +55,8 @@ void AsyncMoeService::ControlLoop() {
         stats_.amx_calls += local.amx_calls;
         stats_.avx512_calls += local.avx512_calls;
         stats_.useful_flops += local.useful_flops;
+        stats_.hot_rows += local.hot_rows;
+        stats_.cold_rows += local.cold_rows;
         stats_.max_tokens_per_expert =
             std::max(stats_.max_tokens_per_expert, local.max_tokens_per_expert);
       }

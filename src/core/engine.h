@@ -41,6 +41,7 @@
 
 #include "src/common/status.h"
 #include "src/core/async_service.h"
+#include "src/core/expert_cache.h"
 #include "src/core/profiling.h"
 #include "src/gpu/vcuda.h"
 #include "src/model/gating.h"
@@ -109,6 +110,14 @@ struct EngineOptions {
   // MoE layer's routing decisions are recorded — the offline-profiling hook
   // for popularity-based placement. Must outlive the engine.
   ExpertProfiler* profiler = nullptr;
+  // Hotness-aware expert placement (core/expert_cache.h). When enabled, the
+  // CPU cold table is packed at placement.cold_dtype (default kI4: the fused
+  // dequantize-into-GEMM path streams ~4x fewer bytes than f32) and the
+  // hottest experts are served from a vGPU-resident cache at
+  // placement.hot_dtype (default cpu_weight_dtype, which keeps the hot path
+  // bit-identical to the unplaced baseline). Decode-path only; promotions
+  // run asynchronously and never block a step.
+  ExpertPlacementOptions placement;
 };
 
 struct EngineCounters {
@@ -308,6 +317,11 @@ class HybridEngine {
   std::int64_t position() const { return position(0); }
   std::int64_t position(int session) const;
   MoeStats moe_stats() const { return service_->stats_snapshot(); }
+  // Expert placement cache (null when options.placement is disabled).
+  const ExpertPlacementManager* expert_cache() const { return placement_.get(); }
+  ExpertPlacementManager* expert_cache() { return placement_.get(); }
+  // Zero stats when placement is disabled.
+  ExpertCacheStats expert_cache_stats() const;
 
  private:
   struct DecodeBuffers;
@@ -352,6 +366,9 @@ class HybridEngine {
   std::unique_ptr<ThreadPool> pool_;
   std::shared_ptr<const NumaMoe> numa_moe_;
   std::unique_ptr<AsyncMoeService> service_;
+  // Hot-expert cache; null unless options.placement.enabled. Declared after
+  // devices_/streams_ so its transfer stream drains before the device dies.
+  std::unique_ptr<ExpertPlacementManager> placement_;
 
   std::unique_ptr<KvBlockPool> kv_pool_;  // null = contiguous per-session caches
   std::vector<std::unique_ptr<KvCache>> sessions_;

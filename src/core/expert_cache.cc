@@ -1,0 +1,282 @@
+#include "src/core/expert_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/cpu/activation.h"
+
+namespace ktx {
+
+ExpertPlacementManager::ExpertPlacementManager(const std::vector<Tensor>& gate,
+                                               const std::vector<Tensor>& up,
+                                               const std::vector<Tensor>& down, DType hot_dtype,
+                                               DType cold_dtype, NumaMode mode, int shards,
+                                               MoeOptions moe, VDevice* device,
+                                               ExpertPlacementOptions options)
+    : moe_(moe), options_(options), device_(device) {
+  KTX_CHECK(device_ != nullptr);
+  KTX_CHECK(!gate.empty());
+  num_experts_ = static_cast<int>(gate.size());
+  options_.capacity = std::min(options_.capacity, num_experts_);
+  KTX_CHECK_GE(options_.capacity, 1) << "expert cache needs capacity >= 1";
+  KTX_CHECK_GE(options_.update_interval, 1);
+  hidden_ = gate[0].dim(1);
+  const std::int64_t inter = gate[0].dim(0);
+  if (mode == NumaMode::kTensorParallel) {
+    auto tp = TpExperts::Build(gate, up, down, hot_dtype, shards);
+    KTX_CHECK(tp.ok()) << tp.status().ToString();
+    hot_tp_ = std::make_shared<const TpExperts>(std::move(*tp));
+    planes_ = shards;
+    inter_per_plane_ = hot_tp_->inter_per_shard();
+  } else {
+    auto flat = PackedExperts::Pack(gate, up, down, hot_dtype);
+    KTX_CHECK(flat.ok()) << flat.status().ToString();
+    hot_flat_ = std::make_shared<const PackedExperts>(std::move(*flat));
+    planes_ = 1;
+    inter_per_plane_ = hot_flat_->inter();
+  }
+  // What one cold expert's FFN streams from DRAM: gate + up + down payloads
+  // at the cold dtype (a hit saves exactly this; scales are noise).
+  cold_expert_bytes_ = static_cast<std::int64_t>(
+      DTypeBytes(cold_dtype, static_cast<std::size_t>(3 * inter * hidden_)));
+  const PackedExpert& w0 = hot_expert(0, 0);
+  scratch_bytes_ = std::max(
+      {GemmScratchBytes(w0.gate), GemmScratchBytes(w0.up), GemmScratchBytes(w0.down)});
+
+  state_ = std::vector<std::atomic<std::uint8_t>>(static_cast<std::size_t>(num_experts_));
+  window_counts_ =
+      std::vector<std::atomic<std::int64_t>>(static_cast<std::size_t>(num_experts_));
+  total_counts_ =
+      std::vector<std::atomic<std::int64_t>>(static_cast<std::size_t>(num_experts_));
+  ema_.assign(static_cast<std::size_t>(num_experts_), 0.0);
+  dev_ptr_.assign(static_cast<std::size_t>(num_experts_), nullptr);
+  transfer_stream_ = std::make_unique<VStream>(device_);
+}
+
+ExpertPlacementManager::~ExpertPlacementManager() {
+  // Drain in-flight promotion callbacks, then release the cache's VRAM.
+  transfer_stream_->Synchronize();
+  for (int e : resident_) {
+    device_->Free(dev_ptr_[static_cast<std::size_t>(e)]);
+  }
+}
+
+const PackedExpert& ExpertPlacementManager::hot_expert(int plane, int e) const {
+  return hot_tp_ != nullptr ? hot_tp_->shard(plane).expert(e) : hot_flat_->expert(e);
+}
+
+std::int64_t ExpertPlacementManager::expert_hot_bytes(int e) const {
+  std::int64_t bytes = 0;
+  for (int p = 0; p < planes_; ++p) {
+    const PackedExpert& w = hot_expert(p, e);
+    bytes += static_cast<std::int64_t>(w.gate.payload_bytes() + w.up.payload_bytes() +
+                                       w.down.payload_bytes());
+  }
+  return bytes;
+}
+
+void ExpertPlacementManager::Reserve(std::int64_t max_tokens, int top_k) {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  slots_.reserve(static_cast<std::size_t>(max_tokens * top_k));
+  xg_.resize(static_cast<std::size_t>(max_tokens * hidden_));
+  gate_.resize(static_cast<std::size_t>(max_tokens * inter_per_plane_));
+  up_.resize(static_cast<std::size_t>(max_tokens * inter_per_plane_));
+  act_.resize(static_cast<std::size_t>(max_tokens * inter_per_plane_));
+  dn_.resize(static_cast<std::size_t>(max_tokens * hidden_));
+}
+
+void ExpertPlacementManager::Record(const MoeRouting& routing) {
+  for (int id : routing.expert_ids) {
+    window_counts_[static_cast<std::size_t>(id)].fetch_add(1, std::memory_order_relaxed);
+    total_counts_[static_cast<std::size_t>(id)].fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+int ExpertPlacementManager::ServeHot(const float* x, std::int64_t tokens,
+                                     const MoeRouting& routing, int slot_begin, int slot_end,
+                                     std::uint8_t* served, float* rows,
+                                     std::int64_t shard_stride) {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  const int top_k = routing.top_k;
+  slots_.clear();
+  std::int64_t looked = 0;
+  for (std::int64_t t = 0; t < tokens; ++t) {
+    for (int s = slot_begin; s < slot_end; ++s) {
+      const std::int64_t slot = t * top_k + s;
+      const int id = routing.expert_ids[static_cast<std::size_t>(slot)];
+      ++looked;
+      // The fallback rule: only kReady serves. kLoading (transfer in flight)
+      // falls through to the CPU expert path — a decode step never blocks on
+      // a promotion.
+      if (state_[static_cast<std::size_t>(id)].load(std::memory_order_acquire) == kReady) {
+        served[slot] = 1;
+        slots_.emplace_back(id, static_cast<std::int32_t>(slot));
+      }
+    }
+  }
+  lookups_.fetch_add(looked, std::memory_order_relaxed);
+  if (slots_.empty()) {
+    return 0;
+  }
+  // Group served slots by expert, preserving ascending-token order within a
+  // group — the same per-window grouping the CPU operator builds, so the
+  // ARI kernel-kind selection sees the same tokens-per-expert.
+  std::stable_sort(slots_.begin(), slots_.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (xg_.size() < static_cast<std::size_t>(tokens * hidden_)) {
+    xg_.resize(static_cast<std::size_t>(tokens * hidden_));
+    gate_.resize(static_cast<std::size_t>(tokens * inter_per_plane_));
+    up_.resize(static_cast<std::size_t>(tokens * inter_per_plane_));
+    act_.resize(static_cast<std::size_t>(tokens * inter_per_plane_));
+    dn_.resize(static_cast<std::size_t>(tokens * hidden_));
+  }
+  std::int64_t saved = 0;
+  std::size_t i = 0;
+  while (i < slots_.size()) {
+    const int e = slots_[i].first;
+    std::size_t j = i;
+    while (j < slots_.size() && slots_[j].first == e) {
+      ++j;
+    }
+    const auto te = static_cast<std::int64_t>(j - i);
+    for (std::size_t r = i; r < j; ++r) {
+      const std::int64_t t = slots_[r].second / top_k;
+      std::memcpy(xg_.data() + static_cast<std::int64_t>(r - i) * hidden_, x + t * hidden_,
+                  static_cast<std::size_t>(hidden_) * sizeof(float));
+    }
+    GemmOptions opts;
+    opts.kind = moe_.force_kind.value_or(SelectKernel(te, moe_.ari_threshold));
+    opts.impl = moe_.impl;
+    opts.scratch = GemmThreadScratch(scratch_bytes_);
+    opts.scratch_bytes = scratch_bytes_;
+    for (int p = 0; p < planes_; ++p) {
+      const PackedExpert& w = hot_expert(p, e);
+      GemmPacked(xg_.data(), te, hidden_, w.gate, gate_.data(), inter_per_plane_, opts);
+      GemmPacked(xg_.data(), te, hidden_, w.up, up_.data(), inter_per_plane_, opts);
+      SiluMul(gate_.data(), up_.data(), act_.data(), te * inter_per_plane_);
+      GemmPacked(act_.data(), te, inter_per_plane_, w.down, dn_.data(), hidden_, opts);
+      float* plane_rows = rows + static_cast<std::int64_t>(p) * shard_stride;
+      for (std::size_t r = i; r < j; ++r) {
+        std::memcpy(plane_rows + static_cast<std::int64_t>(slots_[r].second) * hidden_,
+                    dn_.data() + static_cast<std::int64_t>(r - i) * hidden_,
+                    static_cast<std::size_t>(hidden_) * sizeof(float));
+      }
+    }
+    saved += cold_expert_bytes_;  // the cold path streams weights once per group
+    i = j;
+  }
+  hits_.fetch_add(static_cast<std::int64_t>(slots_.size()), std::memory_order_relaxed);
+  cold_bytes_saved_.fetch_add(saved, std::memory_order_relaxed);
+  return static_cast<int>(slots_.size());
+}
+
+void ExpertPlacementManager::Promote(int e) {
+  const auto ei = static_cast<std::size_t>(e);
+  state_[ei].store(kLoading, std::memory_order_relaxed);
+  const std::int64_t bytes = expert_hot_bytes(e);
+  dev_ptr_[ei] = device_->Malloc(static_cast<std::size_t>(bytes));
+  hot_bytes_ += bytes;
+  resident_.push_back(e);
+  ++promotions_;
+  // The vGPU is host-backed, so the packed staging built at construction IS
+  // the cache's readable copy; the async memcpy models the PCIe transfer
+  // (bytes charged to the device) and its stream-ordered completion callback
+  // is what publishes kReady. Decode steps overlap the whole thing.
+  transfer_stream_->MemcpyAsync([] {}, bytes, MemcpyDir::kHostToDevice);
+  std::atomic<std::uint8_t>* st = &state_[ei];
+  transfer_stream_->LaunchHostFunc([st] { st->store(kReady, std::memory_order_release); });
+}
+
+void ExpertPlacementManager::Demote(std::size_t resident_index) {
+  const int e = resident_[resident_index];
+  const auto ei = static_cast<std::size_t>(e);
+  state_[ei].store(kCold, std::memory_order_release);
+  device_->Free(dev_ptr_[ei]);
+  dev_ptr_[ei] = nullptr;
+  hot_bytes_ -= expert_hot_bytes(e);
+  resident_[resident_index] = resident_.back();
+  resident_.pop_back();
+  ++demotions_;
+}
+
+void ExpertPlacementManager::MaybeRebalance() {
+  if (++step_ % options_.update_interval != 0) {
+    return;
+  }
+  Rebalance();
+}
+
+void ExpertPlacementManager::Rebalance() {
+  const double alpha = options_.ema_alpha;
+  for (std::size_t e = 0; e < ema_.size(); ++e) {
+    const std::int64_t cnt = window_counts_[e].exchange(0, std::memory_order_relaxed);
+    ema_[e] = (1.0 - alpha) * ema_[e] + alpha * static_cast<double>(cnt);
+  }
+  // Challengers: cold experts by descending EMA.
+  std::vector<std::pair<double, int>> cand;
+  for (int e = 0; e < num_experts_; ++e) {
+    if (state_[static_cast<std::size_t>(e)].load(std::memory_order_acquire) == kCold &&
+        ema_[static_cast<std::size_t>(e)] > 0.0) {
+      cand.emplace_back(ema_[static_cast<std::size_t>(e)], e);
+    }
+  }
+  std::sort(cand.begin(), cand.end(), [](const auto& a, const auto& b) {
+    return a.first > b.first || (a.first == b.first && a.second < b.second);
+  });
+  std::size_t ci = 0;
+  // Free capacity promotes unconditionally (hottest first).
+  while (static_cast<int>(resident_.size()) < options_.capacity && ci < cand.size()) {
+    Promote(cand[ci++].second);
+  }
+  // Hysteresis-gated swaps: a challenger must clearly beat the weakest
+  // *ready* incumbent (kLoading incumbents are brand-new promotions; leave
+  // them to finish). Bounded by capacity swaps per rebalance.
+  int swaps = 0;
+  while (ci < cand.size() && swaps < options_.capacity) {
+    std::size_t weakest = resident_.size();
+    for (std::size_t r = 0; r < resident_.size(); ++r) {
+      const auto e = static_cast<std::size_t>(resident_[r]);
+      if (state_[e].load(std::memory_order_acquire) != kReady) {
+        continue;
+      }
+      if (weakest == resident_.size() ||
+          ema_[e] < ema_[static_cast<std::size_t>(resident_[weakest])]) {
+        weakest = r;
+      }
+    }
+    if (weakest == resident_.size()) {
+      break;  // every incumbent is still loading
+    }
+    const double incumbent = ema_[static_cast<std::size_t>(resident_[weakest])];
+    if (cand[ci].first <= incumbent * options_.hysteresis + 1e-12) {
+      break;  // ranked list: no later challenger can qualify either
+    }
+    Demote(weakest);
+    Promote(cand[ci++].second);
+    ++swaps;
+  }
+}
+
+bool ExpertPlacementManager::resident(int e) const {
+  return state_[static_cast<std::size_t>(e)].load(std::memory_order_acquire) == kReady;
+}
+
+std::int64_t ExpertPlacementManager::activation_count(int e) const {
+  return total_counts_[static_cast<std::size_t>(e)].load(std::memory_order_relaxed);
+}
+
+ExpertCacheStats ExpertPlacementManager::stats() const {
+  ExpertCacheStats s;
+  s.lookups = lookups_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.cold_bytes_saved = cold_bytes_saved_.load(std::memory_order_relaxed);
+  s.promotions = promotions_;
+  s.demotions = demotions_;
+  s.resident = static_cast<int>(resident_.size());
+  s.capacity = options_.capacity;
+  s.hot_bytes = hot_bytes_;
+  return s;
+}
+
+}  // namespace ktx

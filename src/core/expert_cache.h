@@ -1,0 +1,209 @@
+// Hotness-aware expert placement: vGPU-resident hot-expert cache.
+//
+// The paper places the *shared* experts on the GPU because they are the most
+// frequently used, and notes (§1) that for models without shared experts
+// "popular experts can still be identified via offline profiling". This
+// module closes that loop **online**: the ExpertPlacementManager accumulates
+// per-(layer, expert) popularity from the routing decisions of every MoE
+// layer, keeps the hottest experts resident in a capacity-bounded vGPU cache,
+// and serves their FFNs from the cache so the CPU path never streams those
+// experts' weights. Cold experts stay CPU-side — typically in the 4-bit
+// group-quantized packed format — so the bytes the DRAM-bandwidth-bound
+// decode path must stream shrink on both sides of the split.
+//
+// Promotion protocol (asynchronous, never blocks a decode step):
+//
+//   kCold --(engine thread: rebalance picks a challenger)--> kLoading
+//       Malloc on the vGPU + MemcpyAsync on a dedicated transfer stream;
+//       the copy overlaps subsequent decode steps.
+//   kLoading --(transfer-stream callback, release store)--> kReady
+//   kReady --(engine thread: rebalance demotes, release store)--> kCold
+//
+// The fallback rule: ServeHot serves a routed slot from the cache only when
+// an acquire load observes kReady. A layer that races an in-flight promotion
+// simply runs that expert on the CPU for that step — it never waits. The
+// engine thread only rebalances between decode steps (after SyncAllStreams),
+// so residency is constant within a step: an expert is wholly hot or wholly
+// cold for every slot of a batch.
+//
+// Bit-identity: hot-expert FFNs replicate the CPU operator's exact compute —
+// same packed-weight dtype (when hot_dtype == the CPU table's dtype), same
+// per-window expert grouping, same ARI kernel-kind selection, same
+// tensor-parallel sharding (each shard plane holds that shard's *partial*
+// down projection, reduced in routing-slot order like any staged cold row) —
+// so enabling the cache with hot_dtype == cold_dtype == the baseline weight
+// dtype changes no output bit (tests assert this for f32).
+
+#ifndef KTX_SRC_CORE_EXPERT_CACHE_H_
+#define KTX_SRC_CORE_EXPERT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "src/cpu/moe_cpu.h"
+#include "src/gpu/vcuda.h"
+#include "src/numa/tensor_parallel.h"
+
+namespace ktx {
+
+struct ExpertPlacementOptions {
+  bool enabled = false;
+  // Hot-cache capacity in experts (global: layers * experts_per_layer space).
+  int capacity = 0;
+  // vGPU-resident weight precision. Unset = the engine's cpu_weight_dtype,
+  // which makes the hot path bit-identical to the unplaced baseline.
+  std::optional<DType> hot_dtype;
+  // CPU-side precision for the cold experts (kI4 = the paper's 4-bit
+  // group-quantized format; the fused dequantize-into-GEMM path reads ~4x
+  // fewer weight bytes than f32).
+  DType cold_dtype = DType::kI4;
+  // EMA smoothing applied to each expert's activation count once per update
+  // window: ema = (1 - alpha) * ema + alpha * window_count.
+  double ema_alpha = 0.3;
+  // Decode steps between rebalances (promotion/demotion decisions).
+  int update_interval = 16;
+  // A challenger must beat the weakest resident's EMA by this factor to
+  // trigger a swap — damping churn under near-uniform routing.
+  double hysteresis = 1.1;
+};
+
+struct ExpertCacheStats {
+  std::int64_t lookups = 0;     // routed slots consulted
+  std::int64_t hits = 0;        // slots served from the vGPU-resident cache
+  std::int64_t promotions = 0;  // kCold -> kLoading transitions issued
+  std::int64_t demotions = 0;   // kReady -> kCold transitions
+  int resident = 0;             // experts currently holding a cache slot
+  int capacity = 0;
+  std::int64_t hot_bytes = 0;         // vGPU bytes held by resident experts
+  std::int64_t cold_bytes_saved = 0;  // CPU weight bytes hits did NOT stream
+
+  double hit_rate() const {
+    return lookups > 0 ? static_cast<double>(hits) / static_cast<double>(lookups) : 0.0;
+  }
+};
+
+class ExpertPlacementManager {
+ public:
+  // gate/up/down: one entry per GLOBAL expert (all MoE layers concatenated in
+  // the engine's expert_base order), the same vectors the CPU cold table is
+  // packed from. The manager pre-packs every expert at `hot_dtype` — sharded
+  // exactly like TpExperts when mode == kTensorParallel — as host staging;
+  // promotion then moves an expert into vGPU memory (Malloc + async copy)
+  // without touching the pack. `device` provides the VRAM accounting and the
+  // transfer stream's executor; `moe` must be the options the CPU operator
+  // runs with (kernel-kind parity). Both must outlive the manager.
+  ExpertPlacementManager(const std::vector<Tensor>& gate, const std::vector<Tensor>& up,
+                         const std::vector<Tensor>& down, DType hot_dtype, DType cold_dtype,
+                         NumaMode mode, int shards, MoeOptions moe, VDevice* device,
+                         ExpertPlacementOptions options);
+  ~ExpertPlacementManager();
+
+  ExpertPlacementManager(const ExpertPlacementManager&) = delete;
+  ExpertPlacementManager& operator=(const ExpertPlacementManager&) = delete;
+
+  // Hot-row planes a DecodeBuffers must provide (TP shard count, else 1).
+  int planes() const { return planes_; }
+  int num_experts() const { return num_experts_; }
+
+  // Pre-sizes the ServeHot scratch for batches of up to `max_tokens` rows so
+  // steady-state decode performs no heap allocations here.
+  void Reserve(std::int64_t max_tokens, int top_k);
+
+  // Accumulates routing popularity (expert ids in GLOBAL space). Thread-safe
+  // (relaxed atomics); called from the stream worker's submit callback.
+  void Record(const MoeRouting& routing);
+
+  // Serves routed slots [slot_begin, slot_end) x [0, tokens) whose expert is
+  // kReady: sets served[t * top_k + s] = 1 and writes the unweighted expert
+  // FFN output (per shard plane, the shard's partial down projection) to
+  // rows + plane * shard_stride + (t * top_k + s) * hidden. Never blocks on
+  // an in-flight promotion (kLoading slots fall through to the CPU path).
+  // Call once per request window so the per-window expert grouping — and
+  // therefore the ARI kernel-kind choice — matches the CPU operator's.
+  // Returns the number of slots served. Serialized internally; `served` must
+  // be zeroed by the caller before the first window of a layer.
+  int ServeHot(const float* x, std::int64_t tokens, const MoeRouting& routing, int slot_begin,
+               int slot_end, std::uint8_t* served, float* rows, std::int64_t shard_stride);
+
+  // Engine-thread only, once per decode step, with no forward work in flight:
+  // every `update_interval` calls drains the window counts into the EMA and
+  // issues promotions/demotions.
+  void MaybeRebalance();
+  // The rebalance body, callable directly (tests / warm start).
+  void Rebalance();
+
+  // Blocks until every issued promotion has published kReady. Tests and
+  // benchmarks use this to make residency deterministic; the engine never
+  // calls it on the decode path (the fallback rule covers the race).
+  void SyncTransfers() { transfer_stream_->Synchronize(); }
+
+  // True once `e`'s transfer has completed (state kReady). Tests.
+  bool resident(int e) const;
+  // Cumulative activation count of global expert `e` (satellite telemetry).
+  std::int64_t activation_count(int e) const;
+
+  // Call from the engine thread (promotion/demotion fields are not atomic).
+  ExpertCacheStats stats() const;
+
+ private:
+  // Promotion/demotion state machine. Writers never overlap per expert: the
+  // engine thread owns kCold->kLoading and kReady->kCold, the transfer
+  // stream's callback owns kLoading->kReady, and the engine does not touch a
+  // kLoading expert again until it observes kReady.
+  enum : std::uint8_t { kCold = 0, kLoading = 1, kReady = 2 };
+
+  const PackedExpert& hot_expert(int plane, int e) const;
+  std::int64_t expert_hot_bytes(int e) const;
+  void Promote(int e);
+  void Demote(std::size_t resident_index);
+
+  MoeOptions moe_;
+  ExpertPlacementOptions options_;
+  VDevice* device_;
+  int num_experts_ = 0;
+  int planes_ = 1;
+  std::int64_t hidden_ = 0;
+  std::int64_t inter_per_plane_ = 0;
+  std::int64_t cold_expert_bytes_ = 0;  // logical bytes one cold expert streams
+  std::size_t scratch_bytes_ = 0;
+
+  // Host staging: every global expert packed at hot_dtype, per shard plane.
+  std::shared_ptr<const TpExperts> hot_tp_;        // TP mode
+  std::shared_ptr<const PackedExperts> hot_flat_;  // other modes
+
+  std::vector<std::atomic<std::uint8_t>> state_;       // [num_experts]
+  std::vector<std::atomic<std::int64_t>> window_counts_;  // drained each rebalance
+  std::vector<std::atomic<std::int64_t>> total_counts_;   // cumulative telemetry
+  std::vector<double> ema_;       // engine thread only
+  std::vector<void*> dev_ptr_;    // engine thread only, non-null while resident
+  std::vector<int> resident_;     // engine thread only (includes kLoading)
+
+  std::atomic<std::int64_t> lookups_{0};
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> cold_bytes_saved_{0};
+  std::int64_t promotions_ = 0;  // engine thread only
+  std::int64_t demotions_ = 0;
+  std::int64_t hot_bytes_ = 0;
+  std::int64_t step_ = 0;
+
+  // ServeHot scratch (stream-worker side), serialized by serve_mu_.
+  std::mutex serve_mu_;
+  std::vector<std::pair<int, std::int32_t>> slots_;  // (expert, absolute slot)
+  std::vector<float> xg_;    // gathered token rows [rows, hidden]
+  std::vector<float> gate_;  // [rows, inter_per_plane]
+  std::vector<float> up_;
+  std::vector<float> act_;
+  std::vector<float> dn_;    // [rows, hidden]
+
+  // Declared last: destroyed first, draining in-flight promotion callbacks
+  // before the state they touch goes away.
+  std::unique_ptr<VStream> transfer_stream_;
+};
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_CORE_EXPERT_CACHE_H_

@@ -37,6 +37,16 @@ void NativeAvx2GemmInt8(const float*, std::int64_t, std::int64_t, const PackedMa
   KTX_LOG(Fatal) << "native AVX2 kernel called but the build disabled native SIMD";
 }
 
+void NativeAvx512GemmF32(const float*, std::int64_t, std::int64_t, const PackedMatrix&, float*,
+                         std::int64_t, bool, std::int64_t, std::int64_t, void*, std::size_t) {
+  KTX_LOG(Fatal) << "native AVX-512 kernel called but the build disabled native SIMD";
+}
+
+void NativeAvx2GemmF32(const float*, std::int64_t, std::int64_t, const PackedMatrix&, float*,
+                       std::int64_t, bool, std::int64_t, std::int64_t, void*, std::size_t) {
+  KTX_LOG(Fatal) << "native AVX2 kernel called but the build disabled native SIMD";
+}
+
 #else
 
 namespace {
@@ -72,7 +82,29 @@ void StoreAcc(const float (&acc)[kTileRows][kNBlock], float* y, std::int64_t ldy
   }
 }
 
-__attribute__((target("amx-tile,amx-bf16,amx-int8")))
+// SIMD int4 nibble unpack (the paper's §3.2 "efficient int4 decode"): each
+// packed byte expands to the adjacent (low, high) signed-nibble pair. A 16-bit
+// lane 0x00bb becomes bytes [b & 0xf, (b >> 4) & 0xf] via mask / shift-mask /
+// or, and `(v ^ 8) - 8` sign-extends the 4-bit field — the exact bit patterns
+// UnpackInt4Tile (layout.cc) produces one byte at a time, at 64 weights per
+// iteration instead of 2.
+__attribute__((target("avx512f,avx512bw")))
+void UnpackInt4TileAvx512(const std::uint8_t* packed, TileReg* tile) {
+  const __m512i lo_m = _mm512_set1_epi16(0x000f);
+  const __m512i hi_m = _mm512_set1_epi16(0x0f00);
+  const __m512i k8 = _mm512_set1_epi8(8);
+  for (int p = 0; p < kTileRows; ++p) {
+    const __m256i raw = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(packed + p * (kTileBytesPerRow / 2)));
+    const __m512i w16 = _mm512_cvtepu8_epi16(raw);
+    __m512i nib = _mm512_or_si512(_mm512_and_si512(w16, lo_m),
+                                  _mm512_and_si512(_mm512_slli_epi16(w16, 4), hi_m));
+    nib = _mm512_sub_epi8(_mm512_xor_si512(nib, k8), k8);
+    _mm512_store_si512(tile->data[p], nib);
+  }
+}
+
+__attribute__((target("amx-tile,amx-bf16,amx-int8,avx512f,avx512bw")))
 void AmxGemmImpl(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
                  float* y, std::int64_t ldy, bool accumulate, std::int64_t nb0,
                  std::int64_t nb1, void* scratch, std::size_t scratch_bytes) {
@@ -120,7 +152,7 @@ void AmxGemmImpl(const float* x, std::int64_t m, std::int64_t ldx, const PackedM
           if (w.dtype() == DType::kI8) {
             _tile_loadd(2, w.tile_ptr(nb, kb), kTileBytesPerRow);
           } else {
-            UnpackInt4Tile(w.tile_ptr(nb, kb), &b_unpacked);
+            UnpackInt4TileAvx512(w.tile_ptr(nb, kb), &b_unpacked);
             _tile_loadd(2, b_unpacked.data, kTileBytesPerRow);
           }
           _tile_dpbssd(0, 1, 2);
@@ -192,7 +224,6 @@ void Avx512GemmInt8Impl(const float* x, std::int64_t m, std::int64_t ldx, const 
   ScratchCarver carver = AcquireGemmScratch(scratch, scratch_bytes, GemmScratchBytes(w));
   float* scales = carver.Take<float>(static_cast<std::size_t>(k_blocks));
   std::uint8_t* xu = carver.Take<std::uint8_t>(static_cast<std::size_t>(k_pad));  // q + 128
-  TileReg b_unpacked;
   alignas(64) float wscale[kNBlock];
   alignas(64) std::int32_t wsum[kNBlock];
 
@@ -211,20 +242,38 @@ void Avx512GemmInt8Impl(const float* x, std::int64_t m, std::int64_t ldx, const 
       const std::int64_t n_valid = std::min<std::int64_t>(kNBlock, w.n() - n0);
       __m512 accf = _mm512_setzero_ps();
       for (std::int64_t kb = 0; kb < k_blocks; ++kb) {
-        const std::uint8_t* brow;
-        if (w.dtype() == DType::kI8) {
-          brow = w.tile_ptr(nb, kb);
-        } else {
-          UnpackInt4Tile(w.tile_ptr(nb, kb), &b_unpacked);
-          brow = b_unpacked.data[0];
-        }
         const std::uint8_t* xp = xu + kb * kKBlockInt8;
         __m512i acci = _mm512_setzero_si512();
-        for (int p = 0; p < kTileRows; ++p) {
-          std::uint32_t quad;
-          std::memcpy(&quad, xp + 4 * p, 4);
-          acci = _mm512_dpbusd_epi32(acci, _mm512_set1_epi32(static_cast<int>(quad)),
-                                     _mm512_loadu_si512(brow + p * kTileBytesPerRow));
+        if (w.dtype() == DType::kI8) {
+          const std::uint8_t* brow = w.tile_ptr(nb, kb);
+          for (int p = 0; p < kTileRows; ++p) {
+            std::uint32_t quad;
+            std::memcpy(&quad, xp + 4 * p, 4);
+            acci = _mm512_dpbusd_epi32(acci, _mm512_set1_epi32(static_cast<int>(quad)),
+                                       _mm512_loadu_si512(brow + p * kTileBytesPerRow));
+          }
+        } else {
+          // Fused int4 dequantize-into-GEMM: unpack the 32-byte packed row
+          // straight into a register (same mask/shift/xor-sub sequence as
+          // UnpackInt4TileAvx512) and feed VPDPBUSD directly — no tile
+          // materialization, ~4x fewer weight bytes streamed than bf16, and
+          // integer MACs identical to the scalar unpack.
+          const std::uint8_t* prow = w.tile_ptr(nb, kb);
+          const __m512i lo_m = _mm512_set1_epi16(0x000f);
+          const __m512i hi_m = _mm512_set1_epi16(0x0f00);
+          const __m512i k8 = _mm512_set1_epi8(8);
+          for (int p = 0; p < kTileRows; ++p) {
+            std::uint32_t quad;
+            std::memcpy(&quad, xp + 4 * p, 4);
+            const __m256i raw = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(prow + p * (kTileBytesPerRow / 2)));
+            const __m512i w16 = _mm512_cvtepu8_epi16(raw);
+            __m512i nib = _mm512_or_si512(
+                _mm512_and_si512(w16, lo_m),
+                _mm512_and_si512(_mm512_slli_epi16(w16, 4), hi_m));
+            nib = _mm512_sub_epi8(_mm512_xor_si512(nib, k8), k8);
+            acci = _mm512_dpbusd_epi32(acci, _mm512_set1_epi32(static_cast<int>(quad)), nib);
+          }
         }
         for (std::int64_t j = 0; j < kNBlock; ++j) {
           const std::int64_t nrow = std::min<std::int64_t>(n0 + j, w.n() - 1);
@@ -329,7 +378,9 @@ void Avx2GemmInt8Impl(const float* x, std::int64_t m, std::int64_t ldx, const Pa
   ScratchCarver carver = AcquireGemmScratch(scratch, scratch_bytes, GemmScratchBytes(w));
   float* scales = carver.Take<float>(static_cast<std::size_t>(k_blocks));
   std::int8_t* xq = carver.Take<std::int8_t>(static_cast<std::size_t>(k_pad));
-  TileReg b_unpacked;
+  const __m128i lo_m = _mm_set1_epi16(0x000f);
+  const __m128i hi_m = _mm_set1_epi16(0x0f00);
+  const __m128i k8 = _mm_set1_epi8(8);
 
   for (std::int64_t i = 0; i < m; ++i) {
     const float* row = x + i * ldx;
@@ -346,26 +397,33 @@ void Avx2GemmInt8Impl(const float* x, std::int64_t m, std::int64_t ldx, const Pa
       const std::int64_t n_valid = std::min<std::int64_t>(kNBlock, w.n() - n0);
       alignas(32) float accf[kNBlock] = {};
       for (std::int64_t kb = 0; kb < k_blocks; ++kb) {
-        const std::uint8_t* brow_base;
-        if (w.dtype() == DType::kI8) {
-          brow_base = w.tile_ptr(nb, kb);
-        } else {
-          UnpackInt4Tile(w.tile_ptr(nb, kb), &b_unpacked);
-          brow_base = b_unpacked.data[0];
-        }
         const std::int8_t* xp = xq + kb * kKBlockInt8;
         // acc[h] holds adjacent-pair partials: lanes (2t, 2t+1) sum to output
         // j = h*4 + t within this 16-output band.
         __m256i acc[4] = {_mm256_setzero_si256(), _mm256_setzero_si256(),
                           _mm256_setzero_si256(), _mm256_setzero_si256()};
+        const bool is_i8 = w.dtype() == DType::kI8;
+        const std::uint8_t* tile_base = w.tile_ptr(nb, kb);
         for (int p = 0; p < kTileRows; ++p) {
           const std::int8_t* quad = xp + 4 * p;
           const __m128i a8 = _mm_set1_epi32(*reinterpret_cast<const std::int32_t*>(quad));
           const __m256i a16 = _mm256_cvtepi8_epi16(a8);  // [a0..a3] x4
-          const std::uint8_t* brow = brow_base + p * kTileBytesPerRow;
           for (int h = 0; h < 4; ++h) {
-            const __m128i w8 = _mm_loadu_si128(
-                reinterpret_cast<const __m128i*>(brow + 16 * h));
+            __m128i w8;
+            if (is_i8) {
+              w8 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+                  tile_base + p * kTileBytesPerRow + 16 * h));
+            } else {
+              // Fused int4 unpack: 8 packed bytes -> 16 signed nibbles via
+              // the same mask / shift-mask / xor-sub sequence as the AVX-512
+              // kernel, feeding PMADDWD without materializing the i8 tile.
+              const __m128i raw = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(
+                  tile_base + p * (kTileBytesPerRow / 2) + 8 * h));
+              const __m128i w16x = _mm_cvtepu8_epi16(raw);
+              w8 = _mm_or_si128(_mm_and_si128(w16x, lo_m),
+                                _mm_and_si128(_mm_slli_epi16(w16x, 4), hi_m));
+              w8 = _mm_sub_epi8(_mm_xor_si128(w8, k8), k8);
+            }
             const __m256i w16 = _mm256_cvtepi8_epi16(w8);
             acc[h] = _mm256_add_epi32(acc[h], _mm256_madd_epi16(w16, a16));
           }
@@ -385,6 +443,77 @@ void Avx2GemmInt8Impl(const float* x, std::int64_t m, std::int64_t ldx, const Pa
       float* out = y + i * ldy + n0;
       for (std::int64_t j = 0; j < n_valid; ++j) {
         out[j] = accumulate ? out[j] + accf[j] : accf[j];
+      }
+    }
+  }
+}
+
+// AVX-512 f32 kernel on the k-major kF32 layout. Per output lane the op
+// sequence is one vfmadd per k step in ascending k order — exactly the
+// std::fma sequence the scalar emulation performs — so results are
+// bit-identical across all three tiers (the expert-cache hot-path identity).
+__attribute__((target("avx512f")))
+void Avx512GemmF32Impl(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
+                       float* y, std::int64_t ldy, bool accumulate, std::int64_t nb0,
+                       std::int64_t nb1) {
+  const std::int64_t k = w.k();
+  const std::int64_t k_blocks = w.k_blocks();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* row = x + i * ldx;
+    for (std::int64_t nb = nb0; nb < nb1; ++nb) {
+      __m512 acc = _mm512_setzero_ps();
+      for (std::int64_t kb = 0; kb < k_blocks; ++kb) {
+        const auto* tile = reinterpret_cast<const float*>(w.tile_ptr(nb, kb));
+        const std::int64_t p_valid =
+            std::min<std::int64_t>(kKBlockF32, k - kb * kKBlockF32);
+        for (std::int64_t p = 0; p < p_valid; ++p) {
+          acc = _mm512_fmadd_ps(_mm512_set1_ps(row[kb * kKBlockF32 + p]),
+                                _mm512_load_ps(tile + p * kNBlock), acc);
+        }
+      }
+      const std::int64_t n0 = nb * kNBlock;
+      const std::int64_t n_valid = std::min<std::int64_t>(kNBlock, w.n() - n0);
+      const __mmask16 mask = static_cast<__mmask16>((1u << n_valid) - 1);
+      float* out = y + i * ldy + n0;
+      if (accumulate) {
+        acc = _mm512_add_ps(_mm512_maskz_loadu_ps(mask, out), acc);
+      }
+      _mm512_mask_storeu_ps(out, mask, acc);
+    }
+  }
+}
+
+// AVX2 f32 kernel: two 8-lane halves walking the identical per-lane fma
+// sequence as the AVX-512 kernel and the scalar emulation.
+__attribute__((target("avx2,fma")))
+void Avx2GemmF32Impl(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
+                     float* y, std::int64_t ldy, bool accumulate, std::int64_t nb0,
+                     std::int64_t nb1) {
+  const std::int64_t k = w.k();
+  const std::int64_t k_blocks = w.k_blocks();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* row = x + i * ldx;
+    for (std::int64_t nb = nb0; nb < nb1; ++nb) {
+      __m256 acc_lo = _mm256_setzero_ps();  // outputs j = 0..7
+      __m256 acc_hi = _mm256_setzero_ps();  // outputs j = 8..15
+      for (std::int64_t kb = 0; kb < k_blocks; ++kb) {
+        const auto* tile = reinterpret_cast<const float*>(w.tile_ptr(nb, kb));
+        const std::int64_t p_valid =
+            std::min<std::int64_t>(kKBlockF32, k - kb * kKBlockF32);
+        for (std::int64_t p = 0; p < p_valid; ++p) {
+          const __m256 vx = _mm256_set1_ps(row[kb * kKBlockF32 + p]);
+          acc_lo = _mm256_fmadd_ps(vx, _mm256_load_ps(tile + p * kNBlock), acc_lo);
+          acc_hi = _mm256_fmadd_ps(vx, _mm256_load_ps(tile + p * kNBlock + 8), acc_hi);
+        }
+      }
+      const std::int64_t n0 = nb * kNBlock;
+      const std::int64_t n_valid = std::min<std::int64_t>(kNBlock, w.n() - n0);
+      alignas(32) float out_buf[kNBlock];
+      _mm256_store_ps(out_buf, acc_lo);
+      _mm256_store_ps(out_buf + 8, acc_hi);
+      float* out = y + i * ldy + n0;
+      for (std::int64_t j = 0; j < n_valid; ++j) {
+        out[j] = accumulate ? out[j] + out_buf[j] : out_buf[j];
       }
     }
   }
@@ -428,6 +557,22 @@ void NativeAvx2GemmInt8(const float* x, std::int64_t m, std::int64_t ldx,
   KTX_CHECK(NativeAvx2Available());
   KTX_CHECK(w.dtype() == DType::kI8 || w.dtype() == DType::kI4);
   Avx2GemmInt8Impl(x, m, ldx, w, y, ldy, accumulate, nb_begin, nb_end, scratch, scratch_bytes);
+}
+
+void NativeAvx512GemmF32(const float* x, std::int64_t m, std::int64_t ldx,
+                         const PackedMatrix& w, float* y, std::int64_t ldy, bool accumulate,
+                         std::int64_t nb_begin, std::int64_t nb_end, void*, std::size_t) {
+  KTX_CHECK(NativeAvx512Available());
+  KTX_CHECK(w.dtype() == DType::kF32) << "f32 entry point called with non-f32 weights";
+  Avx512GemmF32Impl(x, m, ldx, w, y, ldy, accumulate, nb_begin, nb_end);
+}
+
+void NativeAvx2GemmF32(const float* x, std::int64_t m, std::int64_t ldx,
+                       const PackedMatrix& w, float* y, std::int64_t ldy, bool accumulate,
+                       std::int64_t nb_begin, std::int64_t nb_end, void*, std::size_t) {
+  KTX_CHECK(NativeAvx2Available());
+  KTX_CHECK(w.dtype() == DType::kF32) << "f32 entry point called with non-f32 weights";
+  Avx2GemmF32Impl(x, m, ldx, w, y, ldy, accumulate, nb_begin, nb_end);
 }
 
 #endif  // KTX_HAVE_NATIVE_SIMD

@@ -1,6 +1,7 @@
 #include "src/cpu/gemm.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "src/common/align.h"
@@ -39,6 +40,44 @@ void EmulatedGemmBf16(const float* x, std::int64_t m, std::int64_t ldx, const Pa
         for (std::int64_t j = 0; j < n_valid; ++j) {
           out[j] = accumulate ? out[j] + acc.f32[i][j] : acc.f32[i][j];
         }
+      }
+    }
+  }
+}
+
+// Portable f32 kernel on the k-major kF32 tile layout (layout.h). There is
+// exactly one canonical op sequence for f32 — per output lane, ascending k,
+// one fused multiply-add per step — and every backend (this scalar loop via
+// std::fma, the AVX-512 and AVX2 kernels via vfmadd) performs it identically,
+// so all tiers produce bit-identical results. That identity is what lets the
+// expert cache serve a GPU-resident hot replica of an f32 expert without
+// perturbing the logits relative to the unplaced baseline.
+void EmulatedGemmF32(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
+                     float* y, std::int64_t ldy, bool accumulate, std::int64_t nb0,
+                     std::int64_t nb1) {
+  const std::int64_t n = w.n();
+  const std::int64_t k = w.k();
+  const std::int64_t k_blocks = w.k_blocks();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* row = x + i * ldx;
+    for (std::int64_t nb = nb0; nb < nb1; ++nb) {
+      float acc[kNBlock] = {};
+      for (std::int64_t kb = 0; kb < k_blocks; ++kb) {
+        const auto* tile = reinterpret_cast<const float*>(w.tile_ptr(nb, kb));
+        const std::int64_t p_valid =
+            std::min<std::int64_t>(kKBlockF32, k - kb * kKBlockF32);
+        for (std::int64_t p = 0; p < p_valid; ++p) {
+          const float xv = row[kb * kKBlockF32 + p];
+          for (int j = 0; j < kNBlock; ++j) {
+            acc[j] = std::fma(xv, tile[p * kNBlock + j], acc[j]);
+          }
+        }
+      }
+      const std::int64_t n0 = nb * kNBlock;
+      const std::int64_t n_valid = std::min<std::int64_t>(kNBlock, n - n0);
+      float* out = y + i * ldy + n0;
+      for (std::int64_t j = 0; j < n_valid; ++j) {
+        out[j] = accumulate ? out[j] + acc[j] : acc[j];
       }
     }
   }
@@ -100,7 +139,9 @@ void EmulatedGemmInt8(const float* x, std::int64_t m, std::int64_t ldx, const Pa
 void EmulatedGemm(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
                   float* y, std::int64_t ldy, bool accumulate, std::int64_t nb0,
                   std::int64_t nb1, void* scratch, std::size_t scratch_bytes) {
-  if (w.dtype() == DType::kBF16) {
+  if (w.dtype() == DType::kF32) {
+    EmulatedGemmF32(x, m, ldx, w, y, ldy, accumulate, nb0, nb1);
+  } else if (w.dtype() == DType::kBF16) {
     EmulatedGemmBf16(x, m, ldx, w, y, ldy, accumulate, nb0, nb1);
   } else {
     EmulatedGemmInt8(x, m, ldx, w, y, ldy, accumulate, nb0, nb1, scratch, scratch_bytes);
@@ -155,6 +196,22 @@ void GemmPacked(const float* x, std::int64_t m, std::int64_t ldx, const PackedMa
   const std::int64_t nb0 = opts.nb_begin;
   const std::int64_t nb1 = opts.nb_end < 0 ? w.n_blocks() : opts.nb_end;
   KTX_CHECK(nb0 >= 0 && nb1 <= w.n_blocks() && nb0 <= nb1) << "bad n-block range";
+  if (w.dtype() == DType::kF32) {
+    // f32 has one canonical path per ISA tier and every tier is bit-exact
+    // with the others (same fma sequence per output), so `kind` is ignored —
+    // there is no AMX f32 tile op and nothing rides on the ARI dispatch.
+    if (opts.impl != KernelImpl::kEmulated && NativeAvx512Available()) {
+      NativeAvx512GemmF32(x, m, ldx, w, y, ldy, opts.accumulate, nb0, nb1, opts.scratch,
+                          opts.scratch_bytes);
+    } else if (opts.impl != KernelImpl::kEmulated && NativeAvx2Available()) {
+      NativeAvx2GemmF32(x, m, ldx, w, y, ldy, opts.accumulate, nb0, nb1, opts.scratch,
+                        opts.scratch_bytes);
+    } else {
+      EmulatedGemm(x, m, ldx, w, y, ldy, opts.accumulate, nb0, nb1, opts.scratch,
+                   opts.scratch_bytes);
+    }
+    return;
+  }
   KernelImpl impl = opts.impl;
   if (impl == KernelImpl::kAuto) {
     impl = NativeFor(opts.kind) ? KernelImpl::kNative : KernelImpl::kEmulated;

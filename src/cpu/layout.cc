@@ -11,7 +11,14 @@ namespace ktx {
 namespace {
 
 int KBlockFor(DType dtype) {
-  return dtype == DType::kBF16 ? kKBlockBf16 : kKBlockInt8;
+  switch (dtype) {
+    case DType::kF32:
+      return kKBlockF32;
+    case DType::kBF16:
+      return kKBlockBf16;
+    default:
+      return kKBlockInt8;
+  }
 }
 
 std::size_t TileBytesFor(DType dtype) {
@@ -24,8 +31,9 @@ StatusOr<PackedMatrix> PackedMatrix::Pack(const Tensor& w, DType dtype) {
   if (w.rank() != 2 || w.dtype() != DType::kF32) {
     return InvalidArgumentError("PackedMatrix::Pack expects a rank-2 f32 tensor");
   }
-  if (dtype != DType::kBF16 && dtype != DType::kI8 && dtype != DType::kI4) {
-    return InvalidArgumentError("PackedMatrix supports bf16/i8/i4");
+  if (dtype != DType::kF32 && dtype != DType::kBF16 && dtype != DType::kI8 &&
+      dtype != DType::kI4) {
+    return InvalidArgumentError("PackedMatrix supports f32/bf16/i8/i4");
   }
   PackedMatrix pm;
   pm.n_ = w.dim(0);
@@ -45,6 +53,23 @@ StatusOr<PackedMatrix> PackedMatrix::Pack(const Tensor& w, DType dtype) {
     }
     return src[nrow * pm.k_ + kcol];
   };
+
+  if (dtype == DType::kF32) {
+    for (std::int64_t nb = 0; nb < pm.n_blocks_; ++nb) {
+      for (std::int64_t kb = 0; kb < pm.k_blocks_; ++kb) {
+        auto* tile =
+            reinterpret_cast<float*>(const_cast<std::uint8_t*>(pm.tile_ptr(nb, kb)));
+        // tile[p*16 + j] = W[nb*16 + j][kb*16 + p]: one 64-byte row of 16
+        // outputs per k step.
+        for (int p = 0; p < kKBlockF32; ++p) {
+          for (int j = 0; j < kNBlock; ++j) {
+            tile[p * kNBlock + j] = w_at(nb * kNBlock + j, kb * kKBlockF32 + p);
+          }
+        }
+      }
+    }
+    return pm;
+  }
 
   if (dtype == DType::kBF16) {
     for (std::int64_t nb = 0; nb < pm.n_blocks_; ++nb) {
@@ -137,7 +162,18 @@ Tensor PackedMatrix::Unpack() const {
   float* dst = out.f32();
   for (std::int64_t nb = 0; nb < n_blocks_; ++nb) {
     for (std::int64_t kb = 0; kb < k_blocks_; ++kb) {
-      if (dtype_ == DType::kBF16) {
+      if (dtype_ == DType::kF32) {
+        const auto* tile = reinterpret_cast<const float*>(tile_ptr(nb, kb));
+        for (int p = 0; p < kKBlockF32; ++p) {
+          for (int j = 0; j < kNBlock; ++j) {
+            const std::int64_t nrow = nb * kNBlock + j;
+            const std::int64_t kcol = kb * kKBlockF32 + p;
+            if (nrow < n_ && kcol < k_) {
+              dst[nrow * k_ + kcol] = tile[p * kNBlock + j];
+            }
+          }
+        }
+      } else if (dtype_ == DType::kBF16) {
         const auto* tile = reinterpret_cast<const std::uint16_t*>(tile_ptr(nb, kb));
         for (int p = 0; p < kTileRows; ++p) {
           for (int j = 0; j < kNBlock; ++j) {
@@ -227,6 +263,45 @@ void UnpackInt4Tile(const std::uint8_t* packed, TileReg* tile) {
     dst[2 * i] = static_cast<std::int8_t>(((byte & 0x0f) ^ 8) - 8);
     dst[2 * i + 1] = static_cast<std::int8_t>((((byte >> 4) & 0x0f) ^ 8) - 8);
   }
+}
+
+float QuantGemvErrorBound(const PackedMatrix& w, const float* x, std::int64_t nrow) {
+  KTX_CHECK(w.quantized()) << "QuantGemvErrorBound needs a kI8/kI4 matrix";
+  KTX_CHECK(nrow >= 0 && nrow < w.n());
+  // The kernels compute y = sum_blocks scale_x * scale_w * <q_x, q_w>, i.e.
+  // sum(x_hat * w_hat) over the rounded values. Splitting the error,
+  //   |x_hat*w_hat - x*w| <= |x_hat - x| * |w_hat| + |x| * |w_hat - w|,
+  // each rounding is at most half its scale (scales cover the block amax, so
+  // the clamps never truncate).
+  const std::int64_t nb = nrow / kNBlock;
+  const int j = static_cast<int>(nrow % kNBlock);
+  double bound = 0.0;
+  for (std::int64_t kb = 0; kb < w.k_blocks(); ++kb) {
+    TileReg tile;
+    if (w.dtype() == DType::kI8) {
+      tile.Load(w.tile_ptr(nb, kb), kTileBytesPerRow);
+    } else {
+      UnpackInt4Tile(w.tile_ptr(nb, kb), &tile);
+    }
+    const auto* ti8 = reinterpret_cast<const std::int8_t*>(tile.data);
+    const double scale_w = w.scale(nrow, kb);
+    const std::int64_t k0 = kb * kKBlockInt8;
+    const std::int64_t hi = std::min<std::int64_t>(w.k(), k0 + kKBlockInt8);
+    double sum_abs_x = 0.0;
+    double amax_x = 0.0;
+    double sum_abs_w_hat = 0.0;
+    for (std::int64_t c = k0; c < hi; ++c) {
+      const double xv = std::fabs(static_cast<double>(x[c]));
+      sum_abs_x += xv;
+      amax_x = std::max(amax_x, xv);
+      const int p = static_cast<int>((c - k0) / 4);
+      const int r = static_cast<int>((c - k0) % 4);
+      sum_abs_w_hat += std::fabs(static_cast<double>(ti8[p * 64 + 4 * j + r]) * scale_w);
+    }
+    const double scale_x = amax_x / 127.0;
+    bound += 0.5 * scale_w * sum_abs_x + 0.5 * scale_x * sum_abs_w_hat;
+  }
+  return static_cast<float>(bound);
 }
 
 }  // namespace ktx

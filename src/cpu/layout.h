@@ -34,7 +34,11 @@ class PackedMatrix {
   PackedMatrix() = default;
 
   // Packs a rank-2 f32 weight matrix W[n][k] into tiles of `dtype`
-  // (kBF16, kI8 or kI4).
+  // (kF32, kBF16, kI8 or kI4). kF32 keeps full precision: its tiles hold the
+  // weights k-major (tile[p*16 + j] = W[n0+j][k0+p]) so a GEMV streams one
+  // 64-byte row of 16 outputs per k step — the layout every f32 kernel
+  // (scalar, AVX2, AVX-512) walks in the same per-output k order, which is
+  // what makes the f32 path bit-exact across implementations (gemm.h).
   static StatusOr<PackedMatrix> Pack(const Tensor& w, DType dtype);
 
   std::int64_t n() const { return n_; }
@@ -99,6 +103,17 @@ void ComputeActivationScalesInt8(const float* x, std::int64_t m, std::int64_t ld
 // Unpacks an Int4 tile (512 B) into an Int8 TileReg (the paper's SIMD nibble
 // unpack; here portable scalar).
 void UnpackInt4Tile(const std::uint8_t* packed, TileReg* tile);
+
+// Worst-case |y - y_exact| for one quantized-GEMM output element: row `nrow`
+// of `w` against activation row `x` (length k). Per k-block, weight rounding
+// contributes 0.5 * scale_w * sum|x| (the per-element MaxQuantError bound of
+// quant.h applied to the packed per-(row, k-block) scales) and the kernels'
+// int8 activation quantization contributes 0.5 * (amax_x / 127) * sum|w_hat|
+// over the dequantized weights. This is the documented SNR budget for the
+// 4-bit cold-expert path: tests assert the quantized GEMM, and the
+// end-to-end cold-expert logits, stay inside the accumulated bound.
+// `w` must be quantized (kI8 or kI4). O(n * k): test/diagnostic use.
+float QuantGemvErrorBound(const PackedMatrix& w, const float* x, std::int64_t nrow);
 
 }  // namespace ktx
 

@@ -130,6 +130,7 @@ struct MoeWorkspace {
   const PackedExperts* experts = nullptr;
   ThreadPool* pool = nullptr;
   const float* x = nullptr;
+  const float* hot_rows = nullptr;  // [tokens * top_k, hidden] when hot slots exist
   float* y = nullptr;
   std::int64_t hidden = 0;
   std::int64_t inter = 0;
@@ -278,7 +279,13 @@ void ExecReduce(MoeWorkspace* ws, std::int64_t idx) {
     const std::int64_t base = t * ws->slots;
     for (std::int64_t j = 0; j < ws->slots; ++j) {
       const std::int64_t src = ws->contrib_src[static_cast<std::size_t>(base + j)];
-      AxpyInPlace(ws->y + t * hidden, ws->out.data() + src * hidden,
+      // Negative src encodes a hot-served slot: -(t*top_k + s) - 1 indexes the
+      // pre-computed hot row. The add happens at the same position in the same
+      // slot order either way, so hot/cold placement cannot change the
+      // per-token summation order.
+      const float* row = src >= 0 ? ws->out.data() + src * hidden
+                                  : ws->hot_rows + (-src - 1) * hidden;
+      AxpyInPlace(ws->y + t * hidden, row,
                   ws->contrib_w[static_cast<std::size_t>(base + j)], hidden);
     }
   }
@@ -413,7 +420,8 @@ void CpuMoe::Reserve(std::int64_t max_tokens, int max_slots) const {
 }
 
 void CpuMoe::Forward(const float* x, std::int64_t tokens, const MoeRouting& routing,
-                     int slot_begin, int slot_end, float* y, MoeStats* stats) const {
+                     int slot_begin, int slot_end, float* y, MoeStats* stats,
+                     const HotSlots* hot) const {
   KTX_CHECK_EQ(tokens, routing.tokens);
   KTX_CHECK(slot_begin >= 0 && slot_end <= routing.top_k && slot_begin <= slot_end);
   const std::int64_t window = slot_end - slot_begin;
@@ -423,16 +431,26 @@ void CpuMoe::Forward(const float* x, std::int64_t tokens, const MoeRouting& rout
   const std::int64_t hidden = experts_->hidden();
   const std::int64_t inter = experts_->inter();
   const int num_experts = experts_->num_experts();
+  const std::uint8_t* served = hot != nullptr ? hot->served : nullptr;
+  const int top_k = routing.top_k;
 
   MoeWorkspace* ws = ws_.get();
   std::lock_guard<std::mutex> lock(ws->mu);
   EnsureCapacity(ws, *experts_, pool_, options_.band_blocks, tokens, window);
 
   // --- Group tokens by expert (first-appearance order), two passes. ---------
+  // Hot-served slots never enter a group: the cold groups (and hence their
+  // token counts, kernel kinds and task shapes) are exactly what they would
+  // be if the hot experts did not exist in the batch.
   std::int32_t* goe = ws->group_of_expert.data();
   std::int64_t num_groups = 0;
+  std::int64_t hot_count = 0;
   for (std::int64_t t = 0; t < tokens; ++t) {
     for (int s = slot_begin; s < slot_end; ++s) {
+      if (served != nullptr && served[t * top_k + s] != 0) {
+        ++hot_count;
+        continue;
+      }
       const int e = routing.id(t, s);
       KTX_DCHECK(e >= 0 && e < num_experts) << "bad expert id " << e;
       std::int32_t g = goe[e];
@@ -461,15 +479,30 @@ void CpuMoe::Forward(const float* x, std::int64_t tokens, const MoeRouting& rout
   // Pass 2 also builds the per-token contribution index in routing-slot
   // order: token t's reduce sums its slots in [slot_begin, slot_end) order
   // regardless of how its experts were grouped, so the per-row result is
-  // invariant to batch composition (sequential vs batched decode).
+  // invariant to batch composition (sequential vs batched decode). Hot slots
+  // keep their position in the index — a negative src points the reduce at
+  // the pre-computed hot row instead of a staged cold row.
+  const std::int64_t n_r = CeilDiv(tokens, kReduceBand);
+  for (std::int64_t r = 0; r < n_r; ++r) {
+    ws->band_remaining[static_cast<std::size_t>(r)] = 0;
+  }
   for (std::int64_t t = 0; t < tokens; ++t) {
+    const std::int64_t band = t / kReduceBand;
     for (int s = slot_begin; s < slot_end; ++s) {
+      const std::int64_t idx = t * window + (s - slot_begin);
+      if (served != nullptr && served[t * top_k + s] != 0) {
+        ws->contrib_src[static_cast<std::size_t>(idx)] = -(t * top_k + s) - 1;
+        ws->contrib_w[static_cast<std::size_t>(idx)] = routing.weight(t, s);
+        continue;
+      }
       const auto g = static_cast<std::size_t>(goe[routing.id(t, s)]);
       const std::int64_t pos = ws->group_off[g] + ws->group_fill[g]++;
       ws->token_rows[static_cast<std::size_t>(pos)] = t;
-      const std::int64_t idx = t * window + (s - slot_begin);
       ws->contrib_src[static_cast<std::size_t>(idx)] = pos;
       ws->contrib_w[static_cast<std::size_t>(idx)] = routing.weight(t, s);
+      // Chained schedule: a reduce band waits only on its *cold*
+      // contributions (hot rows are complete before Forward is called).
+      ++ws->band_remaining[static_cast<std::size_t>(band)];
     }
   }
   // Restore the sentinel for the next call (touch only activated entries).
@@ -486,6 +519,7 @@ void CpuMoe::Forward(const float* x, std::int64_t tokens, const MoeRouting& rout
 
   // --- Task counts and chaining countdowns. ---------------------------------
   ws->x = x;
+  ws->hot_rows = hot != nullptr ? hot->rows : nullptr;
   ws->y = y;
   ws->hidden = hidden;
   ws->inter = inter;
@@ -508,15 +542,22 @@ void CpuMoe::Forward(const float* x, std::int64_t tokens, const MoeRouting& rout
       ws->a_remaining[static_cast<std::size_t>(g)] = static_cast<std::int32_t>(ws->bands_a);
       ws->b_remaining[static_cast<std::size_t>(g)] = static_cast<std::int32_t>(ws->bands_b);
     }
-    for (std::int64_t r = 0; r < ws->n_r; ++r) {
-      const std::int64_t width =
-          std::min(tokens, (r + 1) * kReduceBand) - r * kReduceBand;
-      ws->band_remaining[static_cast<std::size_t>(r)] =
-          static_cast<std::int32_t>(window * width);
-    }
+    // band_remaining was filled with per-band *cold* contribution counts in
+    // pass 2 (hot rows are complete before dispatch and must not be waited
+    // on).
     std::memset(ws->ready.data(), 0xFF,
                 static_cast<std::size_t>(ws->n_b + ws->n_r) * sizeof(std::int32_t));
     ws->ready_tail = ws->n_a;
+    // A band whose every contribution is hot has no cold producer left to
+    // publish its reduce task — pre-publish it here (plain stores: the pool's
+    // dispatch publishes them before any worker claims a slot).
+    for (std::int64_t r = 0; r < ws->n_r; ++r) {
+      if (ws->band_remaining[static_cast<std::size_t>(r)] == 0) {
+        ws->ready[static_cast<std::size_t>(ws->ready_tail - ws->n_a)] =
+            static_cast<std::int32_t>(ws->n_a + ws->n_b + r);
+        ++ws->ready_tail;
+      }
+    }
     pool_->ParallelRun(&ChainedBody, ws, static_cast<std::size_t>(total), /*chunk=*/1);
   } else {
     // Static: three barrier-separated phases, each block-partitioned exactly
@@ -545,6 +586,8 @@ void CpuMoe::Forward(const float* x, std::int64_t tokens, const MoeRouting& rout
     stats->avx512_calls += ws->avx512_calls;
     stats->useful_flops += 6.0 * static_cast<double>(total_rows) *
                            static_cast<double>(hidden) * static_cast<double>(inter);
+    stats->hot_rows += hot_count;
+    stats->cold_rows += total_rows;
   }
 }
 

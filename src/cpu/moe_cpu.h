@@ -99,6 +99,20 @@ struct MoeOptions {
   std::int64_t band_blocks = 4;                  // 16-wide tile bands per task
 };
 
+// Pre-computed hot-expert rows for one routed batch (filled by the expert
+// placement manager before the CPU forward is submitted). Indexed by absolute
+// routing slot: entry (t, s) covers slot s in [0, top_k) of token t. For a
+// served slot, `rows` holds the *unweighted* expert FFN output — for a
+// tensor-parallel shard, that shard's partial down projection — and the
+// reduce adds it in routing-slot order exactly like a staged cold row, which
+// keeps the per-token summation order (and therefore the bits) identical to
+// the unplaced baseline. Forward() skips served slots entirely on the CPU
+// expert path: no grouping, no Gate/Up/Down tasks, no weight-byte traffic.
+struct HotSlots {
+  const std::uint8_t* served = nullptr;  // [tokens * top_k], 1 = served hot
+  const float* rows = nullptr;           // [tokens * top_k, hidden]
+};
+
 struct MoeStats {
   // Routed-expert requests completed (one per AsyncMoeService request,
   // regardless of batch width — a B-token batched submit counts once).
@@ -112,6 +126,11 @@ struct MoeStats {
   std::int64_t amx_calls = 0;
   std::int64_t avx512_calls = 0;
   double useful_flops = 0.0;
+  // Expert-cache split of the routed slots: `hot_rows` were served from
+  // pre-computed hot-expert rows (no CPU expert work), `cold_rows` ran the
+  // full CPU expert path.
+  std::int64_t hot_rows = 0;
+  std::int64_t cold_rows = 0;
 };
 
 // Persistent forward workspace, defined in moe_cpu.cc. One per CpuMoe; holds
@@ -134,10 +153,12 @@ class CpuMoe {
 
   // Accumulates the weighted outputs of routing slots [slot_begin, slot_end)
   // into y[tokens, hidden] (row-major, leading dimension = hidden).
-  // x is [tokens, hidden] f32. Concurrent calls on one CpuMoe serialize on the
-  // shared workspace.
+  // x is [tokens, hidden] f32. Slots flagged in `hot` (may be null) are
+  // satisfied from the pre-computed hot rows instead of the CPU expert path.
+  // Concurrent calls on one CpuMoe serialize on the shared workspace.
   void Forward(const float* x, std::int64_t tokens, const MoeRouting& routing, int slot_begin,
-               int slot_end, float* y, MoeStats* stats = nullptr) const;
+               int slot_end, float* y, MoeStats* stats = nullptr,
+               const HotSlots* hot = nullptr) const;
 
   // All slots at once.
   void Forward(const float* x, std::int64_t tokens, const MoeRouting& routing, float* y,

@@ -30,6 +30,7 @@ inline constexpr int kTileBytesPerRow = 64;
 inline constexpr int kTileBytes = kTileRows * kTileBytesPerRow;  // 1 KiB
 inline constexpr int kKBlockBf16 = 32;     // K elements covered by one bf16 tile
 inline constexpr int kKBlockInt8 = 64;     // K elements covered by one int8 tile
+inline constexpr int kKBlockF32 = 16;      // K elements covered by one f32 tile
 inline constexpr int kNBlock = 16;         // N outputs covered by one tile
 
 // One emulated tile register.

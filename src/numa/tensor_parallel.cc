@@ -80,23 +80,33 @@ NumaMoe::NumaMoe(std::shared_ptr<const PackedExperts> flat, std::shared_ptr<cons
 }
 
 void NumaMoe::Forward(const float* x, std::int64_t tokens, const MoeRouting& routing,
-                      int slot_begin, int slot_end, float* y, MoeStats* stats) const {
+                      int slot_begin, int slot_end, float* y, MoeStats* stats,
+                      const MoeHotView* hot) const {
   if (options_.mode == NumaMode::kTensorParallel) {
     // Each shard computes its SwiGLU slice and a partial Down projection from
     // node-local weights; accumulating into y is the reduce step. Logical
-    // fields (tokens, activated experts, load peak) describe the request, not
-    // the shard, so they are taken from one shard; mechanical fields (tasks,
-    // kernel calls, flops) sum across shards.
+    // fields (tokens, activated experts, load peak, hot/cold split) describe
+    // the request, not the shard, so they are taken from one shard;
+    // mechanical fields (tasks, kernel calls, flops) sum across shards.
     for (std::size_t s = 0; s < shard_moes_.size(); ++s) {
+      HotSlots shard_hot;
+      const HotSlots* hp = nullptr;
+      if (hot != nullptr && hot->served != nullptr) {
+        shard_hot.served = hot->served;
+        shard_hot.rows = hot->rows + static_cast<std::int64_t>(s) * hot->shard_stride;
+        hp = &shard_hot;
+      }
       MoeStats local;
       shard_moes_[s].Forward(x, tokens, routing, slot_begin, slot_end, y,
-                             stats != nullptr ? &local : nullptr);
+                             stats != nullptr ? &local : nullptr, hp);
       if (stats != nullptr) {
         if (s == 0) {
           stats->tokens += local.tokens;
           stats->activated_experts += local.activated_experts;
           stats->max_tokens_per_expert =
               std::max(stats->max_tokens_per_expert, local.max_tokens_per_expert);
+          stats->hot_rows += local.hot_rows;
+          stats->cold_rows += local.cold_rows;
         }
         stats->subtasks += local.subtasks;
         stats->amx_calls += local.amx_calls;
@@ -109,7 +119,14 @@ void NumaMoe::Forward(const float* x, std::int64_t tokens, const MoeRouting& rou
   // Single-socket / naive-interleaved / expert-parallel placements execute
   // the same math over the flat weights; they differ only in where the pages
   // live, which the cost model (not the functional path) charges for.
-  flat_moe_->Forward(x, tokens, routing, slot_begin, slot_end, y, stats);
+  HotSlots flat_hot;
+  const HotSlots* hp = nullptr;
+  if (hot != nullptr && hot->served != nullptr) {
+    flat_hot.served = hot->served;
+    flat_hot.rows = hot->rows;  // plane 0 carries the full expert outputs
+    hp = &flat_hot;
+  }
+  flat_moe_->Forward(x, tokens, routing, slot_begin, slot_end, y, stats, hp);
 }
 
 void NumaMoe::Reserve(std::int64_t max_tokens, int max_slots) const {

@@ -54,6 +54,20 @@ class TpExperts {
   std::int64_t inter_per_shard_ = 0;
 };
 
+// Hot-expert rows for one routed batch at the NUMA level (filled by the
+// expert placement manager). `served` is shared across shards; `rows` holds
+// one [tokens * top_k, hidden] plane per shard at `shard_stride` floats
+// apart — shard s's plane carries its partial down projections of the hot
+// experts, so each shard's reduce adds its own partial exactly like its
+// staged cold rows (preserving the shard-sequential accumulation order and
+// therefore bit-identity with the unplaced baseline). Non-TP modes read
+// plane 0 with the full expert outputs.
+struct MoeHotView {
+  const std::uint8_t* served = nullptr;  // [tokens * top_k]
+  const float* rows = nullptr;           // [shards][tokens * top_k, hidden]
+  std::int64_t shard_stride = 0;         // floats between shard planes
+};
+
 // Functional NUMA-aware MoE executor. All placement modes produce the same
 // math (tests verify this); they differ in which weights each node touches,
 // which is what the cost model charges for.
@@ -68,9 +82,11 @@ class NumaMoe {
   NumaMoe(std::shared_ptr<const PackedExperts> flat, std::shared_ptr<const TpExperts> tp,
           ThreadPool* pool, Options options);
 
-  // Accumulates routed-expert outputs into y[tokens, hidden].
+  // Accumulates routed-expert outputs into y[tokens, hidden]. Slots flagged
+  // in `hot` (may be null) are satisfied from pre-computed hot-expert rows.
   void Forward(const float* x, std::int64_t tokens, const MoeRouting& routing, int slot_begin,
-               int slot_end, float* y, MoeStats* stats = nullptr) const;
+               int slot_end, float* y, MoeStats* stats = nullptr,
+               const MoeHotView* hot = nullptr) const;
 
   // Pre-sizes every shard's forward workspace (see CpuMoe::Reserve) so the
   // decode loop runs allocation-free from the first token.

@@ -438,6 +438,17 @@ void ServingLoop::SampleKvStats() {
   }
 }
 
+void ServingLoop::SampleExpertCacheStats() {
+  const ExpertCacheStats cache = engine_->expert_cache_stats();
+  stats_.expert_cache_lookups = cache.lookups;
+  stats_.expert_cache_hits = cache.hits;
+  stats_.expert_cache_hit_rate = cache.hit_rate();
+  stats_.expert_promotions = cache.promotions;
+  stats_.expert_demotions = cache.demotions;
+  stats_.expert_hot_bytes = cache.hot_bytes;
+  stats_.expert_cold_bytes_saved = cache.cold_bytes_saved;
+}
+
 void ServingLoop::DecodeActive() {
   if (!options_.batched_decode) {
     for (std::size_t i = 0; i < active_.size();) {
@@ -519,8 +530,10 @@ std::vector<GenerationResult> ServingLoop::RunToCompletion() {
     // Pool occupancy peaks while rows are live — sample before retirements
     // next sweep return their blocks.
     SampleKvStats();
+    SampleExpertCacheStats();
   }
   SampleKvStats();  // final counter values (hit rate, tokens reused)
+  SampleExpertCacheStats();
   return std::move(completed_);
 }
 

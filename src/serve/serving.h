@@ -163,6 +163,19 @@ class ServingLoop {
     double prefix_hit_rate = 0.0;
     std::int64_t kv_blocks_in_use = 0;
     double kv_utilization = 0.0;
+    // Expert-placement cache telemetry, sampled once per sweep (all zero when
+    // the engine runs without placement). Lookups/hits count routed slots:
+    // a hit is a slot served from the vGPU-resident hot-expert cache instead
+    // of streaming cold expert weights on the CPU — cold_bytes_saved is the
+    // weight traffic those hits avoided. Promotions/demotions count the
+    // cache-management transfers issued by the EMA rebalancer.
+    std::int64_t expert_cache_lookups = 0;
+    std::int64_t expert_cache_hits = 0;
+    double expert_cache_hit_rate = 0.0;
+    std::int64_t expert_promotions = 0;
+    std::int64_t expert_demotions = 0;
+    std::int64_t expert_hot_bytes = 0;
+    std::int64_t expert_cold_bytes_saved = 0;
   };
 
   // The engine must outlive the loop.
@@ -251,6 +264,9 @@ class ServingLoop {
   // stats_ (peak-tracking for blocks in use). No-op sans paged pool except
   // for prefix_tokens_reused, which mirrors the engine counter.
   void SampleKvStats();
+  // Mirrors the engine's expert-cache counters into stats_ (no-op values
+  // when placement is disabled).
+  void SampleExpertCacheStats();
   // Terminal bookkeeping shared by every retirement path.
   void RetireRow(Active&& active);
   void FailRow(Active&& active, FinishReason reason, Status status);

@@ -395,6 +395,123 @@ TEST(GemmTest, NativeAvx2Int8MatchesEmulated) {
 }
 
 
+TEST(LayoutTest, PackUnpackF32IsExact) {
+  Rng rng(41);
+  Tensor w = Tensor::Randn({35, 70}, rng);  // ragged in both dims
+  auto packed = PackedMatrix::Pack(w, DType::kF32);
+  ASSERT_TRUE(packed.ok());
+  EXPECT_EQ(packed->k_block(), kKBlockF32);
+  EXPECT_EQ(MaxAbsDiff(packed->Unpack(), w), 0.0f);
+}
+
+TEST(GemmTest, F32BitIdenticalAcrossBackends) {
+  // The kF32 layout exists so the hot-expert cache can be enabled with zero
+  // output drift: every backend walks the identical per-output k-order fma
+  // chain, so results must match BITWISE, not just within tolerance.
+  Rng rng(42);
+  const std::tuple<std::int64_t, std::int64_t, std::int64_t> shapes[] = {
+      {1, 48, 96}, {3, 35, 70}, {8, 64, 64}};
+  for (const auto& [m, n, k] : shapes) {
+    Rng data = rng.Split(static_cast<std::uint64_t>(m * 1000 + n));
+    Tensor w = Tensor::Randn({n, k}, data, 0.5f);
+    Tensor x = Tensor::Randn({m, k}, data, 0.5f);
+    auto packed = PackedMatrix::Pack(w, DType::kF32);
+    ASSERT_TRUE(packed.ok());
+
+    Tensor emu({m, n}, DType::kF32);
+    GemmOptions eopts;
+    eopts.impl = KernelImpl::kEmulated;
+    GemmPacked(x.f32(), m, k, *packed, emu.f32(), n, eopts);
+    Tensor ref({m, n}, DType::kF32);
+    RefGemm(x.f32(), m, k, w, ref.f32(), n);
+    EXPECT_LT(RelativeError(emu, ref), 1e-5f);
+
+    for (KernelKind kind : {KernelKind::kAmx, KernelKind::kAvx512}) {
+      if (!KernelAvailable(kind, KernelImpl::kNative)) {
+        continue;
+      }
+      Tensor nat({m, n}, DType::kF32);
+      GemmOptions nopts;
+      nopts.kind = kind;
+      nopts.impl = KernelImpl::kNative;
+      GemmPacked(x.f32(), m, k, *packed, nat.f32(), n, nopts);
+      EXPECT_EQ(MaxAbsDiff(nat, emu), 0.0f)
+          << "m=" << m << " kind=" << (kind == KernelKind::kAmx ? "amx" : "avx512");
+    }
+    if (NativeAvx2Available()) {
+      Tensor avx2({m, n}, DType::kF32);
+      NativeAvx2GemmF32(x.f32(), m, k, *packed, avx2.f32(), n, false, 0,
+                        packed->n_blocks());
+      EXPECT_EQ(MaxAbsDiff(avx2, emu), 0.0f) << "m=" << m << " avx2";
+    }
+  }
+}
+
+TEST(GemmTest, QuantGemvErrorBoundHolds) {
+  // The cold-expert SNR budget: every quantized GEMM output must sit inside
+  // the per-row analytic bound derived from the stored scales (weight
+  // rounding + int8 activation rounding). Ragged k exercises partial blocks.
+  Rng rng(43);
+  for (DType dtype : {DType::kI8, DType::kI4}) {
+    Tensor w = Tensor::Randn({21, 100}, rng, 0.5f);
+    Tensor x = Tensor::Randn({3, 100}, rng, 0.5f);
+    auto packed = PackedMatrix::Pack(w, dtype);
+    ASSERT_TRUE(packed.ok());
+    Tensor ref({3, 21}, DType::kF32);
+    RefGemm(x.f32(), 3, 100, w, ref.f32(), 21);
+    Tensor emu({3, 21}, DType::kF32);
+    GemmOptions opts;
+    opts.impl = KernelImpl::kEmulated;
+    GemmPacked(x.f32(), 3, 100, *packed, emu.f32(), 21, opts);
+    for (std::int64_t i = 0; i < 3; ++i) {
+      for (std::int64_t j = 0; j < 21; ++j) {
+        const float bound = QuantGemvErrorBound(*packed, x.f32() + i * 100, j);
+        // Tiny slack for the f32 accumulation the analytic bound ignores.
+        EXPECT_LE(std::abs(emu.At(i, j) - ref.At(i, j)), bound * 1.001f + 1e-5f)
+            << DTypeName(dtype) << " (" << i << "," << j << ")";
+        EXPECT_GE(bound, 0.0f);
+      }
+    }
+  }
+}
+
+TEST(GemmTest, Int4FusedUnpackMatchesEmulatedRaggedShapes) {
+  // The fused nibble-unpack paths (AMX tile helper, AVX-512 in-register,
+  // AVX2) against the scalar emulation on shapes with partial tiles.
+  Rng rng(44);
+  const std::tuple<std::int64_t, std::int64_t, std::int64_t> shapes[] = {
+      {1, 21, 100}, {5, 33, 200}, {16, 16, 64}};
+  for (const auto& [m, n, k] : shapes) {
+    Rng data = rng.Split(static_cast<std::uint64_t>(n * 1000 + k));
+    Tensor w = Tensor::Randn({n, k}, data, 0.5f);
+    Tensor x = Tensor::Randn({m, k}, data, 0.5f);
+    auto packed = PackedMatrix::Pack(w, DType::kI4);
+    ASSERT_TRUE(packed.ok());
+    Tensor emu({m, n}, DType::kF32);
+    GemmOptions eopts;
+    eopts.impl = KernelImpl::kEmulated;
+    GemmPacked(x.f32(), m, k, *packed, emu.f32(), n, eopts);
+    for (KernelKind kind : {KernelKind::kAmx, KernelKind::kAvx512}) {
+      if (!KernelAvailable(kind, KernelImpl::kNative)) {
+        continue;
+      }
+      Tensor nat({m, n}, DType::kF32);
+      GemmOptions nopts;
+      nopts.kind = kind;
+      nopts.impl = KernelImpl::kNative;
+      GemmPacked(x.f32(), m, k, *packed, nat.f32(), n, nopts);
+      EXPECT_LT(RelativeError(nat, emu), 3e-4f)
+          << "m=" << m << " kind=" << (kind == KernelKind::kAmx ? "amx" : "avx512");
+    }
+    if (NativeAvx2Available()) {
+      Tensor avx2({m, n}, DType::kF32);
+      NativeAvx2GemmInt8(x.f32(), m, k, *packed, avx2.f32(), n, false, 0,
+                         packed->n_blocks());
+      EXPECT_LT(RelativeError(avx2, emu), 3e-4f) << "m=" << m << " avx2";
+    }
+  }
+}
+
 TEST(GemmFuzzTest, RandomShapesAgreeAcrossAllBackends) {
   // Differential fuzz: 40 random (m, n, k, dtype) draws; every available
   // backend must agree with the emulation, and the emulation with RefGemm
