@@ -40,6 +40,10 @@ int main() {
   ktx::ServingOptions serving;
   serving.max_concurrent = 2;
   serving.prefill_budget_tokens = 32;  // one chunk per sweep between decodes
+  // Slack-ordered admission plus KV-preserving preemption: a high-priority
+  // arrival evicts a lower-priority running request (its KV bits saved and
+  // restored, so the resumed stream is unchanged) instead of queueing.
+  serving.policy = ktx::SchedulePolicy::kSlackPreempt;
   ktx::ServingLoop loop(&engine, serving);
 
   // A mixed workload: greedy and sampled, short and long. One request is
@@ -79,6 +83,23 @@ int main() {
                 static_cast<unsigned long long>(id));
   }
 
+  // Let the loop run a few sweeps, then drop in a priority-3 request while
+  // both slots are busy with priority-0 work: it does not wait its turn — it
+  // evicts the running request with the most slack (KV bits saved) and the
+  // victim resumes later with its stream unchanged.
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    loop.RunOnce();
+  }
+  {
+    ktx::GenerationRequest vip;
+    vip.prompt = {42, 41, 40};
+    vip.max_new_tokens = 6;
+    vip.priority = 3;
+    const std::uint64_t id = loop.Submit(std::move(vip));
+    std::printf("submitted request %llu mid-stream (greedy, priority 3: preempts)\n",
+                static_cast<unsigned long long>(id));
+  }
+
   const auto results = loop.RunToCompletion();
   std::printf("\ncompleted %zu requests:\n", results.size());
   for (const auto& r : results) {
@@ -87,6 +108,9 @@ int main() {
                 static_cast<long long>(r.prompt_tokens), reason.c_str());
     for (int t : r.tokens) {
       std::printf(" %d", t);
+    }
+    if (r.preemptions > 0) {
+      std::printf(" [preempted x%d, stream unchanged]", r.preemptions);
     }
     if (!r.ok) {
       std::printf(" [%s]", r.status.ToString().c_str());
@@ -97,12 +121,22 @@ int main() {
   }
 
   const auto& stats = loop.stats();
-  std::printf("\nserving stats: %lld requests (%lld rejected, %lld failed), "
-              "%lld tokens, peak concurrency %d\n",
+  std::printf("\nserving stats: %lld requests (%lld rejected, %lld failed, "
+              "%lld deadline-expired), %lld tokens, peak concurrency %d\n",
               static_cast<long long>(stats.requests_completed),
               static_cast<long long>(stats.requests_rejected),
               static_cast<long long>(stats.requests_failed),
+              static_cast<long long>(stats.requests_deadline_expired),
               static_cast<long long>(stats.tokens_generated), stats.peak_concurrency);
+  std::printf("scheduling (%s): goodput %lld tokens within deadline | "
+              "%lld preemptions, %lld resumes, %lld KV positions preserved "
+              "(%lld adopted from the prefix cache)\n",
+              std::string(ktx::SchedulePolicyName(serving.policy)).c_str(),
+              static_cast<long long>(stats.goodput_tokens),
+              static_cast<long long>(stats.preemptions),
+              static_cast<long long>(stats.preempt_resumes),
+              static_cast<long long>(stats.preempt_tokens_preserved),
+              static_cast<long long>(stats.preempt_tokens_adopted));
   std::printf("prefill: %lld prompt tokens in %lld chunks (budget %lld/sweep)\n",
               static_cast<long long>(stats.prefill_tokens),
               static_cast<long long>(stats.prefill_chunks),

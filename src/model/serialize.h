@@ -25,6 +25,7 @@
 #ifndef KTX_SRC_MODEL_SERIALIZE_H_
 #define KTX_SRC_MODEL_SERIALIZE_H_
 
+#include <cstdint>
 #include <string>
 
 #include "src/common/status.h"
@@ -54,12 +55,16 @@ StatusOr<ModelFile> DeserializeModel(const std::string& bytes);
 // KTXV blob. Rows are gathered by logical position: storage mode (paged or
 // contiguous) and block sharing never affect the bytes.
 std::string SerializeKvState(const MoeModelConfig& config, const KvCache& cache);
-// Restores a KTXV blob into `cache`, which must be empty (position 0) and
-// built for the same attention geometry; paged caches allocate blocks from
-// their pool as needed (kResourceExhausted if it cannot). Validates magic,
-// version, geometry, and payload size.
+// Restores a KTXV blob into `cache`, which must sit exactly at `start_pos`
+// (default 0: an empty cache) and be built for the same attention geometry;
+// rows [0, start_pos) of the blob are skipped — the caller vouches that the
+// cache already holds them (e.g. adopted from a paged prefix cache, so the
+// physical bits are the very ones that were serialized). Rows [start_pos,
+// position) are copied in; paged caches allocate blocks from their pool as
+// needed (kResourceExhausted if it cannot, position untouched). Validates
+// magic, version, geometry, and payload size.
 Status DeserializeKvState(const std::string& bytes, const MoeModelConfig& config,
-                          KvCache* cache);
+                          KvCache* cache, std::int64_t start_pos = 0);
 
 }  // namespace ktx
 
