@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "bench/accuracy_common.h"
+#include "src/common/metrics.h"
 #include "src/core/engine.h"
 
 namespace {
@@ -320,41 +321,47 @@ int main() {
   const bool gate_fidelity = fid.rel_error < 0.15;
   const bool gate_identity = ident_max_diff == 0.0 && ident_hits > 0;
 
+  ktx::JsonWriter w;
+  w.BeginObject();
+  w.Key("fixture");
+  w.BeginObject();
+  w.Field("moe_layers", config.num_moe_layers());
+  w.Field("experts_per_layer", config.num_experts);
+  w.Field("hidden", config.hidden);
+  w.Field("inter", config.moe_inter);
+  w.Field("top_k", config.top_k);
+  w.Field("capacity", capacity);
+  w.Field("sessions", kSessions);
+  w.Field("warmup_steps", kWarmupSteps);
+  w.Field("timed_steps", kTimedSteps);
+  w.Field("skew", "zipf selection bias 0.8/(1+rank)^0.7");
+  w.EndObject();
+  w.Field("baseline_f32_tok_s", speedup.base_tok_s);
+  w.Field("placed_i8_i4_tok_s", speedup.placed_tok_s);
+  w.Field("speedup", ratio);
+  w.Field("zipf_hit_rate", zipf_hit);
+  w.Field("uniform_hit_rate", uniform_hit);
+  w.Field("promotions", placed.cache.promotions);
+  w.Field("demotions", placed.cache.demotions);
+  w.Field("hot_bytes", placed.cache.hot_bytes);
+  w.Field("cold_bytes_saved", placed.cache.cold_bytes_saved);
+  w.Field("quantized_rel_error", fid.rel_error);
+  w.Field("quantized_confident_agreement", fid.confident_agreement);
+  w.Field("f32_hot_path_max_abs_diff", ident_max_diff);
+  w.Field("f32_hot_path_hits", ident_hits);
+  w.Key("gates");
+  w.BeginObject();
+  w.Field("speedup_ge_1.5", gate_speedup);
+  w.Field("zipf_hit_gt_0.5", gate_hit);
+  w.Field("rel_error_lt_0.15", gate_fidelity);
+  w.Field("bit_identical", gate_identity);
+  w.EndObject();
+  w.EndObject();
+
   std::FILE* f = std::fopen("BENCH_expert_cache.json", "w");
   if (f != nullptr) {
-    std::fprintf(
-        f,
-        "{\n  \"fixture\": {\"moe_layers\": %d, \"experts_per_layer\": %d, "
-        "\"hidden\": %lld, \"inter\": %lld, \"top_k\": %d, \"capacity\": %d,\n"
-        "              \"sessions\": %d, \"warmup_steps\": %d, \"timed_steps\": %d, "
-        "\"skew\": \"zipf selection bias 0.8/(1+rank)^0.7\"},\n",
-        config.num_moe_layers(), config.num_experts, static_cast<long long>(config.hidden),
-        static_cast<long long>(config.moe_inter), config.top_k, capacity, kSessions,
-        kWarmupSteps, kTimedSteps);
-    std::fprintf(f,
-                 "  \"baseline_f32_tok_s\": %.3f,\n"
-                 "  \"placed_i8_i4_tok_s\": %.3f,\n"
-                 "  \"speedup\": %.4f,\n"
-                 "  \"zipf_hit_rate\": %.4f,\n"
-                 "  \"uniform_hit_rate\": %.4f,\n"
-                 "  \"promotions\": %lld,\n  \"demotions\": %lld,\n"
-                 "  \"hot_bytes\": %lld,\n  \"cold_bytes_saved\": %lld,\n",
-                 speedup.base_tok_s, speedup.placed_tok_s, ratio, zipf_hit,
-                 uniform_hit, static_cast<long long>(placed.cache.promotions),
-                 static_cast<long long>(placed.cache.demotions),
-                 static_cast<long long>(placed.cache.hot_bytes),
-                 static_cast<long long>(placed.cache.cold_bytes_saved));
-    std::fprintf(f,
-                 "  \"quantized_rel_error\": %.6f,\n"
-                 "  \"quantized_confident_agreement\": %.2f,\n"
-                 "  \"f32_hot_path_max_abs_diff\": %.9g,\n"
-                 "  \"f32_hot_path_hits\": %lld,\n"
-                 "  \"gates\": {\"speedup_ge_1.5\": %s, \"zipf_hit_gt_0.5\": %s, "
-                 "\"rel_error_lt_0.15\": %s, \"bit_identical\": %s}\n}\n",
-                 fid.rel_error, fid.confident_agreement, ident_max_diff,
-                 static_cast<long long>(ident_hits), gate_speedup ? "true" : "false",
-                 gate_hit ? "true" : "false", gate_fidelity ? "true" : "false",
-                 gate_identity ? "true" : "false");
+    std::fwrite(w.str().data(), 1, w.str().size(), f);
+    std::fputc('\n', f);
     std::fclose(f);
   }
 

@@ -32,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/serve/serving.h"
 
 namespace {
@@ -217,45 +218,60 @@ int main() {
               paged.stats.prefix_hit_rate, paged.stats.kv_utilization,
               bit_identical ? "yes" : "NO");
 
+  ktx::JsonWriter w;
+  w.BeginObject();
+  w.Key("fixture");
+  w.BeginObject();
+  w.Field("config", "micro-moe-9L");
+  w.Field("max_seq", config.max_seq);
+  w.Field("kv_budget_rows", kBudgetRows);
+  w.Field("block_size", kBlockSize);
+  w.Field("pool_blocks", kBudgetRows / kBlockSize);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "1 prefix-seeding request + %d-request burst: 256-token shared prefix "
+                "+ 8-token suffix, 16 new tokens",
+                kBurstRequests - 1);
+  w.Field("workload", buf);
+  w.Field("prefill_chunk", 16);
+  w.EndObject();
+  w.Key("modes");
+  w.BeginArray();
+  w.BeginObject();
+  w.Field("mode", "contiguous");
+  w.Field("peak_concurrency", contiguous.peak_concurrency);
+  w.Field("burst_s", contiguous.elapsed_s);
+  w.Field("ttft_cold_ms", contiguous_ttft.cold_ms);
+  w.Field("ttft_warm_ms", contiguous_ttft.warm_ms);
+  w.Key("stats");
+  contiguous.stats.AppendJson(w);
+  w.EndObject();
+  w.BeginObject();
+  w.Field("mode", "paged");
+  w.Field("peak_concurrency", paged.peak_concurrency);
+  w.Field("burst_s", paged.elapsed_s);
+  w.Field("ttft_cold_ms", paged_ttft.cold_ms);
+  w.Field("ttft_warm_ms", paged_ttft.warm_ms);
+  w.Field("prefix_hit_rate", paged.stats.prefix_hit_rate);
+  w.Field("prefix_tokens_reused", paged.stats.prefix_tokens_reused);
+  w.Field("kv_blocks_in_use_peak", paged.stats.kv_blocks_in_use);
+  w.Field("kv_utilization", paged.stats.kv_utilization);
+  w.Key("stats");
+  paged.stats.AppendJson(w);
+  w.EndObject();
+  w.EndArray();
+  w.Field("concurrency_ratio_paged_over_contiguous", concurrency_ratio);
+  w.Field("ttft_warm_over_cold_paged", warm_over_cold);
+  w.Field("prefix_reuse_fraction", reuse_fraction);
+  w.Field("streams_bit_identical", bit_identical);
+  w.Field("accept_concurrency_ge_2x", concurrency_ratio >= 2.0);
+  w.Field("accept_warm_ttft_under_half_cold", warm_over_cold < 0.5);
+  w.EndObject();
+
   std::FILE* f = std::fopen("BENCH_serving_paged.json", "w");
   if (f != nullptr) {
-    std::fprintf(
-        f,
-        "{\n  \"fixture\": {\"config\": \"micro-moe-9L\", \"max_seq\": %lld, "
-        "\"kv_budget_rows\": %lld, \"block_size\": %lld, \"pool_blocks\": %lld,\n"
-        "              \"workload\": \"1 prefix-seeding request + %d-request burst: "
-        "256-token shared prefix + 8-token suffix, 16 new tokens\", "
-        "\"prefill_chunk\": 16},\n",
-        static_cast<long long>(config.max_seq), static_cast<long long>(kBudgetRows),
-        static_cast<long long>(kBlockSize), static_cast<long long>(kBudgetRows / kBlockSize),
-        kBurstRequests - 1);
-    std::fprintf(f,
-                 "  \"modes\": [\n"
-                 "    {\"mode\": \"contiguous\", \"peak_concurrency\": %d, "
-                 "\"burst_s\": %.3f, \"ttft_cold_ms\": %.3f, \"ttft_warm_ms\": %.3f},\n",
-                 contiguous.peak_concurrency, contiguous.elapsed_s, contiguous_ttft.cold_ms,
-                 contiguous_ttft.warm_ms);
-    std::fprintf(
-        f,
-        "    {\"mode\": \"paged\", \"peak_concurrency\": %d, \"burst_s\": %.3f, "
-        "\"ttft_cold_ms\": %.3f, \"ttft_warm_ms\": %.3f,\n"
-        "     \"prefix_hit_rate\": %.3f, \"prefix_tokens_reused\": %lld, "
-        "\"kv_blocks_in_use_peak\": %lld, \"kv_utilization\": %.3f}\n  ],\n",
-        paged.peak_concurrency, paged.elapsed_s, paged_ttft.cold_ms, paged_ttft.warm_ms,
-        paged.stats.prefix_hit_rate,
-        static_cast<long long>(paged.stats.prefix_tokens_reused),
-        static_cast<long long>(paged.stats.kv_blocks_in_use), paged.stats.kv_utilization);
-    std::fprintf(f,
-                 "  \"concurrency_ratio_paged_over_contiguous\": %.3f,\n"
-                 "  \"ttft_warm_over_cold_paged\": %.3f,\n"
-                 "  \"prefix_reuse_fraction\": %.3f,\n"
-                 "  \"streams_bit_identical\": %s,\n"
-                 "  \"accept_concurrency_ge_2x\": %s,\n"
-                 "  \"accept_warm_ttft_under_half_cold\": %s\n}\n",
-                 concurrency_ratio, warm_over_cold, reuse_fraction,
-                 bit_identical ? "true" : "false",
-                 concurrency_ratio >= 2.0 ? "true" : "false",
-                 warm_over_cold < 0.5 ? "true" : "false");
+    std::fwrite(w.str().data(), 1, w.str().size(), f);
+    std::fputc('\n', f);
     std::fclose(f);
     std::printf("wrote BENCH_serving_paged.json\n");
   }

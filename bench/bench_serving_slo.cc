@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "bench/arrival_trace.h"
+#include "src/common/metrics.h"
 #include "src/serve/serving.h"
 
 namespace {
@@ -107,6 +108,7 @@ struct TrialOutcome {
   std::int64_t preempt_resumes = 0;
   std::int64_t stream_mismatches = 0;
   double elapsed_s = 0.0;
+  ktx::ServingLoop::Stats stats;  // full loop stats, serialized per trial
 };
 
 TrialOutcome RunTrial(const ktx::MoeModelConfig& config,
@@ -161,6 +163,7 @@ TrialOutcome RunTrial(const ktx::MoeModelConfig& config,
   out.deadline_expired = stats.requests_deadline_expired;
   out.preemptions = stats.preemptions;
   out.preempt_resumes = stats.preempt_resumes;
+  out.stats = stats;
   return out;
 }
 
@@ -282,52 +285,62 @@ int main() {
               static_cast<long long>(preempt_overload), ratio,
               static_cast<long long>(total_mismatches));
 
+  ktx::JsonWriter w;
+  w.BeginObject();
+  w.Key("fixture");
+  w.BeginObject();
+  w.Field("config", "micro-moe-9L");
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "bursty MMPP, seed %llu, %.1fs",
+                static_cast<unsigned long long>(kTraceSeed), kTraceDurationS);
+  w.Field("arrivals", buf);
+  w.Field("capacity_rps", capacity_rps);
+  std::snprintf(buf, sizeof(buf),
+                "%.0f%% batch (%d+%d tok, pri 0, %.0fms deadline), "
+                "%.0f%% interactive (%d+%d tok, pri 2, %.0fms deadline)",
+                (1.0 - kInteractiveFraction) * 100.0, kBatchPromptTokens, kBatchNewTokens,
+                batch_deadline_s * 1e3, kInteractiveFraction * 100.0,
+                kInteractivePromptTokens, kInteractiveNewTokens,
+                interactive_deadline_s * 1e3);
+  w.Field("workload", buf);
+  w.Field("max_concurrent", 4);
+  w.Field("kv", "paged, prefix cache on");
+  w.EndObject();
+  w.Key("trials");
+  w.BeginArray();
+  for (const TrialRecord& r : records) {
+    w.BeginObject();
+    w.Field("policy", ktx::SchedulePolicyName(r.policy));
+    w.Field("load", r.load);
+    w.Field("goodput_tokens", r.out.goodput_tokens);
+    w.Field("tokens_generated", r.out.tokens_generated);
+    w.Field("deadline_expired", r.out.deadline_expired);
+    w.Field("completed_ok", r.out.completed_ok);
+    w.Field("preemptions", r.out.preemptions);
+    w.Field("preempt_resumes", r.out.preempt_resumes);
+    w.Field("stream_mismatches", r.out.stream_mismatches);
+    w.Field("elapsed_s", r.out.elapsed_s);
+    w.Key("stats");
+    r.out.stats.AppendJson(w);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("overload_goodput");
+  w.BeginObject();
+  w.Field("fifo", fifo_overload);
+  w.Field("slack", slack_overload);
+  w.Field("slack_preempt", preempt_overload);
+  w.EndObject();
+  w.Field("goodput_ratio_preempt_over_fifo_at_overload", ratio);
+  w.Field("stream_mismatches", total_mismatches);
+  w.Field("accept_goodput_ge_1p5x", ratio >= 1.5);
+  w.Field("accept_streams_bit_identical", total_mismatches == 0);
+  w.EndObject();
+
   std::FILE* f = std::fopen("BENCH_serving_slo.json", "w");
   if (f != nullptr) {
-    std::fprintf(
-        f,
-        "{\n  \"fixture\": {\"config\": \"micro-moe-9L\", \"arrivals\": \"bursty MMPP, "
-        "seed %llu, %.1fs\", \"capacity_rps\": %.2f,\n"
-        "              \"workload\": \"%.0f%% batch (%d+%d tok, pri 0, %.0fms deadline), "
-        "%.0f%% interactive (%d+%d tok, pri 2, %.0fms deadline)\",\n"
-        "              \"max_concurrent\": 4, \"kv\": \"paged, prefix cache on\"},\n"
-        "  \"trials\": [\n",
-        static_cast<unsigned long long>(kTraceSeed), kTraceDurationS, capacity_rps,
-        (1.0 - kInteractiveFraction) * 100.0, kBatchPromptTokens, kBatchNewTokens,
-        batch_deadline_s * 1e3, kInteractiveFraction * 100.0, kInteractivePromptTokens,
-        kInteractiveNewTokens, interactive_deadline_s * 1e3);
-    for (std::size_t i = 0; i < records.size(); ++i) {
-      const TrialRecord& r = records[i];
-      std::fprintf(
-          f,
-          "    {\"policy\": \"%s\", \"load\": %.1f, \"goodput_tokens\": %lld, "
-          "\"tokens_generated\": %lld, \"deadline_expired\": %lld, \"completed_ok\": %lld, "
-          "\"preemptions\": %lld, \"preempt_resumes\": %lld, \"stream_mismatches\": %lld, "
-          "\"elapsed_s\": %.3f}%s\n",
-          std::string(ktx::SchedulePolicyName(r.policy)).c_str(), r.load,
-          static_cast<long long>(r.out.goodput_tokens),
-          static_cast<long long>(r.out.tokens_generated),
-          static_cast<long long>(r.out.deadline_expired),
-          static_cast<long long>(r.out.completed_ok),
-          static_cast<long long>(r.out.preemptions),
-          static_cast<long long>(r.out.preempt_resumes),
-          static_cast<long long>(r.out.stream_mismatches), r.out.elapsed_s,
-          i + 1 < records.size() ? "," : "");
-    }
-    std::fprintf(f,
-                 "  ],\n"
-                 "  \"overload_goodput\": {\"fifo\": %lld, \"slack\": %lld, "
-                 "\"slack_preempt\": %lld},\n"
-                 "  \"goodput_ratio_preempt_over_fifo_at_overload\": %.3f,\n"
-                 "  \"stream_mismatches\": %lld,\n"
-                 "  \"accept_goodput_ge_1p5x\": %s,\n"
-                 "  \"accept_streams_bit_identical\": %s\n}\n",
-                 static_cast<long long>(fifo_overload),
-                 static_cast<long long>(slack_overload),
-                 static_cast<long long>(preempt_overload), ratio,
-                 static_cast<long long>(total_mismatches),
-                 ratio >= 1.5 ? "true" : "false",
-                 total_mismatches == 0 ? "true" : "false");
+    std::fwrite(w.str().data(), 1, w.str().size(), f);
+    std::fputc('\n', f);
     std::fclose(f);
     std::printf("wrote BENCH_serving_slo.json\n");
   }

@@ -10,6 +10,13 @@
 // watch the loop-level TBT percentiles at the end.
 //
 //   ./serving_demo
+//   ./serving_demo --trace=serving_trace.json   # Perfetto-loadable trace
+//
+// With --trace, the whole run is recorded by the in-process tracer: one
+// lifecycle track per request (submit -> queued -> prefill -> decode ->
+// preempt/resume -> retire, with the finish reason and deadline slack),
+// engine prefill/decode spans, CPU MoE sweep spans, expert-cache promotion
+// spans, and KV pool instants. Load the file at https://ui.perfetto.dev.
 
 #include <algorithm>
 #include <cstdio>
@@ -18,9 +25,23 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/flags.h"
+#include "src/common/trace.h"
 #include "src/serve/serving.h"
 
-int main() {
+int main(int argc, char** argv) {
+  auto flags_or = ktx::FlagParser::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::printf("%s\n", flags_or.status().ToString().c_str());
+    return 2;
+  }
+  const ktx::FlagParser& flags = *flags_or;
+  const std::string trace_path = flags.GetString("trace", "");
+  if (!trace_path.empty()) {
+    ktx::trace::SetEnabled(true);
+    ktx::trace::SetCurrentThreadName("serving");
+  }
+
   const ktx::MoeModelConfig config = ktx::SmallMoeConfig();
   auto weights =
       std::make_shared<const ktx::ModelWeights>(ktx::ModelWeights::Generate(config, 500));
@@ -35,6 +56,10 @@ int main() {
   options.placement.capacity = config.num_moe_layers() * config.num_experts / 4;
   options.placement.cold_dtype = ktx::DType::kI4;
   options.placement.update_interval = 4;
+  // Paged KV with prefix caching: preempted requests resume by adopting their
+  // own cached blocks, and repeated prompts share prefix blocks copy-on-write.
+  options.kv_pool_blocks = 512;
+  options.kv_block_size = 16;
   ktx::HybridEngine engine(config, weights, options);
 
   ktx::ServingOptions serving;
@@ -73,6 +98,17 @@ int main() {
     const std::uint64_t id = loop.Submit(std::move(longreq));
     std::printf("queued request %llu (greedy, 160-token prompt, chunked prefill)\n",
                 static_cast<unsigned long long>(id));
+    // The same long prompt again: once the first has prefilled, the repeat
+    // adopts its cached prefix blocks (watch prefix_tokens_reused below).
+    ktx::GenerationRequest repeat;
+    repeat.prompt.assign(160, 0);
+    for (int t = 0; t < 160; ++t) {
+      repeat.prompt[static_cast<std::size_t>(t)] = (t * 11 + 5) % config.vocab;
+    }
+    repeat.max_new_tokens = 8;
+    const std::uint64_t repeat_id = loop.Submit(std::move(repeat));
+    std::printf("queued request %llu (greedy, same 160-token prompt: prefix reuse)\n",
+                static_cast<unsigned long long>(repeat_id));
   }
   {
     ktx::GenerationRequest bad;
@@ -180,6 +216,20 @@ int main() {
                   hottest[static_cast<std::size_t>(i)].first);
     }
     std::printf("\n");
+  }
+
+  if (!trace_path.empty()) {
+    ktx::trace::SetEnabled(false);
+    if (ktx::trace::WriteChromeJson(trace_path)) {
+      const ktx::trace::Snapshot snap = ktx::trace::TakeSnapshot();
+      std::printf("\nwrote %zu trace events (%lld dropped) across %d threads to %s "
+                  "(open at https://ui.perfetto.dev)\n",
+                  snap.events.size(), static_cast<long long>(snap.dropped),
+                  snap.threads, trace_path.c_str());
+    } else {
+      std::printf("\nfailed to write trace to %s\n", trace_path.c_str());
+      return 1;
+    }
   }
   return 0;
 }

@@ -75,6 +75,29 @@ class LatencyHistogram {
     return max_;
   }
 
+  // Folds another histogram into this one. Buckets share one static layout,
+  // so merging is elementwise addition; the exact min/max/sum/count carry
+  // over so merged percentiles clamp to the true combined extremes. Used for
+  // cross-thread aggregation: record into a thread-local histogram, Merge
+  // under a lock at the end.
+  void Merge(const LatencyHistogram& other) {
+    if (other.count_ == 0) {
+      return;
+    }
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = other.min_ < min_ ? other.min_ : min_;
+      max_ = other.max_ > max_ ? other.max_ : max_;
+    }
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+      counts_[b] += other.counts_[b];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
   void Reset() { *this = LatencyHistogram(); }
 
  private:

@@ -5,6 +5,9 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/common/stopwatch.h"
+#include "src/common/trace.h"
+
 namespace ktx {
 
 namespace {
@@ -45,7 +48,12 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (static_cast<int>(level_) >= g_min_level.load() || level_ == LogLevel::kFatal) {
-    std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level_), Basename(file_), line_,
+    // Timestamp is seconds since the process steady epoch and the tid is the
+    // dense trace thread index, so "[I 12.345678 t03 ...]" lines up with a
+    // trace event at ts 12345678 us on tid 3 in the Perfetto export.
+    std::fprintf(stderr, "[%s %.6f t%02d %s:%d] %s\n", LevelTag(level_),
+                 static_cast<double>(SteadyNowNanos()) * 1e-9,
+                 trace::CurrentThreadIndex(), Basename(file_), line_,
                  stream_.str().c_str());
   }
   if (level_ == LogLevel::kFatal) {

@@ -1,0 +1,299 @@
+#include "src/common/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/logging.h"
+
+namespace ktx {
+
+// --- JsonWriter ---
+
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    // The comma (if any) was emitted by Key(); the value completing this
+    // key:value pair makes the *next* sibling need one.
+    after_key_ = false;
+    need_comma_ = true;
+    return;
+  }
+  if (need_comma_) {
+    out_.push_back(',');
+  }
+  need_comma_ = true;
+}
+
+void JsonWriter::AppendEscaped(std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  stack_.push_back(Scope::kObject);
+  need_comma_ = false;
+}
+
+void JsonWriter::EndObject() {
+  KTX_DCHECK(!stack_.empty() && stack_.back() == Scope::kObject);
+  stack_.pop_back();
+  out_.push_back('}');
+  need_comma_ = true;
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  stack_.push_back(Scope::kArray);
+  need_comma_ = false;
+}
+
+void JsonWriter::EndArray() {
+  KTX_DCHECK(!stack_.empty() && stack_.back() == Scope::kArray);
+  stack_.pop_back();
+  out_.push_back(']');
+  need_comma_ = true;
+}
+
+void JsonWriter::Key(std::string_view key) {
+  KTX_DCHECK(!stack_.empty() && stack_.back() == Scope::kObject);
+  if (need_comma_) {
+    out_.push_back(',');
+  }
+  out_.push_back('"');
+  AppendEscaped(key);
+  out_ += "\":";
+  need_comma_ = false;
+  after_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_.push_back('"');
+  AppendEscaped(value);
+  out_.push_back('"');
+}
+
+void JsonWriter::Int(std::int64_t value) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  out_ += buf;
+}
+
+void JsonWriter::Uint(std::uint64_t value) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(value));
+  out_ += buf;
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    // JSON has no NaN/Inf; null is the least-surprising stand-in.
+    out_ += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  out_ += buf;
+}
+
+void JsonWriter::FixedDouble(double value, int decimals) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+}
+
+void JsonWriter::Raw(std::string_view json) {
+  BeforeValue();
+  out_ += json;
+}
+
+void AppendHistogramJson(JsonWriter& w, const LatencyHistogram& h) {
+  w.BeginObject();
+  w.Field("count", h.count());
+  w.Field("mean_s", h.mean_seconds());
+  w.Field("min_s", h.min_seconds());
+  w.Field("max_s", h.max_seconds());
+  w.Field("p50_s", h.Percentile(50.0));
+  w.Field("p95_s", h.Percentile(95.0));
+  w.Field("p99_s", h.Percentile(99.0));
+  w.EndObject();
+}
+
+// --- MetricsRegistry ---
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked so metric pointers stay valid through static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<HistogramMetric>()).first;
+  }
+  return it->second.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    w.Field(name, counter->value());
+  }
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    w.Field(name, gauge->value());
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& [name, metric] : histograms_) {
+    w.Key(name);
+    AppendHistogramJson(w, metric->Snapshot());
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
+namespace {
+
+// "serving.requests_completed_total" -> "ktx_serving_requests_completed_total"
+std::string PrometheusName(const std::string& name) {
+  std::string out = "ktx_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendPrometheusValue(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " ";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(counter->value()));
+    out += buf;
+    out.push_back('\n');
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " ";
+    AppendPrometheusValue(out, gauge->value());
+    out.push_back('\n');
+  }
+  for (const auto& [name, metric] : histograms_) {
+    const std::string prom = PrometheusName(name);
+    const LatencyHistogram h = metric->Snapshot();
+    out += "# TYPE " + prom + " summary\n";
+    for (const double q : {0.5, 0.95, 0.99}) {
+      out += prom + "{quantile=\"";
+      AppendPrometheusValue(out, q);
+      out += "\"} ";
+      AppendPrometheusValue(out, h.Percentile(q * 100.0));
+      out.push_back('\n');
+    }
+    out += prom + "_sum ";
+    AppendPrometheusValue(out, h.sum_seconds());
+    out.push_back('\n');
+    out += prom + "_count ";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(h.count()));
+    out += buf;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace ktx

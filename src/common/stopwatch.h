@@ -8,8 +8,21 @@
 #define KTX_SRC_COMMON_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace ktx {
+
+// Nanoseconds since the process steady-clock epoch (latched on the first
+// call). KTX_LOG timestamps and trace events both read this clock, so a log
+// line's seconds column equals a trace event's ts / 1e9 and the two can be
+// correlated after the fact.
+inline std::int64_t SteadyNowNanos() {
+  static const std::chrono::steady_clock::time_point kEpoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - kEpoch)
+      .count();
+}
 
 class Stopwatch {
  public:

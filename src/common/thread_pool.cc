@@ -1,8 +1,10 @@
 #include "src/common/thread_pool.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "src/common/logging.h"
+#include "src/common/trace.h"
 
 namespace ktx {
 
@@ -95,6 +97,7 @@ void ThreadPool::ParallelRun(RunFn fn, void* ctx, std::size_t n, std::size_t chu
     return;
   }
   KTX_DCHECK(n <= kRunIndexMask) << "ParallelRun index overflow";
+  KTX_TRACE_SPAN_ARG("pool", "parallel_run", "subtasks", (n + chunk - 1) / chunk);
   std::lock_guard<std::mutex> serialize(run_mu_);
   // Fields may only mutate while the generation is even (idle).
   run_fn_.store(fn, std::memory_order_relaxed);
@@ -120,6 +123,11 @@ void ThreadPool::ParallelRun(RunFn fn, void* ctx, std::size_t n, std::size_t chu
 void ThreadPool::WorkerLoop(std::size_t slot) {
   tls_pool = this;
   tls_slot = static_cast<int>(slot);
+  {
+    char name[32];
+    std::snprintf(name, sizeof(name), "pool worker %zu", slot);
+    trace::SetCurrentThreadName(name);
+  }
   for (;;) {
     if (HelpRun()) {
       continue;

@@ -1,0 +1,355 @@
+#include "src/common/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "src/common/metrics.h"
+
+namespace ktx::trace {
+
+namespace {
+// Dense thread ids are assigned even when tracing is compiled out (KTX_LOG
+// uses them), so the counter lives outside the guard below.
+std::atomic<int> g_next_thread_index{0};
+}  // namespace
+
+int CurrentThreadIndex() {
+  thread_local const int index = g_next_thread_index.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+#ifndef KTX_TRACE_COMPILED_OUT
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+namespace {
+
+// One ring slot. Every field is atomic so a concurrent exporter never races
+// with the (single) writing thread; the seqlock (odd = write in progress)
+// lets the exporter detect and retry mid-write snapshots instead of reading
+// torn events.
+struct Slot {
+  std::atomic<std::uint32_t> seq{0};
+  std::atomic<std::uint8_t> phase{0};
+  std::atomic<int> tid{0};
+  std::atomic<const char*> cat{nullptr};
+  std::atomic<const char*> name{nullptr};
+  std::atomic<std::int64_t> ts_ns{0};
+  std::atomic<std::int64_t> dur_ns{0};
+  std::atomic<std::uint64_t> id{0};
+  std::atomic<const char*> arg_name{nullptr};
+  std::atomic<std::int64_t> arg_value{0};
+  std::atomic<const char*> arg_str{nullptr};
+};
+
+struct Ring {
+  explicit Ring(std::size_t cap) : capacity(cap), slots(new Slot[cap]) {}
+  const std::size_t capacity;
+  std::unique_ptr<Slot[]> slots;
+  // Monotonic count of events ever written; next write goes to
+  // slots[head % capacity]. Published with release so an exporter that reads
+  // head sees every slot publish before it.
+  std::atomic<std::uint64_t> head{0};
+};
+
+// Thread names live in fixed static storage (written under the registry
+// mutex) so naming a thread never allocates: ThreadPool workers name
+// themselves at start, which may race with an allocation-counting test's
+// measured window (moe_alloc_test) if it took the heap path.
+constexpr int kMaxNamedThreads = 512;
+struct ThreadName {
+  bool set = false;
+  char name[48] = {};
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Ring>> rings;  // every ring ever created
+  std::vector<Ring*> free_rings;             // rings whose thread exited
+  ThreadName thread_names[kMaxNamedThreads];
+};
+
+Registry& GlobalRegistry() {
+  // Leaked: emitting threads may outlive static destruction.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+std::atomic<std::size_t> g_ring_capacity{8192};
+
+Ring* AcquireRing() {
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (!r.free_rings.empty()) {
+    Ring* ring = r.free_rings.back();
+    r.free_rings.pop_back();
+    return ring;
+  }
+  r.rings.push_back(std::make_unique<Ring>(g_ring_capacity.load(std::memory_order_relaxed)));
+  return r.rings.back().get();
+}
+
+// Rings are recycled through the free list when their thread exits, so a
+// long-lived process churning short-lived threads keeps a bounded ring count.
+// Events already in a returned ring survive until Clear() (each event carries
+// its own tid, so reuse by another thread cannot misattribute them).
+struct RingHandle {
+  Ring* ring = nullptr;
+  ~RingHandle() {
+    if (ring != nullptr) {
+      Registry& r = GlobalRegistry();
+      std::lock_guard<std::mutex> lock(r.mu);
+      r.free_rings.push_back(ring);
+      ring = nullptr;
+    }
+  }
+};
+
+thread_local RingHandle t_ring;
+
+}  // namespace
+
+void SetEnabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool IsEnabledSlow() { return IsEnabled(); }
+
+void SetRingCapacity(std::size_t events) {
+  g_ring_capacity.store(events == 0 ? 1 : events, std::memory_order_relaxed);
+}
+
+void Clear() {
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& ring : r.rings) {
+    ring->head.store(0, std::memory_order_release);
+  }
+}
+
+void SetCurrentThreadName(std::string_view name) {
+  const int tid = CurrentThreadIndex();
+  if (tid < 0 || tid >= kMaxNamedThreads) {
+    return;
+  }
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ThreadName& slot = r.thread_names[tid];
+  const std::size_t n = std::min(name.size(), sizeof(slot.name) - 1);
+  std::memcpy(slot.name, name.data(), n);
+  slot.name[n] = '\0';
+  slot.set = true;
+}
+
+void Emit(Phase phase, const char* cat, const char* name, std::int64_t ts_ns,
+          std::int64_t dur_ns, std::uint64_t id, const char* arg_name,
+          std::int64_t arg_value, const char* arg_str) {
+  if (!IsEnabled()) {
+    return;
+  }
+  if (t_ring.ring == nullptr) {
+    t_ring.ring = AcquireRing();  // once per thread; the only allocating path
+  }
+  Ring* ring = t_ring.ring;
+  const std::uint64_t pos = ring->head.load(std::memory_order_relaxed);
+  Slot& s = ring->slots[pos % ring->capacity];
+  const std::uint32_t seq = s.seq.load(std::memory_order_relaxed);
+  s.seq.store(seq + 1, std::memory_order_relaxed);  // odd: write in progress
+  std::atomic_thread_fence(std::memory_order_release);
+  s.phase.store(static_cast<std::uint8_t>(phase), std::memory_order_relaxed);
+  s.tid.store(CurrentThreadIndex(), std::memory_order_relaxed);
+  s.cat.store(cat, std::memory_order_relaxed);
+  s.name.store(name, std::memory_order_relaxed);
+  s.ts_ns.store(ts_ns, std::memory_order_relaxed);
+  s.dur_ns.store(dur_ns, std::memory_order_relaxed);
+  s.id.store(id, std::memory_order_relaxed);
+  s.arg_name.store(arg_name, std::memory_order_relaxed);
+  s.arg_value.store(arg_value, std::memory_order_relaxed);
+  s.arg_str.store(arg_str, std::memory_order_relaxed);
+  s.seq.store(seq + 2, std::memory_order_release);  // even: stable
+  ring->head.store(pos + 1, std::memory_order_release);
+}
+
+namespace {
+
+bool ReadSlot(const Slot& s, SnapshotEvent* out) {
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const std::uint32_t before = s.seq.load(std::memory_order_acquire);
+    if ((before & 1u) != 0) {
+      continue;  // mid-write; the writer is fast, retry
+    }
+    out->phase = static_cast<Phase>(s.phase.load(std::memory_order_relaxed));
+    out->tid = s.tid.load(std::memory_order_relaxed);
+    out->cat = s.cat.load(std::memory_order_relaxed);
+    out->name = s.name.load(std::memory_order_relaxed);
+    out->ts_ns = s.ts_ns.load(std::memory_order_relaxed);
+    out->dur_ns = s.dur_ns.load(std::memory_order_relaxed);
+    out->id = s.id.load(std::memory_order_relaxed);
+    out->arg_name = s.arg_name.load(std::memory_order_relaxed);
+    out->arg_value = s.arg_value.load(std::memory_order_relaxed);
+    out->arg_str = s.arg_str.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.seq.load(std::memory_order_acquire) == before) {
+      return true;
+    }
+  }
+  return false;  // kept being overwritten: it was among the oldest anyway
+}
+
+}  // namespace
+
+Snapshot TakeSnapshot() {
+  Snapshot snap;
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& ring : r.rings) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    if (head == 0) {
+      continue;
+    }
+    ++snap.threads;
+    const std::uint64_t count =
+        head < ring->capacity ? head : static_cast<std::uint64_t>(ring->capacity);
+    snap.dropped += static_cast<std::int64_t>(head - count);
+    snap.events.reserve(snap.events.size() + count);
+    for (std::uint64_t i = head - count; i < head; ++i) {
+      SnapshotEvent ev;
+      if (ReadSlot(ring->slots[i % ring->capacity], &ev) && ev.name != nullptr) {
+        snap.events.push_back(ev);
+      } else {
+        ++snap.dropped;
+      }
+    }
+  }
+  return snap;
+}
+
+namespace {
+
+const char* PhaseString(Phase phase) {
+  switch (phase) {
+    case Phase::kComplete:
+      return "X";
+    case Phase::kInstant:
+      return "i";
+    case Phase::kCounter:
+      return "C";
+    case Phase::kAsyncBegin:
+      return "b";
+    case Phase::kAsyncEnd:
+      return "e";
+  }
+  return "i";
+}
+
+void AppendEvent(JsonWriter& w, const SnapshotEvent& ev) {
+  w.BeginObject();
+  w.Field("name", ev.name);
+  if (ev.cat != nullptr) {
+    w.Field("cat", ev.cat);
+  }
+  w.Field("ph", PhaseString(ev.phase));
+  w.Key("ts");
+  w.FixedDouble(static_cast<double>(ev.ts_ns) / 1e3, 3);  // microseconds
+  if (ev.phase == Phase::kComplete) {
+    w.Key("dur");
+    w.FixedDouble(static_cast<double>(ev.dur_ns) / 1e3, 3);
+  }
+  w.Field("pid", 1);
+  w.Field("tid", ev.tid);
+  if (ev.phase == Phase::kInstant) {
+    w.Field("s", "t");  // thread-scoped instant
+  }
+  if (ev.phase == Phase::kAsyncBegin || ev.phase == Phase::kAsyncEnd) {
+    char idbuf[24];
+    std::snprintf(idbuf, sizeof(idbuf), "0x%llx", static_cast<unsigned long long>(ev.id));
+    w.Field("id", idbuf);
+  }
+  if (ev.arg_name != nullptr || ev.arg_str != nullptr || ev.phase == Phase::kCounter) {
+    w.Key("args");
+    w.BeginObject();
+    if (ev.arg_name != nullptr) {
+      w.Field(ev.arg_name, ev.arg_value);
+    } else if (ev.phase == Phase::kCounter) {
+      w.Field("value", ev.arg_value);
+    }
+    if (ev.arg_str != nullptr) {
+      w.Field("detail", ev.arg_str);
+    }
+    w.EndObject();
+  }
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string ToChromeJson() {
+  const Snapshot snap = TakeSnapshot();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  // Track-name metadata first: the process, then every named thread.
+  w.BeginObject();
+  w.Field("name", "process_name");
+  w.Field("ph", "M");
+  w.Field("pid", 1);
+  w.Key("args");
+  w.BeginObject();
+  w.Field("name", "ktx");
+  w.EndObject();
+  w.EndObject();
+  {
+    Registry& r = GlobalRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (int tid = 0; tid < kMaxNamedThreads; ++tid) {
+      if (!r.thread_names[tid].set) {
+        continue;
+      }
+      w.BeginObject();
+      w.Field("name", "thread_name");
+      w.Field("ph", "M");
+      w.Field("pid", 1);
+      w.Field("tid", tid);
+      w.Key("args");
+      w.BeginObject();
+      w.Field("name", r.thread_names[tid].name);
+      w.EndObject();
+      w.EndObject();
+    }
+  }
+  for (const SnapshotEvent& ev : snap.events) {
+    AppendEvent(w, ev);
+  }
+  w.EndArray();
+  w.Field("displayTimeUnit", "ms");
+  w.Key("otherData");
+  w.BeginObject();
+  w.Field("dropped_events", snap.dropped);
+  w.Field("threads", snap.threads);
+  w.EndObject();
+  w.EndObject();
+  std::string out = w.TakeString();
+  out.push_back('\n');
+  return out;
+}
+
+bool WriteChromeJson(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string json = ToChromeJson();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == json.size();
+  return ok;
+}
+
+#endif  // KTX_TRACE_COMPILED_OUT
+
+}  // namespace ktx::trace

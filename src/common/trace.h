@@ -1,0 +1,261 @@
+// Lock-free, per-thread ring-buffer trace recorder with Chrome trace-event
+// export (Perfetto-loadable).
+//
+// Design: every thread that emits gets its own fixed-capacity ring of Events;
+// the emitting thread is the only writer, so emission takes no lock and makes
+// no allocation after the ring is acquired (first emission per thread).
+// Recording is runtime-toggleable: the disabled path is one relaxed atomic
+// load and a branch. Event fields are individually atomic and each slot
+// carries a seqlock (odd = write in progress), so a concurrent exporter can
+// snapshot rings while workers keep emitting, without data races (TSan-clean)
+// and without ever reading a torn event. When a ring wraps, the oldest events
+// are overwritten — dropped counts are reported in the export summary.
+//
+// Strings (category / name / arg names / string args) are stored as raw
+// `const char*` and must be string literals or otherwise outlive the
+// recorder; nothing is copied on the hot path.
+//
+//   KTX_TRACE_SPAN("engine", "decode_batch");            // RAII complete span
+//   KTX_TRACE_SPAN_ARG("engine", "prefill_chunk", "tokens", n);
+//   KTX_TRACE_INSTANT("kv", "cow_copy");
+//   KTX_TRACE_COUNTER("kv", "blocks_in_use", used);
+//   ktx::trace::EmitAsyncBegin("request", "decode", id); // cross-thread span
+//
+// Define KTX_TRACE_COMPILED_OUT to compile every macro and emitter to a
+// no-op (zero code at call sites); CurrentThreadIndex() stays real because
+// logging shares it.
+
+#ifndef KTX_SRC_COMMON_TRACE_H_
+#define KTX_SRC_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/stopwatch.h"
+
+namespace ktx::trace {
+
+// Small dense per-process thread index (0, 1, 2, ...), assigned at first use
+// and stable for the thread's lifetime. Shared with KTX_LOG so a log line's
+// tid matches the tid on trace events from the same thread.
+int CurrentThreadIndex();
+
+enum class Phase : std::uint8_t {
+  kComplete = 0,    // "X": ts + dur
+  kInstant = 1,     // "i"
+  kCounter = 2,     // "C": name = track, arg_value = sample
+  kAsyncBegin = 3,  // "b": nestable async, keyed by (cat, id)
+  kAsyncEnd = 4,    // "e"
+};
+
+// A decoded event, as returned by TakeSnapshot() (plain fields, no atomics).
+struct SnapshotEvent {
+  Phase phase = Phase::kInstant;
+  const char* cat = nullptr;
+  const char* name = nullptr;
+  std::int64_t ts_ns = 0;   // since the process steady epoch (SteadyNowNanos)
+  std::int64_t dur_ns = 0;  // kComplete only
+  std::uint64_t id = 0;     // async events + counters-with-id
+  int tid = 0;
+  const char* arg_name = nullptr;  // optional numeric arg
+  std::int64_t arg_value = 0;
+  const char* arg_str = nullptr;  // optional string arg (literal)
+};
+
+struct Snapshot {
+  std::vector<SnapshotEvent> events;
+  std::int64_t dropped = 0;  // overwritten by ring wraparound
+  int threads = 0;           // rings that recorded at least one event
+};
+
+#ifndef KTX_TRACE_COMPILED_OUT
+
+// Runtime toggle. The disabled emit path is IsEnabled() + branch, nothing
+// else: no clock read, no ring acquisition, no allocation.
+void SetEnabled(bool enabled);
+bool IsEnabledSlow();
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+inline bool IsEnabled() { return internal::g_enabled.load(std::memory_order_relaxed); }
+
+// Per-thread ring capacity in events for rings acquired after the call
+// (existing rings keep their size). Call before enabling; default 8192.
+void SetRingCapacity(std::size_t events);
+
+// Drops all recorded events (rings stay allocated). Callers must ensure no
+// thread is concurrently emitting — intended for tests and benches between
+// runs, not for live use.
+void Clear();
+
+// Names the calling thread's track in the export ("serving", "worker 3", ...).
+// Allocates (copies the name); call once at thread start, not on hot paths.
+void SetCurrentThreadName(std::string_view name);
+
+// Low-level emitter; the macros and helpers below are the intended surface.
+void Emit(Phase phase, const char* cat, const char* name, std::int64_t ts_ns,
+          std::int64_t dur_ns, std::uint64_t id, const char* arg_name,
+          std::int64_t arg_value, const char* arg_str);
+
+inline void EmitInstant(const char* cat, const char* name) {
+  if (IsEnabled()) {
+    Emit(Phase::kInstant, cat, name, SteadyNowNanos(), 0, 0, nullptr, 0, nullptr);
+  }
+}
+inline void EmitInstant(const char* cat, const char* name, const char* arg_name,
+                        std::int64_t arg_value) {
+  if (IsEnabled()) {
+    Emit(Phase::kInstant, cat, name, SteadyNowNanos(), 0, 0, arg_name, arg_value, nullptr);
+  }
+}
+inline void EmitCounter(const char* cat, const char* track, std::int64_t value) {
+  if (IsEnabled()) {
+    Emit(Phase::kCounter, cat, track, SteadyNowNanos(), 0, 0, track, value, nullptr);
+  }
+}
+inline void EmitAsyncBegin(const char* cat, const char* name, std::uint64_t id) {
+  if (IsEnabled()) {
+    Emit(Phase::kAsyncBegin, cat, name, SteadyNowNanos(), 0, id, nullptr, 0, nullptr);
+  }
+}
+inline void EmitAsyncBegin(const char* cat, const char* name, std::uint64_t id,
+                           const char* arg_name, std::int64_t arg_value) {
+  if (IsEnabled()) {
+    Emit(Phase::kAsyncBegin, cat, name, SteadyNowNanos(), 0, id, arg_name, arg_value,
+         nullptr);
+  }
+}
+inline void EmitAsyncEnd(const char* cat, const char* name, std::uint64_t id) {
+  if (IsEnabled()) {
+    Emit(Phase::kAsyncEnd, cat, name, SteadyNowNanos(), 0, id, nullptr, 0, nullptr);
+  }
+}
+inline void EmitAsyncEnd(const char* cat, const char* name, std::uint64_t id,
+                         const char* arg_name, std::int64_t arg_value) {
+  if (IsEnabled()) {
+    Emit(Phase::kAsyncEnd, cat, name, SteadyNowNanos(), 0, id, arg_name, arg_value,
+         nullptr);
+  }
+}
+inline void EmitAsyncEndStr(const char* cat, const char* name, std::uint64_t id,
+                            const char* arg_name, std::int64_t arg_value,
+                            const char* arg_str) {
+  if (IsEnabled()) {
+    Emit(Phase::kAsyncEnd, cat, name, SteadyNowNanos(), 0, id, arg_name, arg_value,
+         arg_str);
+  }
+}
+
+// RAII complete span ("X"): measures construction -> destruction. If tracing
+// is disabled at construction the span is inert (and stays inert even if
+// tracing is enabled mid-span, so dur is never garbage).
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* cat, const char* name)
+      : cat_(cat), name_(name), armed_(IsEnabled()) {
+    if (armed_) {
+      start_ns_ = SteadyNowNanos();
+    }
+  }
+  ScopedSpan(const char* cat, const char* name, const char* arg_name,
+             std::int64_t arg_value)
+      : ScopedSpan(cat, name) {
+    arg_name_ = arg_name;
+    arg_value_ = arg_value;
+  }
+  ~ScopedSpan() {
+    if (armed_ && IsEnabled()) {
+      const std::int64_t end_ns = SteadyNowNanos();
+      Emit(Phase::kComplete, cat_, name_, start_ns_, end_ns - start_ns_, 0, arg_name_,
+           arg_value_, arg_str_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  // Attach/overwrite the numeric arg after work inside the span computed it.
+  void set_arg(const char* arg_name, std::int64_t arg_value) {
+    arg_name_ = arg_name;
+    arg_value_ = arg_value;
+  }
+  void set_arg_str(const char* arg_str) { arg_str_ = arg_str; }
+
+ private:
+  const char* cat_;
+  const char* name_;
+  const char* arg_name_ = nullptr;
+  std::int64_t arg_value_ = 0;
+  const char* arg_str_ = nullptr;
+  std::int64_t start_ns_ = 0;
+  bool armed_;
+};
+
+// Consistent snapshot of every ring (safe while other threads keep emitting).
+Snapshot TakeSnapshot();
+
+// Chrome trace-event JSON ({"traceEvents": [...]}): load in Perfetto
+// (ui.perfetto.dev) or chrome://tracing. Timestamps are microseconds since
+// the process steady epoch, matching KTX_LOG's seconds column.
+std::string ToChromeJson();
+bool WriteChromeJson(const std::string& path);
+
+#else  // KTX_TRACE_COMPILED_OUT: every emitter is an inline no-op.
+
+inline void SetEnabled(bool) {}
+inline bool IsEnabledSlow() { return false; }
+inline bool IsEnabled() { return false; }
+inline void SetRingCapacity(std::size_t) {}
+inline void Clear() {}
+inline void SetCurrentThreadName(std::string_view) {}
+inline void Emit(Phase, const char*, const char*, std::int64_t, std::int64_t,
+                 std::uint64_t, const char*, std::int64_t, const char*) {}
+inline void EmitInstant(const char*, const char*) {}
+inline void EmitInstant(const char*, const char*, const char*, std::int64_t) {}
+inline void EmitCounter(const char*, const char*, std::int64_t) {}
+inline void EmitAsyncBegin(const char*, const char*, std::uint64_t) {}
+inline void EmitAsyncBegin(const char*, const char*, std::uint64_t, const char*,
+                           std::int64_t) {}
+inline void EmitAsyncEnd(const char*, const char*, std::uint64_t) {}
+inline void EmitAsyncEnd(const char*, const char*, std::uint64_t, const char*,
+                         std::int64_t) {}
+inline void EmitAsyncEndStr(const char*, const char*, std::uint64_t, const char*,
+                            std::int64_t, const char*) {}
+
+class ScopedSpan {
+ public:
+  ScopedSpan(const char*, const char*) {}
+  ScopedSpan(const char*, const char*, const char*, std::int64_t) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  void set_arg(const char*, std::int64_t) {}
+  void set_arg_str(const char*) {}
+};
+
+inline Snapshot TakeSnapshot() { return Snapshot{}; }
+inline std::string ToChromeJson() { return "{\"traceEvents\":[]}\n"; }
+inline bool WriteChromeJson(const std::string&) { return true; }
+
+#endif  // KTX_TRACE_COMPILED_OUT
+
+}  // namespace ktx::trace
+
+#define KTX_TRACE_CONCAT_IMPL_(a, b) a##b
+#define KTX_TRACE_CONCAT_(a, b) KTX_TRACE_CONCAT_IMPL_(a, b)
+
+// RAII span covering the rest of the enclosing scope.
+#define KTX_TRACE_SPAN(cat, name) \
+  ::ktx::trace::ScopedSpan KTX_TRACE_CONCAT_(ktx_trace_span_, __LINE__)(cat, name)
+#define KTX_TRACE_SPAN_ARG(cat, name, arg_name, arg_value)                      \
+  ::ktx::trace::ScopedSpan KTX_TRACE_CONCAT_(ktx_trace_span_, __LINE__)(        \
+      cat, name, arg_name, static_cast<std::int64_t>(arg_value))
+#define KTX_TRACE_INSTANT(cat, name) ::ktx::trace::EmitInstant(cat, name)
+#define KTX_TRACE_INSTANT_ARG(cat, name, arg_name, arg_value) \
+  ::ktx::trace::EmitInstant(cat, name, arg_name, static_cast<std::int64_t>(arg_value))
+#define KTX_TRACE_COUNTER(cat, track, value) \
+  ::ktx::trace::EmitCounter(cat, track, static_cast<std::int64_t>(value))
+
+#endif  // KTX_SRC_COMMON_TRACE_H_

@@ -8,6 +8,7 @@
 #include <numeric>
 
 #include "src/common/logging.h"
+#include "src/common/trace.h"
 #include "src/cpu/activation.h"
 #include "src/model/attention.h"
 #include "src/model/serialize.h"
@@ -503,6 +504,7 @@ StatusOr<std::int64_t> HybridEngine::PrefillChunk(PrefillCursor* cursor) {
   const std::int64_t m = std::min<std::int64_t>(options_.prefill_chunk,
                                                 cursor->remaining_tokens());
   KTX_CHECK_GE(m, 1);
+  KTX_TRACE_SPAN_ARG("engine", "prefill_chunk", "tokens", m);
   // StartPrefill reserved every block the prompt needs; this is a no-op
   // unless the caller decoded this session mid-cursor (then it may COW or
   // allocate — or fail recoverably, leaving the cursor resumable).
@@ -570,6 +572,7 @@ Tensor HybridEngine::DecodeBatch(const std::vector<SessionToken>& batch) {
 StatusOr<Tensor> HybridEngine::RunDecodeBatch(const std::vector<SessionToken>& batch) {
   const auto b = static_cast<std::int64_t>(batch.size());
   KTX_CHECK_GE(b, 1);
+  KTX_TRACE_SPAN_ARG("engine", "decode_batch", "batch", b);
   KTX_CHECK_LE(b, options_.max_batch) << "DecodeBatch wider than EngineOptions::max_batch";
   for (std::size_t i = 0; i < batch.size(); ++i) {
     for (std::size_t j = i + 1; j < batch.size(); ++j) {
@@ -602,12 +605,14 @@ StatusOr<Tensor> HybridEngine::RunDecodeBatch(const std::vector<SessionToken>& b
       // Capture once: the whole decode step, submit/sync callbacks included,
       // becomes a single replayable graph. Row count and per-row caches are
       // slots, so later batches of any width <= capacity reuse this graph.
+      KTX_TRACE_SPAN_ARG("engine", "graph_capture", "batch", b);
       streams_[0]->BeginCapture();
       EnqueueForward(bufs, bufs->m, /*allow_deferral=*/true, /*batched=*/true);
       decode_graph_ = streams_[0]->EndCapture();
       graph_ready_ = true;
       ++counters_.graph_captures;
     }
+    KTX_TRACE_SPAN_ARG("engine", "graph_replay", "batch", b);
     decode_graph_.Launch(streams_[0].get());
   } else {
     EnqueueForward(bufs, b, /*allow_deferral=*/true, /*batched=*/true);

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/common/logging.h"
+#include "src/common/trace.h"
 #include "src/cpu/activation.h"
 
 namespace ktx {
@@ -183,9 +184,17 @@ void ExpertPlacementManager::Promote(int e) {
   // the cache's readable copy; the async memcpy models the PCIe transfer
   // (bytes charged to the device) and its stream-ordered completion callback
   // is what publishes kReady. Decode steps overlap the whole thing.
+  // The nestable-async span (keyed by the global expert id) begins when the
+  // copy is issued and ends inside the completion callback, so the Perfetto
+  // track shows the transfer overlapping whatever decode spans run meanwhile.
+  trace::EmitAsyncBegin("expert_cache", "promote", static_cast<std::uint64_t>(e),
+                        "bytes", bytes);
   transfer_stream_->MemcpyAsync([] {}, bytes, MemcpyDir::kHostToDevice);
   std::atomic<std::uint8_t>* st = &state_[ei];
-  transfer_stream_->LaunchHostFunc([st] { st->store(kReady, std::memory_order_release); });
+  transfer_stream_->LaunchHostFunc([st, e] {
+    st->store(kReady, std::memory_order_release);
+    trace::EmitAsyncEnd("expert_cache", "promote", static_cast<std::uint64_t>(e));
+  });
 }
 
 void ExpertPlacementManager::Demote(std::size_t resident_index) {
@@ -198,6 +207,7 @@ void ExpertPlacementManager::Demote(std::size_t resident_index) {
   resident_[resident_index] = resident_.back();
   resident_.pop_back();
   ++demotions_;
+  KTX_TRACE_INSTANT_ARG("expert_cache", "demote", "expert", e);
 }
 
 void ExpertPlacementManager::MaybeRebalance() {

@@ -8,6 +8,7 @@
 
 #include "src/common/align.h"
 #include "src/common/logging.h"
+#include "src/common/trace.h"
 #include "src/cpu/activation.h"
 
 namespace ktx {
@@ -435,6 +436,7 @@ void CpuMoe::Forward(const float* x, std::int64_t tokens, const MoeRouting& rout
   const int top_k = routing.top_k;
 
   MoeWorkspace* ws = ws_.get();
+  trace::ScopedSpan moe_span("moe", "cpu_moe_forward", "tokens", tokens);
   std::lock_guard<std::mutex> lock(ws->mu);
   EnsureCapacity(ws, *experts_, pool_, options_.band_blocks, tokens, window);
 
@@ -537,6 +539,7 @@ void CpuMoe::Forward(const float* x, std::int64_t tokens, const MoeRouting& rout
   ws->avx512_calls = 0;
   const std::int64_t total = ws->n_a + ws->n_b + ws->n_r;
 
+  moe_span.set_arg("subtasks", total);
   if (options_.schedule == ScheduleKind::kDynamic) {
     for (std::int64_t g = 0; g < num_groups; ++g) {
       ws->a_remaining[static_cast<std::size_t>(g)] = static_cast<std::int32_t>(ws->bands_a);

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "src/common/logging.h"
+#include "src/common/trace.h"
 
 namespace ktx {
 
@@ -104,6 +105,7 @@ bool KvBlockPool::EvictOne() {
   prefix_cache_.erase(best_hash);
   block_hash_.erase(best_block);
   ++evictions_;
+  KTX_TRACE_INSTANT_ARG("kv", "evict_block", "block", best_block);
   Unref(best_block);  // the cache's own reference; count hits 0 -> free list
   return true;
 }
@@ -153,6 +155,7 @@ void KvBlockPool::CopyBlockRows(std::int32_t src, std::int32_t dst, std::int64_t
   copy(gqa_v_);
   copy(mla_ckv_);
   copy(mla_krope_);
+  KTX_TRACE_INSTANT_ARG("kv", "cow_copy", "rows", rows);
 }
 
 void KvBlockPool::RegisterPrefix(std::uint64_t hash, std::int32_t block) {
@@ -180,6 +183,7 @@ std::vector<std::int32_t> KvBlockPool::MatchPrefix(
   }
   if (!blocks.empty()) {
     ++prefix_hits_;
+    KTX_TRACE_INSTANT_ARG("kv", "prefix_hit", "blocks", blocks.size());
   }
   return blocks;
 }

@@ -6,8 +6,26 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/common/trace.h"
 
 namespace ktx {
+
+namespace {
+
+// FinishReasonName returns views of string literals, so .data() is a stable
+// NUL-terminated string the trace recorder may keep by pointer.
+const char* FinishReasonCstr(FinishReason reason) { return FinishReasonName(reason).data(); }
+
+// Remaining deadline slack at retirement, in microseconds (negative = late;
+// 0 for deadline-free requests). Annotated on the request's terminal event.
+std::int64_t SlackMicros(double deadline_s, double total_s) {
+  if (deadline_s <= 0.0) {
+    return 0;
+  }
+  return static_cast<std::int64_t>((deadline_s - total_s) * 1e6);
+}
+
+}  // namespace
 
 std::string_view FinishReasonName(FinishReason reason) {
   switch (reason) {
@@ -108,6 +126,8 @@ void ServingLoop::Reject(std::uint64_t id, const GenerationRequest& request, Sta
   result.total_seconds = elapsed_s;
   completed_.push_back(std::move(result));
   ++stats_.requests_rejected;
+  trace::EmitAsyncEndStr("request", "request", id, "slack_us", 0,
+                         FinishReasonCstr(reason));
 }
 
 void ServingLoop::ExpireQueued(Pending&& pending, double waited_s) {
@@ -129,6 +149,10 @@ void ServingLoop::ExpireQueued(Pending&& pending, double waited_s) {
   result.total_seconds = waited_s;
   completed_.push_back(std::move(result));
   ++stats_.requests_deadline_expired;
+  trace::EmitAsyncEnd("request", "queued", pending.id);
+  trace::EmitAsyncEndStr("request", "request", pending.id, "slack_us",
+                         SlackMicros(pending.request.deadline_s, waited_s),
+                         FinishReasonCstr(FinishReason::kDeadline));
 }
 
 void ServingLoop::SweepQueueDeadlines() {
@@ -162,6 +186,10 @@ void ServingLoop::SweepQueueDeadlines() {
 
 std::uint64_t ServingLoop::Submit(GenerationRequest request) {
   const std::uint64_t id = next_id_++;
+  // Every id opens a request track at submit — rejected requests show as
+  // short submit->reject spans, admitted ones run to RetireRow.
+  trace::EmitAsyncBegin("request", "request", id, "prompt_tokens",
+                        static_cast<std::int64_t>(request.prompt.size()));
   Status valid = ValidateRequest(request);
   if (valid.ok() && static_cast<int>(queue_.size()) >= options_.max_queue) {
     // The starvation fix: a queue full of expired requests must not reject a
@@ -182,6 +210,7 @@ std::uint64_t ServingLoop::Submit(GenerationRequest request) {
   pending.request = std::move(request);
   pending.submitted.Reset();
   queue_.push_back(std::move(pending));
+  trace::EmitAsyncBegin("request", "queued", id);
   return id;
 }
 
@@ -352,6 +381,7 @@ bool ServingLoop::AdmitPending(std::size_t index) {
     ExpireQueued(std::move(pending), waited_s);
     return true;
   }
+  trace::EmitAsyncEnd("request", "queued", pending.id);
   Active active(pending.id, std::move(pending.request));
   active.result.preemptions = pending.preemptions;
   if (free_sessions_.empty()) {
@@ -396,6 +426,7 @@ bool ServingLoop::AdmitPending(std::size_t index) {
     back.request = std::move(row.request);
     back.submitted = row.clock;  // still running since Submit
     back.preemptions = row.result.preemptions;
+    TracePhase(&row, "queued");  // closes an open prefill span, re-opens queued
     queue_.push_front(std::move(back));
   };
 
@@ -418,12 +449,14 @@ bool ServingLoop::AdmitPending(std::size_t index) {
     }
     note_slot();
     active.cursor = std::move(*cursor);
+    TracePhase(&active, "prefill");
     prefilling_.push_back(std::move(active));
     return true;
   }
 
   // Synchronous admission (prefill_budget_tokens == 0): the legacy path —
   // the whole prompt runs here, stalling this sweep's decodes behind it.
+  TracePhase(&active, "prefill");
   auto logits = engine_->TryPrefill(active.session, active.request.prompt);
   if (!logits.ok()) {
     if (pool_pressure(logits.status())) {
@@ -447,6 +480,7 @@ bool ServingLoop::AdmitPending(std::size_t index) {
   stats_.prefill_chunks += (prompt_tokens + chunk - 1) / chunk;
   active.last_token = active.sampler.Sample(*logits);
   NoteFirstToken(&active);
+  TracePhase(&active, "decode");
   active_.push_back(std::move(active));
   return true;
 }
@@ -500,6 +534,7 @@ bool ServingLoop::ResumePreempted(std::size_t index) {
                static_cast<int>(prefilling_.size() + active_.size()) + 1);
   // Re-joins mid-decode: its pending sampled token is consumed and fed back
   // on this very sweep, like any decoding row.
+  TracePhase(&preempted.row, "decode");  // closes the preempted span
   active_.push_back(std::move(preempted.row));
   return true;
 }
@@ -600,6 +635,7 @@ void ServingLoop::PreemptPrefilling(std::size_t index) {
   back.request = std::move(row.request);
   back.submitted = row.clock;
   back.preemptions = row.result.preemptions + 1;
+  TracePhase(&row, "queued");  // closes the prefill span
   queue_.push_front(std::move(back));
 }
 
@@ -626,6 +662,7 @@ void ServingLoop::PreemptDecoding(std::size_t index) {
   row.session = -1;
   ++stats_.preemptions;
   ++row.result.preemptions;
+  TracePhase(&row, "preempted");  // closes the decode span
   Preempted preempted(std::move(row));
   preempted.kv_blob = std::move(*blob);
   preempted.history = std::move(history);
@@ -635,6 +672,7 @@ void ServingLoop::PreemptDecoding(std::size_t index) {
 // --- prefill / decode --------------------------------------------------------
 
 void ServingLoop::AdvancePrefill() {
+  trace::ScopedSpan sweep_span("serving", "prefill_sweep");
   std::int64_t spent = 0;
   // Best-scheduled request first, one engine chunk at a time (kFifo: oldest).
   // The budget is checked before each chunk: a sweep with prefill work always
@@ -682,11 +720,13 @@ void ServingLoop::AdvancePrefill() {
     spent += *advanced;
     stats_.prefill_tokens += *advanced;
     ++stats_.prefill_chunks;
+    sweep_span.set_arg("tokens", spent);
     if (row.cursor.done()) {
       row.last_token = row.sampler.Sample(row.cursor.logits());
       NoteFirstToken(&row);
       Active done = std::move(row);
       prefilling_.erase(prefilling_.begin() + static_cast<std::ptrdiff_t>(best));
+      TracePhase(&done, "decode");
       active_.push_back(std::move(done));
     }
   }
@@ -710,10 +750,27 @@ bool ServingLoop::ConsumeToken(Active* active) {
   return false;
 }
 
+void ServingLoop::TracePhase(Active* row, const char* phase) {
+  if (trace::IsEnabled()) {
+    if (row->trace_phase != nullptr) {
+      trace::EmitAsyncEnd("request", row->trace_phase, row->id);
+    }
+    if (phase != nullptr) {
+      trace::EmitAsyncBegin("request", phase, row->id);
+    }
+  }
+  row->trace_phase = phase;
+}
+
 void ServingLoop::RetireRow(Active&& active) {
   active.result.ok = active.result.status.ok();
   active.result.stopped_at_eos = active.result.finish_reason == FinishReason::kEos;
   active.result.total_seconds = active.clock.ElapsedSeconds();
+  TracePhase(&active, nullptr);
+  trace::EmitAsyncEndStr(
+      "request", "request", active.id, "slack_us",
+      SlackMicros(active.request.deadline_s, active.result.total_seconds),
+      FinishReasonCstr(active.result.finish_reason));
   if (active.session >= 0) {
     // Reset NOW, not at reuse: paged blocks go back to the shared pool the
     // moment the request retires (prefix-cached blocks stay resident but
@@ -852,6 +909,7 @@ void ServingLoop::SampleKvStats() {
     return;
   }
   const KvBlockPool::Stats pool = engine_->kv_pool()->stats();
+  KTX_TRACE_COUNTER("kv", "blocks_in_use", pool.blocks_in_use);
   stats_.kv_blocks_in_use = std::max(stats_.kv_blocks_in_use, pool.blocks_in_use);
   if (pool.total_blocks > 0) {
     stats_.kv_utilization = static_cast<double>(stats_.kv_blocks_in_use) /
@@ -878,6 +936,7 @@ void ServingLoop::DecodeActive() {
   if (active_.empty()) {
     return;
   }
+  KTX_TRACE_SPAN_ARG("serving", "decode_sweep", "rows", active_.size());
   // One sweep = one token per decoding request, so per-sweep seconds are the
   // scheduler's TBT estimate.
   Stopwatch sweep_clock;
@@ -944,6 +1003,10 @@ int ServingLoop::RunOnce() {
   if (pending() == 0) {
     return 0;
   }
+  KTX_TRACE_SPAN("serving", "sweep");
+  KTX_TRACE_COUNTER("serving", "queue_depth", queue_.size());
+  KTX_TRACE_COUNTER("serving", "active_requests", prefilling_.size() + active_.size());
+  KTX_TRACE_COUNTER("serving", "preempted_requests", preempted_.size());
   // Expired requests leave the queue (and the preempted set) before they can
   // pin capacity or win a slot.
   SweepQueueDeadlines();
@@ -974,6 +1037,87 @@ int ServingLoop::RunOnce() {
   SampleKvStats();
   SampleExpertCacheStats();
   return static_cast<int>(completed_.size() - before);
+}
+
+void ServingLoop::Stats::AppendJson(JsonWriter& w) const {
+  w.BeginObject();
+  w.Field("requests_completed", requests_completed);
+  w.Field("requests_rejected", requests_rejected);
+  w.Field("requests_failed", requests_failed);
+  w.Field("requests_deadline_expired", requests_deadline_expired);
+  w.Field("tokens_generated", tokens_generated);
+  w.Field("goodput_tokens", goodput_tokens);
+  w.Field("preemptions", preemptions);
+  w.Field("preempt_resumes", preempt_resumes);
+  w.Field("preempt_tokens_preserved", preempt_tokens_preserved);
+  w.Field("preempt_tokens_adopted", preempt_tokens_adopted);
+  w.Field("decode_iterations", decode_iterations);
+  w.Field("decoded_tokens", decoded_tokens);
+  w.Field("prefill_tokens", prefill_tokens);
+  w.Field("prefill_chunks", prefill_chunks);
+  w.Field("peak_concurrency", peak_concurrency);
+  w.Field("peak_batch", peak_batch);
+  w.Key("ttft");
+  AppendHistogramJson(w, ttft_s);
+  w.Key("tbt");
+  AppendHistogramJson(w, tbt_s);
+  w.Field("prefix_tokens_reused", prefix_tokens_reused);
+  w.Field("prefix_hit_rate", prefix_hit_rate);
+  w.Field("kv_blocks_in_use", kv_blocks_in_use);
+  w.Field("kv_utilization", kv_utilization);
+  w.Field("expert_cache_lookups", expert_cache_lookups);
+  w.Field("expert_cache_hits", expert_cache_hits);
+  w.Field("expert_cache_hit_rate", expert_cache_hit_rate);
+  w.Field("expert_promotions", expert_promotions);
+  w.Field("expert_demotions", expert_demotions);
+  w.Field("expert_hot_bytes", expert_hot_bytes);
+  w.Field("expert_cold_bytes_saved", expert_cold_bytes_saved);
+  w.EndObject();
+}
+
+std::string ServingLoop::Stats::ToJson() const {
+  JsonWriter w;
+  AppendJson(w);
+  return w.TakeString();
+}
+
+void ServingLoop::Stats::PublishTo(MetricsRegistry* registry) const {
+  KTX_CHECK(registry != nullptr);
+  const auto counter = [registry](const char* name, std::int64_t v) {
+    registry->GetCounter(name)->Set(v);
+  };
+  const auto gauge = [registry](const char* name, double v) {
+    registry->GetGauge(name)->Set(v);
+  };
+  counter("serving.requests_completed_total", requests_completed);
+  counter("serving.requests_rejected_total", requests_rejected);
+  counter("serving.requests_failed_total", requests_failed);
+  counter("serving.requests_deadline_expired_total", requests_deadline_expired);
+  counter("serving.tokens_generated_total", tokens_generated);
+  counter("serving.goodput_tokens_total", goodput_tokens);
+  counter("serving.preemptions_total", preemptions);
+  counter("serving.preempt_resumes_total", preempt_resumes);
+  counter("serving.preempt_tokens_preserved_total", preempt_tokens_preserved);
+  counter("serving.preempt_tokens_adopted_total", preempt_tokens_adopted);
+  counter("serving.decode_iterations_total", decode_iterations);
+  counter("serving.decoded_tokens_total", decoded_tokens);
+  counter("serving.prefill_tokens_total", prefill_tokens);
+  counter("serving.prefill_chunks_total", prefill_chunks);
+  gauge("serving.peak_concurrency", peak_concurrency);
+  gauge("serving.peak_batch", peak_batch);
+  counter("kv.prefix_tokens_reused_total", prefix_tokens_reused);
+  gauge("kv.prefix_hit_rate", prefix_hit_rate);
+  gauge("kv.blocks_in_use_peak", static_cast<double>(kv_blocks_in_use));
+  gauge("kv.utilization", kv_utilization);
+  counter("expert_cache.lookups_total", expert_cache_lookups);
+  counter("expert_cache.hits_total", expert_cache_hits);
+  gauge("expert_cache.hit_rate", expert_cache_hit_rate);
+  counter("expert_cache.promotions_total", expert_promotions);
+  counter("expert_cache.demotions_total", expert_demotions);
+  gauge("expert_cache.hot_bytes", static_cast<double>(expert_hot_bytes));
+  gauge("expert_cache.cold_bytes_saved", static_cast<double>(expert_cold_bytes_saved));
+  registry->GetHistogram("serving.ttft_seconds")->Merge(ttft_s);
+  registry->GetHistogram("serving.tbt_seconds")->Merge(tbt_s);
 }
 
 std::vector<GenerationResult> ServingLoop::TakeResults() {

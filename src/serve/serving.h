@@ -84,6 +84,7 @@
 #include <vector>
 
 #include "src/common/histogram.h"
+#include "src/common/metrics.h"
 #include "src/common/status.h"
 #include "src/common/stopwatch.h"
 #include "src/core/engine.h"
@@ -260,6 +261,17 @@ class ServingLoop {
     std::int64_t expert_demotions = 0;
     std::int64_t expert_hot_bytes = 0;
     std::int64_t expert_cold_bytes_saved = 0;
+
+    // Appends this snapshot as a JSON object on `w` (histograms as
+    // {count, mean_s, min_s, max_s, p50_s, p95_s, p99_s}). The single
+    // serialization path every BENCH_*.json emitter shares.
+    void AppendJson(JsonWriter& w) const;
+    // The same object as a standalone string.
+    std::string ToJson() const;
+    // Mirrors every field into the process metrics registry under
+    // "serving.*" names (counters for monotonic totals, gauges for rates and
+    // peaks, histograms for ttft/tbt), so ToPrometheusText() exports them.
+    void PublishTo(MetricsRegistry* registry) const;
   };
 
   // The engine must outlive the loop.
@@ -320,6 +332,9 @@ class ServingLoop {
     int last_token = -1;
     double last_emit_s = 0.0;  // clock reading at the previous sampled token
     Stopwatch clock;  // copied from Pending::submitted: running since Submit
+    // Name of the request's currently-open nested lifecycle span ("prefill",
+    // "decode", "preempted", "queued") on its trace track, or nullptr.
+    const char* trace_phase = nullptr;
 
     Active(std::uint64_t rid, GenerationRequest req)
         : id(rid), request(std::move(req)), sampler(request.sampling) {}
@@ -430,6 +445,9 @@ class ServingLoop {
   // Mirrors the engine's expert-cache counters into stats_ (no-op values
   // when placement is disabled).
   void SampleExpertCacheStats();
+  // Closes the row's open lifecycle span (if any) and opens `phase` on its
+  // request track; phase == nullptr just closes. No-ops when tracing is off.
+  void TracePhase(Active* row, const char* phase);
   // Terminal bookkeeping shared by every retirement path.
   void RetireRow(Active&& active);
   void FailRow(Active&& active, FinishReason reason, Status status);

@@ -10,6 +10,7 @@
 #include "src/common/align.h"
 #include "src/common/barrier.h"
 #include "src/common/histogram.h"
+#include "src/common/metrics.h"
 #include "src/common/queues.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
@@ -438,6 +439,112 @@ TEST(LatencyHistogramTest, OutOfRangeAndResetBehave) {
   h.Reset();
   EXPECT_EQ(h.count(), 0);
   EXPECT_EQ(h.Percentile(99.0), 0.0);
+}
+
+TEST(LatencyHistogramTest, MergeMatchesRecordingIntoOne) {
+  // Splitting a sample stream across two histograms and merging must be
+  // indistinguishable from recording everything into one: buckets share a
+  // static layout, so Merge is exact, not an approximation.
+  LatencyHistogram merged;
+  LatencyHistogram a;
+  LatencyHistogram b;
+  Rng rng(21);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = std::exp2(rng.Uniform(-12.0, 2.0));
+    merged.Record(v);
+    (i % 3 == 0 ? a : b).Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), merged.count());
+  // Summation order differs between the two streams; allow rounding slop.
+  EXPECT_NEAR(a.sum_seconds(), merged.sum_seconds(), 1e-9 * merged.sum_seconds());
+  EXPECT_DOUBLE_EQ(a.min_seconds(), merged.min_seconds());
+  EXPECT_DOUBLE_EQ(a.max_seconds(), merged.max_seconds());
+  for (const double p : {1.0, 50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(a.Percentile(p), merged.Percentile(p)) << "p" << p;
+  }
+}
+
+TEST(LatencyHistogramTest, MergePropagatesExactMinMax) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.Record(0.5);
+  b.Record(1e-4);  // other's min below ours
+  b.Record(7.0);   // other's max above ours
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_DOUBLE_EQ(a.min_seconds(), 1e-4);
+  EXPECT_DOUBLE_EQ(a.max_seconds(), 7.0);
+  EXPECT_DOUBLE_EQ(a.Percentile(100.0), 7.0);
+  EXPECT_DOUBLE_EQ(a.Percentile(0.0), 1e-4);
+}
+
+TEST(LatencyHistogramTest, MergeWithEmptyIsIdentityBothWays) {
+  LatencyHistogram filled;
+  filled.Record(0.25);
+  filled.Record(0.75);
+
+  LatencyHistogram empty;
+  filled.Merge(empty);  // merging empty in changes nothing
+  EXPECT_EQ(filled.count(), 2);
+  EXPECT_DOUBLE_EQ(filled.min_seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(filled.max_seconds(), 0.75);
+
+  LatencyHistogram target;
+  target.Merge(filled);  // merging into empty adopts min/max wholesale
+  EXPECT_EQ(target.count(), 2);
+  EXPECT_DOUBLE_EQ(target.min_seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(target.max_seconds(), 0.75);
+  EXPECT_DOUBLE_EQ(target.mean_seconds(), 0.5);
+}
+
+TEST(JsonWriterTest, ProducesWellFormedNestedJson) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("name", "ktx");
+  w.Field("count", std::int64_t{42});
+  w.Field("ratio", 0.5);
+  w.Field("ok", true);
+  w.Key("nested");
+  w.BeginObject();
+  w.Key("list");
+  w.BeginArray();
+  w.Int(1);
+  w.Int(2);
+  w.EndArray();
+  w.EndObject();
+  w.Key("nan_becomes_null");
+  w.Double(std::nan(""));
+  w.Key("escaped");
+  w.String("a\"b\\c\n");
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"ktx\",\"count\":42,\"ratio\":0.5,\"ok\":true,"
+            "\"nested\":{\"list\":[1,2]},\"nan_becomes_null\":null,"
+            "\"escaped\":\"a\\\"b\\\\c\\n\"}");
+}
+
+TEST(MetricsRegistryTest, CountersGaugesHistogramsRoundTrip) {
+  MetricsRegistry reg;
+  reg.GetCounter("serving.requests_total")->Add(3);
+  reg.GetCounter("serving.requests_total")->Increment();  // same instance
+  reg.GetGauge("kv.utilization")->Set(0.75);
+  reg.GetHistogram("serving.ttft_seconds")->Record(0.125);
+
+  EXPECT_EQ(reg.GetCounter("serving.requests_total")->value(), 4);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("kv.utilization")->value(), 0.75);
+  EXPECT_EQ(reg.GetHistogram("serving.ttft_seconds")->Snapshot().count(), 1);
+
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"serving.requests_total\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"kv.utilization\":0.75"), std::string::npos);
+  EXPECT_NE(json.find("\"serving.ttft_seconds\""), std::string::npos);
+
+  const std::string prom = reg.ToPrometheusText();
+  EXPECT_NE(prom.find("ktx_serving_requests_total 4"), std::string::npos);
+  EXPECT_NE(prom.find("ktx_kv_utilization 0.75"), std::string::npos);
+  EXPECT_NE(prom.find("ktx_serving_ttft_seconds_count 1"), std::string::npos);
+  EXPECT_NE(prom.find("quantile=\"0.95\""), std::string::npos);
 }
 
 }  // namespace

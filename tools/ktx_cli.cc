@@ -10,20 +10,31 @@
 //   inject    --rules FILE [--model ...]            apply a YAML rule file
 //   eval      [--deferral N] [--skipping] [--corpus-len N] [--seed S]
 //             perplexity + behaviour-change of deferral/skipping (proxy)
+//   trace     [--tokens N] [--out FILE] [--metrics]
+//             run a traced generation, write a Perfetto-loadable Chrome
+//             trace, print the per-category event summary (and, with
+//             --metrics, the process metrics registry as JSON)
 //
 // Examples:
 //   ktx_cli info --model ds3
 //   ktx_cli simulate --model ds3 --system kt --phase decode --deferral auto
 //   ktx_cli generate --prompt "hello experts" --temperature 0.3
 //   ktx_cli inject --rules rules.yaml --model ds3
+//   ktx_cli trace --tokens 24 --out ktx_trace.json
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <sstream>
+#include <string>
+#include <utility>
 
 #include "src/baselines/baselines.h"
 #include "src/common/flags.h"
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/core/placement.h"
 #include "src/core/strategy_sim.h"
 #include "src/inject/inject.h"
@@ -34,7 +45,7 @@
 namespace {
 
 int Usage() {
-  std::printf("usage: ktx_cli <info|simulate|generate|inject|eval> [flags]\n"
+  std::printf("usage: ktx_cli <info|simulate|generate|inject|eval|trace> [flags]\n"
               "run with a subcommand; see the header of tools/ktx_cli.cc\n");
   return 2;
 }
@@ -262,6 +273,73 @@ int CmdEval(const ktx::FlagParser& flags) {
   return 0;
 }
 
+int CmdTrace(const ktx::FlagParser& flags) {
+  const std::string out_path = flags.GetString("out", "ktx_trace.json");
+  const int max_tokens = static_cast<int>(flags.GetInt("tokens", 24));
+
+  ktx::trace::SetEnabled(true);
+  ktx::trace::SetCurrentThreadName("ktx_cli");
+
+  ktx::MoeModelConfig config = ktx::SmallMoeConfig();
+  config.vocab = ktx::ByteTokenizer::kVocabSize;
+  auto weights = std::make_shared<const ktx::ModelWeights>(
+      ktx::ModelWeights::Generate(config, static_cast<std::uint64_t>(flags.GetInt("seed", 1))));
+  ktx::EngineOptions options;
+  options.cpu_weight_dtype = ktx::DType::kI8;
+  options.placement.enabled = true;
+  options.placement.capacity = config.num_moe_layers() * config.num_experts / 4;
+  options.placement.cold_dtype = ktx::DType::kI4;
+  options.kv_pool_blocks = 256;
+  options.kv_block_size = 16;
+  ktx::Counter* tokens_total = ktx::MetricsRegistry::Global().GetCounter("cli.tokens_total");
+  ktx::HistogramMetric* step_latency =
+      ktx::MetricsRegistry::Global().GetHistogram("cli.decode_step_seconds");
+  {
+    ktx::HybridEngine engine(config, weights, options);
+
+    const ktx::ByteTokenizer tokenizer;
+    ktx::Tensor logits =
+        engine.Prefill(tokenizer.Encode(flags.GetString("prompt", "trace me")));
+    ktx::Sampler sampler(ktx::SamplerOptions{});
+    for (int i = 0; i < max_tokens; ++i) {
+      const int next = sampler.Sample(logits);
+      if (next == ktx::ByteTokenizer::kEos) {
+        break;
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      logits = engine.DecodeStep(next);
+      step_latency->Record(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
+      tokens_total->Increment();
+    }
+    // Engine teardown drains the transfer stream inside this scope, so async
+    // promotion end events are still recorded before tracing turns off.
+  }
+  ktx::trace::SetEnabled(false);
+
+  if (!ktx::trace::WriteChromeJson(out_path)) {
+    std::printf("cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  const ktx::trace::Snapshot snap = ktx::trace::TakeSnapshot();
+  // Per-(cat, name) event counts: a quick shape check without opening the UI.
+  std::map<std::pair<std::string, std::string>, int> by_kind;
+  for (const auto& ev : snap.events) {
+    ++by_kind[{ev.cat, ev.name}];
+  }
+  std::printf("%zu events (%lld dropped) across %d threads -> %s\n",
+              snap.events.size(), static_cast<long long>(snap.dropped), snap.threads,
+              out_path.c_str());
+  for (const auto& [kind, count] : by_kind) {
+    std::printf("  %-14s %-22s %6d\n", kind.first.c_str(), kind.second.c_str(), count);
+  }
+  std::printf("open the file at https://ui.perfetto.dev\n");
+  if (flags.GetBool("metrics", false)) {
+    std::printf("%s\n", ktx::MetricsRegistry::Global().ToJson().c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -285,6 +363,8 @@ int main(int argc, char** argv) {
     rc = CmdInject(*flags);
   } else if (cmd == "eval") {
     rc = CmdEval(*flags);
+  } else if (cmd == "trace") {
+    rc = CmdTrace(*flags);
   } else {
     return Usage();
   }

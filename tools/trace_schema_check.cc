@@ -1,0 +1,489 @@
+// Chrome trace-event schema validator for CI.
+//
+//   trace_schema_check trace.json [trace2.json ...]
+//
+// Validates that each file is what ui.perfetto.dev / chrome://tracing will
+// actually load: a JSON object with a "traceEvents" array whose entries carry
+// the keys their phase requires. This is the contract TraceExporter promises;
+// the CI trace-smoke step runs serving_demo --trace and this checker so a
+// malformed emitter fails the build instead of a later debugging session.
+//
+// Checked per event:
+//   * "ph" is a known phase: X, i, C, b, e, M.
+//   * "name" is a non-empty string; "pid"/"tid" are integers.
+//   * All but metadata ("M") events have a finite numeric "ts".
+//   * "X" (complete) events have a numeric "dur" >= 0.
+//   * "b"/"e" (nestable async) events have a "cat" and an "id".
+//   * "i" (instant) events have a scope "s" of t, p, or g.
+//   * "C" (counter) events have an "args" object.
+// Plus: per-thread "ts" never decreases for i/C events (those are stamped at
+// emission; X spans are recorded at span END with the START as ts, so nested
+// spans legitimately appear out of start order), and nestable-async begins
+// balance ends when the trace reports zero dropped events.
+//
+// The JSON parser below is deliberately self-contained (no third-party
+// dependency): recursive descent over the full JSON grammar, good enough for
+// multi-megabyte traces.
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// --- Minimal JSON value + recursive-descent parser ---------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  // Parses the whole input as one value; returns false and sets error() on
+  // malformed JSON (including trailing garbage).
+  bool Parse(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out, 0)) {
+      return false;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after top-level value");
+    }
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+  std::size_t error_offset() const { return pos_; }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool Fail(const std::string& why) {
+    if (error_.empty()) {
+      error_ = why;
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word, std::size_t len) {
+    if (text_.compare(pos_, len, word) != 0) {
+      return Fail(std::string("bad literal, expected '") + word + "'");
+    }
+    pos_ += len;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) {
+      return Fail("nesting too deep");
+    }
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string);
+      case 't':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
+        return Literal("true", 4);
+      case 'f':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
+        return Literal("false", 5);
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        return Literal("null", 4);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out, int depth) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key string");
+      }
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail("expected ':' after object key");
+      }
+      ++pos_;
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) {
+        return false;
+      }
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) {
+        return Fail("unterminated object");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool ParseArray(JsonValue* out, int depth) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) {
+        return false;
+      }
+      out->array.push_back(std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) {
+        return Fail("unterminated array");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) {
+          break;
+        }
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Fail("truncated \\u escape");
+            }
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+                return Fail("bad \\u escape");
+              }
+            }
+            // Decoded code point is irrelevant for validation; keep a marker.
+            out->push_back('?');
+            pos_ += 4;
+            break;
+          }
+          default:
+            return Fail("unknown escape character");
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character inside string");
+      }
+      out->push_back(c);
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Fail("expected a value");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    char* end = nullptr;
+    const std::string token = text_.substr(start, pos_ - start);
+    out->number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Fail("malformed number '" + token + "'");
+    }
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+// --- Schema checks -----------------------------------------------------------
+
+struct Checker {
+  int violations = 0;
+  const char* file = "";
+
+  void Violation(std::size_t index, const std::string& why) {
+    if (violations < 20) {  // don't flood the log on a systematic breakage
+      std::fprintf(stderr, "%s: event %zu: %s\n", file, index, why.c_str());
+    }
+    ++violations;
+  }
+};
+
+bool IsInteger(const JsonValue& v) {
+  return v.kind == JsonValue::Kind::kNumber &&
+         v.number == static_cast<double>(static_cast<std::int64_t>(v.number));
+}
+
+void CheckEvent(const JsonValue& ev, std::size_t index, Checker* check,
+                std::map<std::int64_t, double>* last_ts_by_tid) {
+  if (ev.kind != JsonValue::Kind::kObject) {
+    check->Violation(index, "event is not an object");
+    return;
+  }
+  const JsonValue* ph = ev.Find("ph");
+  if (ph == nullptr || ph->kind != JsonValue::Kind::kString || ph->string.size() != 1 ||
+      std::strchr("XiCbeM", ph->string[0]) == nullptr) {
+    check->Violation(index, "missing or unknown \"ph\" (want one of X i C b e M)");
+    return;
+  }
+  const char phase = ph->string[0];
+
+  const JsonValue* name = ev.Find("name");
+  if (name == nullptr || name->kind != JsonValue::Kind::kString || name->string.empty()) {
+    check->Violation(index, "missing or empty \"name\"");
+  }
+  const JsonValue* pid = ev.Find("pid");
+  if (pid == nullptr || !IsInteger(*pid)) {
+    check->Violation(index, "missing or non-integer \"pid\"");
+  }
+  // Process-scoped metadata (process_name) carries no tid; everything else
+  // must say which thread it belongs to.
+  const bool process_scoped =
+      phase == 'M' && name != nullptr && name->string == "process_name";
+  const JsonValue* tid = ev.Find("tid");
+  if (!process_scoped && (tid == nullptr || !IsInteger(*tid))) {
+    check->Violation(index, "missing or non-integer \"tid\"");
+  }
+  if (phase == 'M') {
+    return;  // metadata events carry no timestamp
+  }
+
+  const JsonValue* ts = ev.Find("ts");
+  if (ts == nullptr || ts->kind != JsonValue::Kind::kNumber || ts->number < 0.0) {
+    check->Violation(index, "missing or negative \"ts\"");
+  } else if (phase == 'i' || phase == 'C') {
+    // Instants and counters are stamped at emission, so within one thread
+    // they must come out in order. X spans carry their START time but are
+    // recorded at span END (nested spans reverse), and async b/e ends are
+    // emitted by whichever thread runs the completion callback — exempt.
+    if (tid != nullptr && IsInteger(*tid)) {
+      const auto key = static_cast<std::int64_t>(tid->number);
+      auto it = last_ts_by_tid->find(key);
+      if (it != last_ts_by_tid->end() && ts->number < it->second) {
+        check->Violation(index, "\"ts\" decreases within a thread");
+      }
+      (*last_ts_by_tid)[key] = ts->number;
+    }
+  }
+
+  switch (phase) {
+    case 'X': {
+      const JsonValue* dur = ev.Find("dur");
+      if (dur == nullptr || dur->kind != JsonValue::Kind::kNumber || dur->number < 0.0) {
+        check->Violation(index, "complete event without numeric \"dur\" >= 0");
+      }
+      break;
+    }
+    case 'b':
+    case 'e': {
+      const JsonValue* cat = ev.Find("cat");
+      if (cat == nullptr || cat->kind != JsonValue::Kind::kString || cat->string.empty()) {
+        check->Violation(index, "async event without \"cat\"");
+      }
+      const JsonValue* id = ev.Find("id");
+      if (id == nullptr || (id->kind != JsonValue::Kind::kString &&
+                            id->kind != JsonValue::Kind::kNumber)) {
+        check->Violation(index, "async event without \"id\"");
+      }
+      break;
+    }
+    case 'i': {
+      const JsonValue* scope = ev.Find("s");
+      if (scope == nullptr || scope->kind != JsonValue::Kind::kString ||
+          (scope->string != "t" && scope->string != "p" && scope->string != "g")) {
+        check->Violation(index, "instant event without scope \"s\" of t/p/g");
+      }
+      break;
+    }
+    case 'C': {
+      const JsonValue* args = ev.Find("args");
+      if (args == nullptr || args->kind != JsonValue::Kind::kObject ||
+          args->object.empty()) {
+        check->Violation(index, "counter event without an \"args\" object");
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+int CheckFile(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  JsonValue root;
+  JsonParser parser(text);
+  if (!parser.Parse(&root)) {
+    std::fprintf(stderr, "%s: invalid JSON at byte %zu: %s\n", path,
+                 parser.error_offset(), parser.error().c_str());
+    return 1;
+  }
+  if (root.kind != JsonValue::Kind::kObject) {
+    std::fprintf(stderr, "%s: top level is not an object\n", path);
+    return 1;
+  }
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    std::fprintf(stderr, "%s: missing \"traceEvents\" array\n", path);
+    return 1;
+  }
+
+  Checker check;
+  check.file = path;
+  std::map<std::int64_t, double> last_ts_by_tid;
+  std::map<std::string, std::size_t> phases;
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    CheckEvent(events->array[i], i, &check, &last_ts_by_tid);
+    const JsonValue* ph = events->array[i].Find("ph");
+    if (ph != nullptr && ph->kind == JsonValue::Kind::kString) {
+      ++phases[ph->string];
+    }
+  }
+  // Unbalanced nestable async pairs render as spans that never close. Only
+  // enforced on complete traces: ring wraparound can drop a begin whose end
+  // survived, which the exporter reports via otherData.dropped_events.
+  double dropped = 0.0;
+  if (const JsonValue* other = root.Find("otherData")) {
+    if (const JsonValue* d = other->Find("dropped_events")) {
+      dropped = d->number;
+    }
+  }
+  const std::size_t begins = phases.count("b") ? phases["b"] : 0;
+  const std::size_t ends = phases.count("e") ? phases["e"] : 0;
+  if (dropped == 0.0 && begins != ends) {
+    std::fprintf(stderr, "%s: %zu async begins vs %zu ends\n", path, begins, ends);
+    ++check.violations;
+  }
+
+  if (check.violations > 0) {
+    std::fprintf(stderr, "%s: %d schema violations in %zu events\n", path,
+                 check.violations, events->array.size());
+    return 1;
+  }
+  std::string summary;
+  for (const auto& [phase, count] : phases) {
+    summary += " " + phase + ":" + std::to_string(count);
+  }
+  std::printf("%s: OK, %zu events (%s)\n", path, events->array.size(),
+              summary.empty() ? " none" : summary.c_str() + 1);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: trace_schema_check <trace.json> [more.json ...]\n");
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    rc |= CheckFile(argv[i]);
+  }
+  return rc;
+}
