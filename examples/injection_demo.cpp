@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "src/cpu/kernel_registry.h"
 #include "src/inject/inject.h"
 
 namespace {
@@ -91,7 +92,10 @@ int main() {
               std::string(ktx::DTypeName(options->cpu_weight_dtype)).c_str(),
               std::string(ktx::DTypeName(options->gpu_weight_dtype)).c_str(),
               options->n_deferred,
-              options->moe.force_kind.has_value() ? "forced" : "hybrid (ARI dispatch)");
+              options->moe.force_kind.has_value()
+                  ? ktx::KernelKindName(*options->moe.force_kind)
+                  : (options->calibrate_kernels ? "calibrated dispatch"
+                                                : "hybrid (ARI dispatch)"));
   const ktx::MoeModelConfig config = ktx::TinyMoeConfig();
   auto weights =
       std::make_shared<const ktx::ModelWeights>(ktx::ModelWeights::Generate(config, 8));

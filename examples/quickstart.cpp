@@ -59,10 +59,11 @@ int main() {
               "decode (zero per-kernel launches)\n",
               static_cast<long long>(stats.micro_launches.load()),
               static_cast<long long>(stats.graph_launches.load()));
-  std::printf("cpu MoE: %lld requests, %lld AVX-512-path calls, %lld AMX-path calls, "
-              "%.1f MFLOP of expert math\n",
+  std::printf("cpu MoE: %lld requests, kernel mix %lld AMX / %lld AVX-512 / %lld AVX2 / "
+              "%lld scalar, %.1f MFLOP of expert math\n",
               static_cast<long long>(engine.counters().moe_requests),
-              static_cast<long long>(moe.avx512_calls), static_cast<long long>(moe.amx_calls),
+              static_cast<long long>(moe.amx_calls), static_cast<long long>(moe.avx512_calls),
+              static_cast<long long>(moe.avx2_calls), static_cast<long long>(moe.scalar_calls),
               moe.useful_flops / 1e6);
   return 0;
 }

@@ -107,9 +107,11 @@ int main() {
   std::printf("verify passes ran %d-token batches through the AMX-path MoE kernels\n",
               kDraftLen);
   const ktx::MoeStats stats = target.moe_stats();
-  std::printf("target engine kernel mix: %lld AMX calls, %lld AVX-512 calls\n",
+  std::printf("target engine kernel mix: %lld AMX / %lld AVX-512 / %lld AVX2 / %lld scalar\n",
               static_cast<long long>(stats.amx_calls),
-              static_cast<long long>(stats.avx512_calls));
+              static_cast<long long>(stats.avx512_calls),
+              static_cast<long long>(stats.avx2_calls),
+              static_cast<long long>(stats.scalar_calls));
 
   // Sanity: speculative output must equal plain greedy decoding.
   ktx::HybridEngine plain(config, weights, target_opts);

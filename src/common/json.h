@@ -1,0 +1,56 @@
+// Minimal self-contained JSON document model + recursive-descent parser.
+//
+// The project writes JSON with JsonWriter (metrics.h) but until now could only
+// read it in standalone tools (trace_schema_check carries a private copy of
+// this parser). The kernel-calibration profile cache needs to read its own
+// output back at engine startup, so the parser lives here as a library.
+//
+// Scope: full JSON grammar, \uXXXX escapes folded to UTF-8, 64-deep nesting
+// cap, numbers as double (plenty for profile timings and small integers).
+// No streaming, no comments, no trailing commas — strict round-trip of what
+// JsonWriter emits.
+
+#ifndef KTX_SRC_COMMON_JSON_H_
+#define KTX_SRC_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ktx {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  // Typed member accessors with defaults: convenience for config-style reads.
+  // Missing keys or kind mismatches return the fallback.
+  double NumberOr(std::string_view key, double fallback) const;
+  std::int64_t IntOr(std::string_view key, std::int64_t fallback) const;
+  std::string_view StringOr(std::string_view key, std::string_view fallback) const;
+  bool BoolOr(std::string_view key, bool fallback) const;
+};
+
+// Parses `text` as one JSON document. Returns false on malformed input
+// (including trailing garbage) and, when `error` is non-null, stores a short
+// reason there. `out` is left in an unspecified state on failure.
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error = nullptr);
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_COMMON_JSON_H_

@@ -54,6 +54,8 @@ void AsyncMoeService::ControlLoop() {
         stats_.subtasks += local.subtasks;
         stats_.amx_calls += local.amx_calls;
         stats_.avx512_calls += local.avx512_calls;
+        stats_.avx2_calls += local.avx2_calls;
+        stats_.scalar_calls += local.scalar_calls;
         stats_.useful_flops += local.useful_flops;
         stats_.hot_rows += local.hot_rows;
         stats_.cold_rows += local.cold_rows;

@@ -119,14 +119,24 @@ HybridEngine::HybridEngine(MoeModelConfig config, std::shared_ptr<const ModelWei
   KTX_CHECK_GE(options_.pipeline_stages, 1);
   KTX_CHECK_LE(options_.pipeline_stages, config_.num_layers);
   KTX_CHECK_GE(options_.max_batch, 1);
-  // Bit-identity across batch compositions requires the ARI kernel-kind
-  // dispatch to be batch-invariant on the decode path: with top-1 routing a
-  // B-row batch can put up to B tokens on one expert, so any threshold below
-  // max_batch would flip experts from AVX-512 to AMX (bitwise-different
-  // kernels) purely based on who shares the batch. Wide prefill / verify
-  // batches still cross the floored threshold and use AMX.
+  // Keep the fallback ARI kernel-kind dispatch batch-invariant on the decode
+  // path: with top-1 routing a B-row batch can put up to B tokens on one
+  // expert, so any threshold below max_batch would flip experts between
+  // kernel kinds purely based on who shares the batch. All registered
+  // variants are bit-identical (kernel_registry.h), so this flooring is about
+  // deterministic dispatch, not numerics.
   options_.moe.ari_threshold =
       std::max(options_.moe.ari_threshold, static_cast<std::int64_t>(options_.max_batch));
+  // Calibrated dispatch (§3.2 / Fig. 7, measured instead of assumed): run the
+  // one-shot variant microbenchmark — or load its cached profile — and point
+  // the MoE layers at the fitted crossover table. Safe to flip on freely:
+  // variant choice can never change an output bit.
+  if (options_.calibrate_kernels) {
+    KernelCalibrationOptions cal;
+    cal.profile_path = options_.kernel_profile_path;
+    calibration_ = CalibrateOrLoad(cal);
+    options_.moe.dispatch = &calibration_.table;
+  }
   if (options_.pipeline_stages > 1) {
     // Cross-stream events cannot be captured into a graph (as in real CUDA).
     options_.use_cuda_graph = false;

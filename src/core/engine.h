@@ -21,9 +21,10 @@
 // submits ONE B-token routed-expert request (immediate + deferred split
 // unchanged), amortizing submit/sync overhead and raising tokens-per-expert.
 // Per-row outputs are bit-identical to sequential DecodeStep calls: the
-// attention rows, the MoE reduce order (routing-slot order, see moe_cpu.h)
-// and the kernel-kind dispatch (ari_threshold floored at max_batch) are all
-// independent of batch composition.
+// attention rows and the MoE reduce order (routing-slot order, see moe_cpu.h)
+// are independent of batch composition, and every registered kernel variant
+// computes the same canonical op sequence (kernel_registry.h), so even a
+// batch-dependent kernel-kind choice cannot change a bit.
 //
 // Expert Deferral (§4): with n_deferred = D > 0, each decode MoE layer k
 // submits its top-(top_k - D) slots as the *immediate* request and its bottom
@@ -44,6 +45,7 @@
 #include "src/core/async_service.h"
 #include "src/core/expert_cache.h"
 #include "src/core/profiling.h"
+#include "src/cpu/kernel_calibrate.h"
 #include "src/gpu/vcuda.h"
 #include "src/model/gating.h"
 #include "src/model/reference_model.h"
@@ -73,6 +75,17 @@ struct EngineOptions {
   int numa_shards = 2;  // tensor-parallel shards (sockets)
   int cpu_threads = 4;
   MoeOptions moe;  // ARI threshold, schedule kind, kernel impl
+  // One-shot startup kernel calibration (kernel_calibrate.h): microbenchmark
+  // every available GEMM variant over a tokens-per-expert grid, fit the
+  // crossover table, and dispatch each expert-group through it instead of the
+  // fixed moe.ari_threshold heuristic. Because all registered variants are
+  // bit-identical, turning this on never changes an output bit.
+  bool calibrate_kernels = false;
+  // Calibration profile cache (JSON; conventionally configs/kernel_profile.json).
+  // When set, a valid cached profile makes engine startup skip the
+  // microbenchmark entirely; a missing/corrupt/stale file recalibrates and
+  // rewrites it. Empty = always calibrate in-process, never touch disk.
+  std::string kernel_profile_path;
   VDevice::Options device;
   // Tokens per prefill chunk.
   std::int64_t prefill_chunk = 256;
@@ -92,9 +105,10 @@ struct EngineOptions {
   // because reuse lengths are floored to prefill-chunk boundaries.
   bool enable_prefix_cache = true;
   // Upper bound on DecodeBatch width (continuous-batching slot count). Also
-  // floors moe.ari_threshold so the decode kernel-kind dispatch cannot flip
-  // with batch occupancy — a prerequisite for bit-identical batched decode
-  // (native AMX/AVX-512 kernels differ bitwise from each other).
+  // floors moe.ari_threshold so the fallback (uncalibrated) decode dispatch
+  // cannot flip kernel kinds with batch occupancy. All registered variants
+  // are bit-identical (kernel_registry.h), so this is a determinism-of-
+  // dispatch measure, not a numerics requirement.
   int max_batch = 8;
   // Upper bound on sessions (KV caches) this engine will hold; 0 = unbounded.
   // TryCreateSession past the bound is a recoverable kResourceExhausted (the
@@ -280,10 +294,9 @@ class HybridEngine {
   const KvBlockPool* kv_pool() const { return kv_pool_.get(); }
 
   // --- KV-preserving preemption (SLO-aware serving) -------------------------
-  // A preempted request must resume with the EXACT KV bits it had: replaying
-  // its generated tokens through prefill is not bit-identical (chunked
-  // prefill's tokens-per-expert drives a different ARI kernel kind than
-  // batch-1 decode, and the kernels differ bitwise), so preemption saves
+  // A preempted request must resume with the EXACT KV bits it had. Replaying
+  // its generated tokens through prefill would reproduce them (all kernel
+  // variants are bit-identical), but at full recompute cost; preemption saves
   // state instead of recomputing it.
   //
   // TrySaveKv serializes `session`'s live rows into a storage-agnostic KTXV
@@ -345,6 +358,9 @@ class HybridEngine {
   std::int64_t position() const { return position(0); }
   std::int64_t position(int session) const;
   MoeStats moe_stats() const { return service_->stats_snapshot(); }
+  // Startup kernel-calibration result. table is empty (and from_cache false)
+  // unless options.calibrate_kernels was set.
+  const KernelCalibrationResult& kernel_calibration() const { return calibration_; }
   // Expert placement cache (null when options.placement is disabled).
   const ExpertPlacementManager* expert_cache() const { return placement_.get(); }
   ExpertPlacementManager* expert_cache() { return placement_.get(); }
@@ -381,6 +397,10 @@ class HybridEngine {
   MoeModelConfig config_;
   std::shared_ptr<const ModelWeights> weights_;
   EngineOptions options_;
+  // Calibrated dispatch table; options_.moe.dispatch points at
+  // calibration_.table when calibrate_kernels is on (stable address — the
+  // engine is neither copyable nor movable).
+  KernelCalibrationResult calibration_;
 
   // One virtual GPU (device + stream) per pipeline stage; stage 0 is the
   // default. StageOf maps a layer to its stage.

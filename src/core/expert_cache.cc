@@ -6,6 +6,8 @@
 #include "src/common/logging.h"
 #include "src/common/trace.h"
 #include "src/cpu/activation.h"
+#include "src/cpu/kernel_calibrate.h"
+#include "src/cpu/kernel_registry.h"
 
 namespace ktx {
 
@@ -18,6 +20,12 @@ ExpertPlacementManager::ExpertPlacementManager(const std::vector<Tensor>& gate,
     : moe_(moe), options_(options), device_(device) {
   KTX_CHECK(device_ != nullptr);
   KTX_CHECK(!gate.empty());
+  // Keep the hot-path kernel choice in lockstep with CpuMoe under the CI
+  // kernel-variant matrix (KTX_FORCE_KERNEL).
+  if (const std::optional<ForcedKernel> forced = ForcedKernelFromEnv()) {
+    moe_.force_kind = forced->kind;
+    moe_.impl = forced->impl;
+  }
   num_experts_ = static_cast<int>(gate.size());
   options_.capacity = std::min(options_.capacity, num_experts_);
   KTX_CHECK_GE(options_.capacity, 1) << "expert cache needs capacity >= 1";
@@ -146,8 +154,16 @@ int ExpertPlacementManager::ServeHot(const float* x, std::int64_t tokens,
       std::memcpy(xg_.data() + static_cast<std::int64_t>(r - i) * hidden_, x + t * hidden_,
                   static_cast<std::size_t>(hidden_) * sizeof(float));
     }
+    // Same kernel choice the CPU operator makes for this group size: the
+    // calibrated dispatch table when the engine provides one, the fixed
+    // ari_threshold heuristic otherwise.
+    const DType hot_dtype = hot_expert(0, e).gate.dtype();
     GemmOptions opts;
-    opts.kind = moe_.force_kind.value_or(SelectKernel(te, moe_.ari_threshold));
+    opts.kind = moe_.force_kind.has_value()
+                    ? *moe_.force_kind
+                    : (moe_.dispatch != nullptr && !moe_.dispatch->empty()
+                           ? moe_.dispatch->Choose(hot_dtype, te)
+                           : SelectKernel(te, moe_.ari_threshold));
     opts.impl = moe_.impl;
     opts.scratch = GemmThreadScratch(scratch_bytes_);
     opts.scratch_bytes = scratch_bytes_;

@@ -110,7 +110,10 @@ void AmxGemmImpl(const float* x, std::int64_t m, std::int64_t ldx, const PackedM
                  std::int64_t nb1, void* scratch, std::size_t scratch_bytes) {
   ConfigureTiles();
   const std::int64_t k_blocks = w.k_blocks();
-  ScratchCarver carver = AcquireGemmScratch(scratch, scratch_bytes, GemmScratchBytes(w));
+  const std::size_t need = static_cast<std::size_t>(k_blocks) * sizeof(TileReg) +
+                           static_cast<std::size_t>(k_blocks) * kTileRows * sizeof(float) +
+                           2 * kCacheLineBytes;
+  ScratchCarver carver = AcquireGemmScratch(scratch, scratch_bytes, need);
   TileReg* a_tiles = carver.Take<TileReg>(static_cast<std::size_t>(k_blocks));
   float* x_scales = carver.Take<float>(static_cast<std::size_t>(kTileRows * k_blocks));
   alignas(64) float cbuf[kTileRows][kNBlock];
@@ -161,7 +164,12 @@ void AmxGemmImpl(const float* x, std::int64_t m, std::int64_t ldx, const PackedM
           for (int i = 0; i < rows; ++i) {
             const float xs = x_scales[static_cast<std::size_t>(i * k_blocks + kb)];
             for (std::int64_t j = 0; j < n_valid; ++j) {
-              acc[i][j] += static_cast<float>(ibuf[i][j]) * xs * w.scale(nb * kNBlock + j, kb);
+              // Canonical rescale: t1 = float(dot) * xs; t2 = t1 * ws;
+              // acc += t2 (three roundings, never fused — the TU is built
+              // with -ffp-contract=off).
+              const float t1 = static_cast<float>(ibuf[i][j]) * xs;
+              const float t2 = t1 * w.scale(nb * kNBlock + j, kb);
+              acc[i][j] += t2;
             }
           }
         }
@@ -172,14 +180,24 @@ void AmxGemmImpl(const float* x, std::int64_t m, std::int64_t ldx, const PackedM
   _tile_release();
 }
 
-__attribute__((target("avx512f,avx512bw,avx512vl,avx512bf16,avx512vnni")))
+// AVX-512 bf16 row kernel. Canonical bf16 sequence (tile.h): per 32-element
+// k-block the even-index and odd-index products accumulate in two separate
+// fma chains over ascending p, and the running accumulator absorbs their sum
+// as acc += (even + odd). A bf16 product is exact in f32, so these vfmadd
+// chains land on the identical bits as the TDPBF16PS tile instruction and the
+// scalar emulation. (VDPBF16PS folds even and odd into one chain per step —
+// a DIFFERENT rounding sequence — which is why this kernel does not use it.)
+__attribute__((target("avx512f,avx512bw,avx512vl")))
 void Avx512GemmBf16Impl(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
                         float* y, std::int64_t ldy, bool accumulate, std::int64_t nb0,
                         std::int64_t nb1, void* scratch, std::size_t scratch_bytes) {
   const std::int64_t k_blocks = w.k_blocks();
   const std::int64_t k_pad = k_blocks * kKBlockBf16;
-  ScratchCarver carver = AcquireGemmScratch(scratch, scratch_bytes, GemmScratchBytes(w));
+  const std::size_t need =
+      static_cast<std::size_t>(k_pad) * sizeof(std::uint16_t) + kCacheLineBytes;
+  ScratchCarver carver = AcquireGemmScratch(scratch, scratch_bytes, need);
   std::uint16_t* xb = carver.Take<std::uint16_t>(static_cast<std::size_t>(k_pad));
+  const __m512i hi_mask = _mm512_set1_epi32(static_cast<int>(0xFFFF0000u));
   for (std::int64_t i = 0; i < m; ++i) {
     const float* row = x + i * ldx;
     for (std::int64_t c = 0; c < w.k(); ++c) {
@@ -193,14 +211,22 @@ void Avx512GemmBf16Impl(const float* x, std::int64_t m, std::int64_t ldx, const 
       for (std::int64_t kb = 0; kb < k_blocks; ++kb) {
         const auto* brow = reinterpret_cast<const std::uint16_t*>(w.tile_ptr(nb, kb));
         const std::uint16_t* xp = xb + kb * kKBlockBf16;
+        __m512 ve = _mm512_setzero_ps();
+        __m512 vo = _mm512_setzero_ps();
         for (int p = 0; p < kTileRows; ++p) {
-          const std::uint32_t pair = static_cast<std::uint32_t>(xp[2 * p]) |
-                                     (static_cast<std::uint32_t>(xp[2 * p + 1]) << 16);
-          const __m512i av = _mm512_set1_epi32(static_cast<int>(pair));
+          const std::uint32_t eb = static_cast<std::uint32_t>(xp[2 * p]) << 16;
+          const std::uint32_t ob = static_cast<std::uint32_t>(xp[2 * p + 1]) << 16;
+          float xe;
+          float xo;
+          std::memcpy(&xe, &eb, 4);
+          std::memcpy(&xo, &ob, 4);
           const __m512i bv = _mm512_loadu_si512(brow + p * 32);
-          acc = _mm512_dpbf16_ps(acc, reinterpret_cast<__m512bh>(av),
-                                 reinterpret_cast<__m512bh>(bv));
+          const __m512 be = _mm512_castsi512_ps(_mm512_slli_epi32(bv, 16));
+          const __m512 bo = _mm512_castsi512_ps(_mm512_and_si512(bv, hi_mask));
+          ve = _mm512_fmadd_ps(be, _mm512_set1_ps(xe), ve);
+          vo = _mm512_fmadd_ps(bo, _mm512_set1_ps(xo), vo);
         }
+        acc = _mm512_add_ps(acc, _mm512_add_ps(ve, vo));
       }
       const std::int64_t n0 = nb * kNBlock;
       const std::int64_t n_valid = std::min<std::int64_t>(kNBlock, w.n() - n0);
@@ -221,7 +247,9 @@ void Avx512GemmInt8Impl(const float* x, std::int64_t m, std::int64_t ldx, const 
                         std::int64_t nb1, void* scratch, std::size_t scratch_bytes) {
   const std::int64_t k_blocks = w.k_blocks();
   const std::int64_t k_pad = k_blocks * kKBlockInt8;
-  ScratchCarver carver = AcquireGemmScratch(scratch, scratch_bytes, GemmScratchBytes(w));
+  const std::size_t need = static_cast<std::size_t>(k_blocks) * sizeof(float) +
+                           static_cast<std::size_t>(k_pad) + 2 * kCacheLineBytes;
+  ScratchCarver carver = AcquireGemmScratch(scratch, scratch_bytes, need);
   float* scales = carver.Take<float>(static_cast<std::size_t>(k_blocks));
   std::uint8_t* xu = carver.Take<std::uint8_t>(static_cast<std::size_t>(k_pad));  // q + 128
   alignas(64) float wscale[kNBlock];
@@ -284,9 +312,11 @@ void Avx512GemmInt8Impl(const float* x, std::int64_t m, std::int64_t ldx, const 
         const __m512i corr =
             _mm512_sub_epi32(acci, _mm512_slli_epi32(_mm512_load_si512(wsum), 7));
         const float xs = scales[static_cast<std::size_t>(kb)];
-        accf = _mm512_fmadd_ps(_mm512_cvtepi32_ps(corr),
-                               _mm512_mul_ps(_mm512_load_ps(wscale), _mm512_set1_ps(xs)),
-                               accf);
+        // Canonical rescale: t1 = float(dot) * xs; t2 = t1 * ws; acc += t2 —
+        // three separate roundings, never fused, matching every other backend.
+        const __m512 t1 = _mm512_mul_ps(_mm512_cvtepi32_ps(corr), _mm512_set1_ps(xs));
+        const __m512 t2 = _mm512_mul_ps(t1, _mm512_load_ps(wscale));
+        accf = _mm512_add_ps(accf, t2);
       }
       const __mmask16 mask = static_cast<__mmask16>((1u << n_valid) - 1);
       float* out = y + i * ldy + n0;
@@ -302,14 +332,20 @@ void Avx512GemmInt8Impl(const float* x, std::int64_t m, std::int64_t ldx, const 
 // AVX2+FMA bf16 kernel: the tile rows hold interleaved (even, odd) bf16
 // pairs; a bf16 widens to f32 by a 16-bit left shift, so each 32-bit lane of
 // a tile row splits into the even value (low half shifted up) and the odd
-// value (high half masked). Two FMAs per 8-output group per pair row.
+// value (high half masked). Canonical bf16 sequence (tile.h): per k-block the
+// even-index and odd-index products run in separate fma chains over ascending
+// p (one lo/hi register pair each), and the accumulator absorbs their sum —
+// bit-identical to the AMX tile instruction, the AVX-512 kernel, and the
+// scalar emulation.
 __attribute__((target("avx2,fma")))
 void Avx2GemmBf16Impl(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
                       float* y, std::int64_t ldy, bool accumulate, std::int64_t nb0,
                       std::int64_t nb1, void* scratch, std::size_t scratch_bytes) {
   const std::int64_t k_blocks = w.k_blocks();
   const std::int64_t k_pad = k_blocks * kKBlockBf16;
-  ScratchCarver carver = AcquireGemmScratch(scratch, scratch_bytes, GemmScratchBytes(w));
+  const std::size_t need =
+      static_cast<std::size_t>(k_pad) * sizeof(std::uint16_t) + kCacheLineBytes;
+  ScratchCarver carver = AcquireGemmScratch(scratch, scratch_bytes, need);
   std::uint16_t* xb = carver.Take<std::uint16_t>(static_cast<std::size_t>(k_pad));
   const __m256i hi_mask = _mm256_set1_epi32(static_cast<int>(0xFFFF0000u));
   for (std::int64_t i = 0; i < m; ++i) {
@@ -326,6 +362,10 @@ void Avx2GemmBf16Impl(const float* x, std::int64_t m, std::int64_t ldx, const Pa
       for (std::int64_t kb = 0; kb < k_blocks; ++kb) {
         const auto* brow = reinterpret_cast<const std::uint16_t*>(w.tile_ptr(nb, kb));
         const std::uint16_t* xp = xb + kb * kKBlockBf16;
+        __m256 ve_lo = _mm256_setzero_ps();
+        __m256 vo_lo = _mm256_setzero_ps();
+        __m256 ve_hi = _mm256_setzero_ps();
+        __m256 vo_hi = _mm256_setzero_ps();
         for (int p = 0; p < kTileRows; ++p) {
           std::uint32_t lo_bits = static_cast<std::uint32_t>(xp[2 * p]) << 16;
           std::uint32_t hi_bits = static_cast<std::uint32_t>(xp[2 * p + 1]) << 16;
@@ -343,11 +383,13 @@ void Avx2GemmBf16Impl(const float* x, std::int64_t m, std::int64_t ldx, const Pa
           const __m256 odd_lo = _mm256_castsi256_ps(_mm256_and_si256(raw_lo, hi_mask));
           const __m256 even_hi = _mm256_castsi256_ps(_mm256_slli_epi32(raw_hi, 16));
           const __m256 odd_hi = _mm256_castsi256_ps(_mm256_and_si256(raw_hi, hi_mask));
-          acc_lo = _mm256_fmadd_ps(even_lo, vxl, acc_lo);
-          acc_lo = _mm256_fmadd_ps(odd_lo, vxh, acc_lo);
-          acc_hi = _mm256_fmadd_ps(even_hi, vxl, acc_hi);
-          acc_hi = _mm256_fmadd_ps(odd_hi, vxh, acc_hi);
+          ve_lo = _mm256_fmadd_ps(even_lo, vxl, ve_lo);
+          vo_lo = _mm256_fmadd_ps(odd_lo, vxh, vo_lo);
+          ve_hi = _mm256_fmadd_ps(even_hi, vxl, ve_hi);
+          vo_hi = _mm256_fmadd_ps(odd_hi, vxh, vo_hi);
         }
+        acc_lo = _mm256_add_ps(acc_lo, _mm256_add_ps(ve_lo, vo_lo));
+        acc_hi = _mm256_add_ps(acc_hi, _mm256_add_ps(ve_hi, vo_hi));
       }
       const std::int64_t n0 = nb * kNBlock;
       const std::int64_t n_valid = std::min<std::int64_t>(kNBlock, w.n() - n0);
@@ -375,7 +417,9 @@ void Avx2GemmInt8Impl(const float* x, std::int64_t m, std::int64_t ldx, const Pa
                       std::int64_t nb1, void* scratch, std::size_t scratch_bytes) {
   const std::int64_t k_blocks = w.k_blocks();
   const std::int64_t k_pad = k_blocks * kKBlockInt8;
-  ScratchCarver carver = AcquireGemmScratch(scratch, scratch_bytes, GemmScratchBytes(w));
+  const std::size_t need = static_cast<std::size_t>(k_blocks) * sizeof(float) +
+                           static_cast<std::size_t>(k_pad) + 2 * kCacheLineBytes;
+  ScratchCarver carver = AcquireGemmScratch(scratch, scratch_bytes, need);
   float* scales = carver.Take<float>(static_cast<std::size_t>(k_blocks));
   std::int8_t* xq = carver.Take<std::int8_t>(static_cast<std::size_t>(k_pad));
   const __m128i lo_m = _mm_set1_epi16(0x000f);
@@ -435,8 +479,10 @@ void Avx2GemmInt8Impl(const float* x, std::int64_t m, std::int64_t ldx, const Pa
           for (int t = 0; t < 4; ++t) {
             const std::int64_t j = h * 4 + t;
             const std::int64_t nrow = std::min<std::int64_t>(n0 + j, w.n() - 1);
-            accf[j] += static_cast<float>(lanes[2 * t] + lanes[2 * t + 1]) * xs *
-                       w.scale(nrow, kb);
+            // Canonical rescale: t1 = float(dot) * xs; t2 = t1 * ws; acc += t2.
+            const float t1 = static_cast<float>(lanes[2 * t] + lanes[2 * t + 1]) * xs;
+            const float t2 = t1 * w.scale(nrow, kb);
+            accf[j] += t2;
           }
         }
       }

@@ -6,9 +6,8 @@
 
 #include "src/common/align.h"
 #include "src/common/logging.h"
-#include "src/cpu/amx_native.h"
-#include "src/cpu/cpu_features.h"
 #include "src/cpu/gemm_scratch.h"
+#include "src/cpu/kernel_registry.h"
 
 namespace ktx {
 
@@ -85,14 +84,18 @@ void EmulatedGemmF32(const float* x, std::int64_t m, std::int64_t ldx, const Pac
 
 // Portable tile-emulated kernel, int8/int4 weights with per-(row, k-block)
 // scales. The i32 tile is rescaled into the f32 accumulator after every
-// k-block because scales change across blocks.
+// k-block because scales change across blocks. The rescale is the canonical
+// mul/mul/add sequence every native kernel mirrors; this translation unit is
+// built with -ffp-contract=off so the compiler cannot fuse it.
 void EmulatedGemmInt8(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
                       float* y, std::int64_t ldy, bool accumulate, std::int64_t nb0,
                       std::int64_t nb1, void* scratch, std::size_t scratch_bytes) {
   const std::int64_t n = w.n();
   const std::int64_t k = w.k();
   const std::int64_t k_blocks = w.k_blocks();
-  ScratchCarver carver = AcquireGemmScratch(scratch, scratch_bytes, GemmScratchBytes(w));
+  const std::size_t need =
+      static_cast<std::size_t>(kTileRows * k_blocks) * sizeof(float) + kCacheLineBytes;
+  ScratchCarver carver = AcquireGemmScratch(scratch, scratch_bytes, need);
   float* x_scales = carver.Take<float>(static_cast<std::size_t>(kTileRows * k_blocks));
   for (std::int64_t m0 = 0; m0 < m; m0 += kTileRows) {
     const int rows = static_cast<int>(std::min<std::int64_t>(kTileRows, m - m0));
@@ -120,8 +123,9 @@ void EmulatedGemmInt8(const float* x, std::int64_t m, std::int64_t ldx, const Pa
         const std::int32_t* ti = tmp.i32();
         for (int i = 0; i < rows; ++i) {
           for (std::int64_t j = 0; j < n_valid; ++j) {
-            acc.f32[i][j] += static_cast<float>(ti[i * kNBlock + j]) * row_scales[i] *
-                             w.scale(nb * kNBlock + j, kb);
+            const float t1 = static_cast<float>(ti[i * kNBlock + j]) * row_scales[i];
+            const float t2 = t1 * w.scale(nb * kNBlock + j, kb);
+            acc.f32[i][j] += t2;
           }
         }
       }
@@ -136,6 +140,8 @@ void EmulatedGemmInt8(const float* x, std::int64_t m, std::int64_t ldx, const Pa
   }
 }
 
+}  // namespace
+
 void EmulatedGemm(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
                   float* y, std::int64_t ldy, bool accumulate, std::int64_t nb0,
                   std::int64_t nb1, void* scratch, std::size_t scratch_bytes) {
@@ -148,25 +154,6 @@ void EmulatedGemm(const float* x, std::int64_t m, std::int64_t ldx, const Packed
   }
 }
 
-bool NativeFor(KernelKind kind) {
-  return kind == KernelKind::kAmx ? NativeAmxAvailable() : NativeAvx512Available();
-}
-
-}  // namespace
-
-std::size_t GemmScratchBytes(const PackedMatrix& w) {
-  // Conservative max over every kernel implementation and dtype:
-  //   * emulated/native AMX: k_blocks activation tiles + kTileRows x k_blocks
-  //     activation scales;
-  //   * AVX-512 / AVX2 row kernels: one repacked activation row (<= k_blocks *
-  //     kKBlockInt8 bytes) + k_blocks per-block scales.
-  // Plus alignment slop for the (at most four) 64-byte-aligned carves.
-  const auto k_blocks = static_cast<std::size_t>(w.k_blocks());
-  return k_blocks * (sizeof(TileReg) + kTileRows * sizeof(float) +
-                     static_cast<std::size_t>(kKBlockInt8) + sizeof(float)) +
-         4 * kCacheLineBytes;
-}
-
 void* GemmThreadScratch(std::size_t bytes) {
   // Grow-only, doubling: at most O(log max-demand) allocations per thread.
   thread_local AlignedBuffer buf;
@@ -174,18 +161,6 @@ void* GemmThreadScratch(std::size_t bytes) {
     buf = AlignedBuffer(std::max(bytes, buf.size() * 2));
   }
   return buf.data();
-}
-
-bool KernelAvailable(KernelKind kind, KernelImpl impl) {
-  switch (impl) {
-    case KernelImpl::kEmulated:
-      return true;
-    case KernelImpl::kNative:
-      return NativeFor(kind);
-    case KernelImpl::kAuto:
-      return true;
-  }
-  return false;
 }
 
 void GemmPacked(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
@@ -196,54 +171,8 @@ void GemmPacked(const float* x, std::int64_t m, std::int64_t ldx, const PackedMa
   const std::int64_t nb0 = opts.nb_begin;
   const std::int64_t nb1 = opts.nb_end < 0 ? w.n_blocks() : opts.nb_end;
   KTX_CHECK(nb0 >= 0 && nb1 <= w.n_blocks() && nb0 <= nb1) << "bad n-block range";
-  if (w.dtype() == DType::kF32) {
-    // f32 has one canonical path per ISA tier and every tier is bit-exact
-    // with the others (same fma sequence per output), so `kind` is ignored —
-    // there is no AMX f32 tile op and nothing rides on the ARI dispatch.
-    if (opts.impl != KernelImpl::kEmulated && NativeAvx512Available()) {
-      NativeAvx512GemmF32(x, m, ldx, w, y, ldy, opts.accumulate, nb0, nb1, opts.scratch,
-                          opts.scratch_bytes);
-    } else if (opts.impl != KernelImpl::kEmulated && NativeAvx2Available()) {
-      NativeAvx2GemmF32(x, m, ldx, w, y, ldy, opts.accumulate, nb0, nb1, opts.scratch,
-                        opts.scratch_bytes);
-    } else {
-      EmulatedGemm(x, m, ldx, w, y, ldy, opts.accumulate, nb0, nb1, opts.scratch,
-                   opts.scratch_bytes);
-    }
-    return;
-  }
-  KernelImpl impl = opts.impl;
-  if (impl == KernelImpl::kAuto) {
-    impl = NativeFor(opts.kind) ? KernelImpl::kNative : KernelImpl::kEmulated;
-    // AVX2+FMA tier: hosts without AVX-512 still get vectorized kernels.
-    if (impl == KernelImpl::kEmulated && opts.kind == KernelKind::kAvx512 &&
-        NativeAvx2Available()) {
-      if (w.dtype() == DType::kBF16) {
-        NativeAvx2GemmBf16(x, m, ldx, w, y, ldy, opts.accumulate, nb0, nb1, opts.scratch,
-                           opts.scratch_bytes);
-      } else {
-        NativeAvx2GemmInt8(x, m, ldx, w, y, ldy, opts.accumulate, nb0, nb1, opts.scratch,
-                           opts.scratch_bytes);
-      }
-      return;
-    }
-  }
-  if (impl == KernelImpl::kNative) {
-    KTX_CHECK(NativeFor(opts.kind)) << "native kernel requested but unavailable";
-    if (opts.kind == KernelKind::kAmx) {
-      NativeAmxGemm(x, m, ldx, w, y, ldy, opts.accumulate, nb0, nb1, opts.scratch,
-                    opts.scratch_bytes);
-    } else {
-      NativeAvx512Gemm(x, m, ldx, w, y, ldy, opts.accumulate, nb0, nb1, opts.scratch,
-                       opts.scratch_bytes);
-    }
-    return;
-  }
-  // The emulated AVX-512 kernel computes the identical sequence of bf16/int8
-  // MACs as the emulated AMX kernel (it replaces the tile instruction with
-  // finer-grained row passes), so both kinds share one emulation.
-  EmulatedGemm(x, m, ldx, w, y, ldy, opts.accumulate, nb0, nb1, opts.scratch,
-               opts.scratch_bytes);
+  const KernelVariant& v = ResolveKernelVariant(opts.kind, opts.impl, w.dtype());
+  v.gemm(x, m, ldx, w, y, ldy, opts.accumulate, nb0, nb1, opts.scratch, opts.scratch_bytes);
 }
 
 void RefGemm(const float* x, std::int64_t m, std::int64_t ldx, const Tensor& w, float* y,

@@ -1,18 +1,24 @@
 // Cache-friendly GEMM kernels on the AMX tile layout, with ARI-based dispatch
 // (paper §3.2, Fig. 6 / Fig. 7).
 //
-// Two kernel kinds share the packed layout:
+// Four kernel kinds share the packed layout:
 //   * kAmx    — full-tile kernel: 16 activation rows per pass, one TDP*
 //               instruction per (A,B) tile pair, accumulators live in tile
 //               registers. Best at high arithmetic intensity (prefill).
 //   * kAvx512 — row-at-a-time vector kernel on the same tiles. Best at
 //               <= ~4 tokens per expert (decode), where AMX wastes 16-row
 //               tile passes on mostly-padding rows.
+//   * kAvx2   — the same row kernel shape on 8-lane vectors, for hosts
+//               without AVX-512.
+//   * kScalar — the portable tile emulation, always available.
 //
-// Each kind has a native implementation (real AMX / AVX-512 instructions,
-// compiled only when the toolchain and CPU allow) and a bit-exact portable
-// emulation; results are identical by construction, so tests compare all
-// backends against RefGemm.
+// Every kind follows ONE canonical op sequence per dtype (tile.h documents
+// the bf16 sequence; f32 is a per-output ascending-k fma chain; the int8/int4
+// integer dot is exact and its f32 rescale is a fixed mul/mul/add per
+// k-block), so all selectable variants produce bit-identical results. The
+// kernel-variant registry (kernel_registry.h) is the authoritative table of
+// {kind, impl} entries with availability predicates and per-variant scratch
+// sizing; GemmPacked resolves through it.
 
 #ifndef KTX_SRC_CPU_GEMM_H_
 #define KTX_SRC_CPU_GEMM_H_
@@ -28,10 +34,12 @@ namespace ktx {
 enum class KernelKind {
   kAmx,
   kAvx512,
+  kAvx2,
+  kScalar,
 };
 
 enum class KernelImpl {
-  kAuto,      // native when available, else emulated
+  kAuto,      // native when available, else next available tier down
   kEmulated,  // force the portable tile emulation
   kNative,    // force real instructions (caller must check availability)
 };
@@ -66,18 +74,28 @@ void GemmPacked(const float* x, std::int64_t m, std::int64_t ldx, const PackedMa
 void RefGemm(const float* x, std::int64_t m, std::int64_t ldx, const Tensor& w, float* y,
              std::int64_t ldy, bool accumulate = false);
 
-// The ARI-based kernel switch (paper Fig. 7): AVX-512 wins at or below
-// `threshold` tokens per expert, AMX above it.
-inline KernelKind SelectKernel(std::int64_t tokens_per_expert, std::int64_t threshold = 4) {
-  return tokens_per_expert <= threshold ? KernelKind::kAvx512 : KernelKind::kAmx;
-}
+// The portable tile-emulation entry point (all dtypes): the reference every
+// registered variant must match bit-exactly. Exposed for the kernel registry
+// and the bit-identity matrix tests; ordinary callers go through GemmPacked.
+void EmulatedGemm(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
+                  float* y, std::int64_t ldy, bool accumulate, std::int64_t nb_begin,
+                  std::int64_t nb_end, void* scratch, std::size_t scratch_bytes);
+
+// The ARI-based kernel switch (paper Fig. 7): a row kernel wins at or below
+// `threshold` tokens per expert, the AMX tile kernel above it — restricted to
+// kinds whose native kernels this host can actually run (a no-AVX-512 machine
+// gets kAvx2, a plain machine kScalar; kAmx is never chosen without usable
+// AMX). Defined in kernel_registry.cc; see SelectKernelWith for the
+// availability-injected variant tests use.
+KernelKind SelectKernel(std::int64_t tokens_per_expert, std::int64_t threshold = 4);
 
 // True if the requested (kind, impl) combination can execute on this host.
 bool KernelAvailable(KernelKind kind, KernelImpl impl);
 
 // Upper bound on the scratch bytes any kernel (any kind/impl/dtype) needs for
-// one GemmPacked call against `w`. Callers that preallocate per-worker scratch
-// size it with this so a single region serves every dispatch decision.
+// one GemmPacked call against `w`: the registry-wide max over every variant's
+// own scratch requirement. Callers that preallocate per-worker scratch size it
+// with this so a single region serves every dispatch decision.
 std::size_t GemmScratchBytes(const PackedMatrix& w);
 
 // Grow-only thread-local scratch: returns a 64-byte-aligned region of at least

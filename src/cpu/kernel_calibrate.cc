@@ -1,0 +1,385 @@
+#include "src/cpu/kernel_calibrate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "src/common/json.h"
+#include "src/common/logging.h"
+#include "src/common/metrics.h"
+#include "src/common/rng.h"
+#include "src/common/stopwatch.h"
+#include "src/cpu/cpu_features.h"
+#include "src/cpu/layout.h"
+#include "src/tensor/tensor.h"
+
+namespace ktx {
+
+namespace {
+
+constexpr int kProfileVersion = 1;
+
+const char* DTypeClassName(DType dtype) {
+  if (dtype == DType::kF32) {
+    return "f32";
+  }
+  return dtype == DType::kBF16 ? "bf16" : "quant";
+}
+
+std::vector<KernelDispatchTable::Segment>* ClassSegments(KernelDispatchTable* table,
+                                                         std::string_view name) {
+  if (name == "f32") {
+    return &table->f32;
+  }
+  if (name == "bf16") {
+    return &table->bf16;
+  }
+  if (name == "quant") {
+    return &table->quant;
+  }
+  return nullptr;
+}
+
+std::optional<KernelKind> KindFromName(std::string_view name) {
+  for (KernelKind k : {KernelKind::kAmx, KernelKind::kAvx512, KernelKind::kAvx2,
+                       KernelKind::kScalar}) {
+    if (name == KernelKindName(k)) {
+      return k;
+    }
+  }
+  return std::nullopt;
+}
+
+// The kinds the calibrated switch may choose between for `dtype`: every native
+// variant this host can run and that supports the dtype, or the scalar
+// emulation when no native exists. (Emulated AMX/AVX-512 are test-only
+// opt-ins, never dispatch candidates.)
+std::vector<KernelKind> DispatchCandidates(DType dtype) {
+  std::vector<KernelKind> kinds;
+  for (const KernelVariant& v : KernelRegistry()) {
+    if (v.impl == KernelImpl::kNative && v.available() && v.supports_dtype(dtype)) {
+      kinds.push_back(v.kind);
+    }
+  }
+  if (kinds.empty()) {
+    kinds.push_back(KernelKind::kScalar);
+  }
+  return kinds;
+}
+
+const KernelVariant& VariantFor(KernelKind kind) {
+  if (kind == KernelKind::kScalar) {
+    return *FindKernelVariant(KernelKind::kScalar, KernelImpl::kEmulated);
+  }
+  return *FindKernelVariant(kind, KernelImpl::kNative);
+}
+
+struct TimedPoint {
+  KernelKind kind;
+  double ns = 0.0;
+};
+
+// Fits piecewise-constant segments from per-grid-point winners. Where the
+// winner flips between adjacent grid points the boundary is interpolated from
+// the two kinds' (assumed locally linear) time curves, so a coarse grid still
+// yields a tight crossover.
+std::vector<KernelDispatchTable::Segment> FitSegments(
+    const std::vector<std::int64_t>& grid,
+    const std::vector<std::vector<TimedPoint>>& points /* [grid][candidate] */) {
+  std::vector<KernelDispatchTable::Segment> segments;
+  if (grid.empty()) {
+    return segments;
+  }
+  auto winner = [&](std::size_t gi) {
+    const auto& row = points[gi];
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < row.size(); ++c) {
+      if (row[c].ns < row[best].ns) {
+        best = c;
+      }
+    }
+    return best;
+  };
+  std::size_t prev = winner(0);
+  segments.push_back({1, points[0][prev].kind});
+  for (std::size_t gi = 1; gi < grid.size(); ++gi) {
+    const std::size_t cur = winner(gi);
+    if (cur == prev) {
+      continue;
+    }
+    // Interpolate where the two curves cross in (m, ns) between the grid
+    // neighbours; the new winner takes over from the first integer m past it.
+    const double m0 = static_cast<double>(grid[gi - 1]);
+    const double m1 = static_cast<double>(grid[gi]);
+    const double d0 = points[gi - 1][prev].ns - points[gi - 1][cur].ns;  // <= 0
+    const double d1 = points[gi][prev].ns - points[gi][cur].ns;         // > 0
+    double cross = m1;
+    if (d1 - d0 > 0.0) {
+      cross = m0 + (m1 - m0) * (-d0) / (d1 - d0);
+    }
+    auto min_m = static_cast<std::int64_t>(std::ceil(cross));
+    min_m = std::clamp<std::int64_t>(min_m, grid[gi - 1] + 1, grid[gi]);
+    segments.push_back({min_m, points[gi][cur].kind});
+    prev = cur;
+  }
+  return segments;
+}
+
+}  // namespace
+
+KernelKind KernelDispatchTable::Choose(DType dtype, std::int64_t tokens_per_expert) const {
+  const std::vector<Segment>& segs = ForDType(dtype);
+  if (segs.empty()) {
+    return SelectKernel(tokens_per_expert);
+  }
+  KernelKind kind = segs.front().kind;
+  for (const Segment& s : segs) {
+    if (s.min_m > tokens_per_expert) {
+      break;
+    }
+    kind = s.kind;
+  }
+  return kind;
+}
+
+std::string KernelProfileSignature(const KernelCalibrationOptions& opts) {
+  std::ostringstream sig;
+  sig << "v" << kProfileVersion << ";" << GetCpuFeatures().ToString() << ";native="
+#if defined(KTX_HAVE_NATIVE_SIMD)
+      << 1
+#else
+      << 0
+#endif
+      << ";grid=";
+  for (std::int64_t m : opts.grid) {
+    sig << m << ",";
+  }
+  sig << ";n=" << opts.n << ";k=" << opts.k << ";band=" << opts.band_blocks;
+  return sig.str();
+}
+
+KernelCalibrationResult CalibrateKernels(const KernelCalibrationOptions& opts) {
+  KernelCalibrationResult result;
+  result.signature = KernelProfileSignature(opts);
+  KTX_CHECK(!opts.grid.empty());
+  const std::int64_t max_m = *std::max_element(opts.grid.begin(), opts.grid.end());
+
+  Rng rng(0x5ca1ab1eULL);
+  const Tensor wf = Tensor::Randn({opts.n, opts.k}, rng);
+  std::vector<float> x(static_cast<std::size_t>(max_m * opts.k));
+  for (auto& v : x) {
+    v = 0.0625f * static_cast<float>(static_cast<std::int64_t>(rng.NextU64() % 64) - 32);
+  }
+  std::vector<float> y(static_cast<std::size_t>(max_m * opts.n));
+
+  // One representative dtype per class; kI4 shares the quant class with kI8.
+  for (DType dtype : {DType::kF32, DType::kBF16, DType::kI8}) {
+    auto packed = PackedMatrix::Pack(wf, dtype);
+    KTX_CHECK(packed.ok()) << packed.status().ToString();
+    const PackedMatrix& w = packed.value();
+    const std::vector<KernelKind> candidates = DispatchCandidates(dtype);
+    std::vector<std::vector<TimedPoint>> points(opts.grid.size());
+    for (std::size_t gi = 0; gi < opts.grid.size(); ++gi) {
+      const std::int64_t m = opts.grid[gi];
+      for (KernelKind kind : candidates) {
+        const KernelVariant& v = VariantFor(kind);
+        double best_ns = 0.0;
+        for (int rep = -opts.warmup; rep < opts.reps; ++rep) {
+          Stopwatch sw;
+          // Band-granular calls: the MoE scheduler chunks every GEMM into
+          // band_blocks-sized tasks, so per-call setup cost is part of what
+          // the crossover must price in.
+          for (std::int64_t b0 = 0; b0 < w.n_blocks(); b0 += opts.band_blocks) {
+            const std::int64_t b1 = std::min(w.n_blocks(), b0 + opts.band_blocks);
+            v.gemm(x.data(), m, opts.k, w, y.data(), opts.n, /*accumulate=*/false, b0, b1,
+                   nullptr, 0);
+          }
+          const double ns = sw.ElapsedSeconds() * 1e9;
+          if (rep >= 0) {
+            ++result.microbench_samples;
+            if (best_ns == 0.0 || ns < best_ns) {
+              best_ns = ns;
+            }
+          }
+        }
+        points[gi].push_back({kind, best_ns});
+        result.measurements.push_back({VariantFor(kind).name, dtype, m, best_ns});
+      }
+    }
+    std::vector<KernelDispatchTable::Segment>* segs =
+        ClassSegments(&result.table, DTypeClassName(dtype));
+    *segs = FitSegments(opts.grid, points);
+  }
+  return result;
+}
+
+bool WriteKernelProfile(const KernelCalibrationResult& result,
+                        const KernelCalibrationOptions& opts, const std::string& path) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("version", kProfileVersion);
+  w.Field("signature", result.signature);
+  w.Key("grid");
+  w.BeginArray();
+  for (std::int64_t m : opts.grid) {
+    w.Int(m);
+  }
+  w.EndArray();
+  w.Key("shape");
+  w.BeginObject();
+  w.Field("n", opts.n);
+  w.Field("k", opts.k);
+  w.EndObject();
+  w.Key("measurements");
+  w.BeginArray();
+  for (const KernelMeasurement& meas : result.measurements) {
+    w.BeginObject();
+    w.Field("variant", meas.variant);
+    w.Field("dtype", DTypeClassName(meas.dtype));
+    w.Field("m", meas.m);
+    w.Key("ns_per_call");
+    w.FixedDouble(meas.ns_per_call, 1);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("table");
+  w.BeginObject();
+  const std::pair<const char*, const std::vector<KernelDispatchTable::Segment>*> classes[] = {
+      {"f32", &result.table.f32}, {"bf16", &result.table.bf16}, {"quant", &result.table.quant}};
+  for (const auto& [name, segs] : classes) {
+    w.Key(name);
+    w.BeginArray();
+    for (const KernelDispatchTable::Segment& s : *segs) {
+      w.BeginObject();
+      w.Field("min_m", s.min_m);
+      w.Field("kind", KernelKindName(s.kind));
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+  w.EndObject();
+  w.EndObject();
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    KTX_LOG(Warning) << "cannot write kernel profile to " << path;
+    return false;
+  }
+  out << w.str() << "\n";
+  return static_cast<bool>(out);
+}
+
+bool ParseKernelProfile(const std::string& text, const std::string& expected_signature,
+                        KernelCalibrationResult* out, std::string* why) {
+  JsonValue root;
+  std::string parse_error;
+  if (!ParseJson(text, &root, &parse_error)) {
+    *why = "unparseable JSON: " + parse_error;
+    return false;
+  }
+  if (!root.is_object()) {
+    *why = "top-level value is not an object";
+    return false;
+  }
+  if (root.IntOr("version", -1) != kProfileVersion) {
+    *why = "profile version mismatch";
+    return false;
+  }
+  const std::string_view sig = root.StringOr("signature", "");
+  if (sig != expected_signature) {
+    *why = "signature mismatch (different CPU, build, or calibration grid)";
+    return false;
+  }
+  const JsonValue* table = root.Find("table");
+  if (table == nullptr || !table->is_object()) {
+    *why = "missing table object";
+    return false;
+  }
+  KernelCalibrationResult loaded;
+  loaded.signature = std::string(sig);
+  loaded.from_cache = true;
+  for (const auto& [class_name, segs_json] : table->object) {
+    std::vector<KernelDispatchTable::Segment>* segs =
+        ClassSegments(&loaded.table, class_name);
+    if (segs == nullptr) {
+      *why = "unknown dtype class '" + class_name + "'";
+      return false;
+    }
+    if (!segs_json.is_array()) {
+      *why = "dtype class '" + class_name + "' is not an array";
+      return false;
+    }
+    for (const JsonValue& seg : segs_json.array) {
+      if (!seg.is_object()) {
+        *why = "segment is not an object";
+        return false;
+      }
+      const std::int64_t min_m = seg.IntOr("min_m", -1);
+      const std::optional<KernelKind> kind = KindFromName(seg.StringOr("kind", ""));
+      if (min_m < 1 || !kind.has_value()) {
+        *why = "segment with bad min_m or unknown kind";
+        return false;
+      }
+      segs->push_back({min_m, *kind});
+    }
+    // Choose() depends on ascending min_m; reject a shuffled profile.
+    for (std::size_t i = 1; i < segs->size(); ++i) {
+      if ((*segs)[i].min_m <= (*segs)[i - 1].min_m) {
+        *why = "segments out of order";
+        return false;
+      }
+    }
+  }
+  if (loaded.table.empty()) {
+    *why = "table has no segments";
+    return false;
+  }
+  if (const JsonValue* meas = root.Find("measurements"); meas != nullptr && meas->is_array()) {
+    for (const JsonValue& mj : meas->array) {
+      if (!mj.is_object()) {
+        continue;
+      }
+      KernelMeasurement km;
+      km.variant = std::string(mj.StringOr("variant", "?"));
+      const std::string_view cls = mj.StringOr("dtype", "bf16");
+      km.dtype = cls == "f32" ? DType::kF32 : (cls == "quant" ? DType::kI8 : DType::kBF16);
+      km.m = mj.IntOr("m", 0);
+      km.ns_per_call = mj.NumberOr("ns_per_call", 0.0);
+      loaded.measurements.push_back(std::move(km));
+    }
+  }
+  *out = std::move(loaded);
+  return true;
+}
+
+KernelCalibrationResult CalibrateOrLoad(const KernelCalibrationOptions& opts) {
+  const std::string signature = KernelProfileSignature(opts);
+  if (!opts.profile_path.empty()) {
+    std::ifstream in(opts.profile_path);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      KernelCalibrationResult loaded;
+      std::string why;
+      if (ParseKernelProfile(buf.str(), signature, &loaded, &why)) {
+        KTX_LOG(Info) << "kernel dispatch profile loaded from " << opts.profile_path
+                      << " (calibration skipped)";
+        return loaded;
+      }
+      KTX_LOG(Warning) << "kernel dispatch profile " << opts.profile_path << " rejected ("
+                       << why << "); recalibrating";
+    }
+  }
+  KernelCalibrationResult fresh = CalibrateKernels(opts);
+  if (!opts.profile_path.empty()) {
+    if (WriteKernelProfile(fresh, opts, opts.profile_path)) {
+      KTX_LOG(Info) << "kernel dispatch profile written to " << opts.profile_path;
+    }
+  }
+  return fresh;
+}
+
+}  // namespace ktx

@@ -1,0 +1,135 @@
+// Microbenchmark-calibrated kernel dispatch (the measured replacement for the
+// fixed ari_threshold heuristic; paper §3.2 / Fig. 7).
+//
+// The paper picks the AMX-vs-AVX-512 crossover at 4 tokens per expert from
+// one machine's measurements. That constant is wrong on any host with a
+// different AMX:vector throughput ratio and meaningless on hosts missing
+// either ISA. KernelCalibrator instead measures every dispatchable variant
+// over a small tokens-per-expert grid at startup, fits per-dtype-class
+// crossover segments, and caches the result as a JSON profile under configs/
+// so serving restarts skip the microbenchmark entirely.
+//
+// Because every registered variant is bit-identical (kernel_registry.h), the
+// calibrated table is purely a performance decision: switching variants
+// mid-stream can never change a logit.
+//
+// Profile file format (version 1):
+//   {
+//     "version": 1,
+//     "signature": "<cpu features + build + grid + shape>",
+//     "grid": [1, 2, ...],
+//     "shape": {"n": .., "k": ..},
+//     "measurements": [
+//       {"variant": "amx_native", "dtype": "bf16", "m": 1, "ns_per_call": ..},
+//       ...
+//     ],
+//     "table": {
+//       "f32":  [{"min_m": 1, "kind": "avx512"}, ...],
+//       "bf16": [{"min_m": 1, "kind": "avx512"}, {"min_m": 5, "kind": "amx"}],
+//       "quant": [...]
+//     }
+//   }
+// A missing file, unparseable JSON, wrong version, or signature mismatch
+// (different CPU, build, grid, or shape) logs a warning and falls back to
+// recalibration — never an abort — and the fresh result rewrites the profile.
+
+#ifndef KTX_SRC_CPU_KERNEL_CALIBRATE_H_
+#define KTX_SRC_CPU_KERNEL_CALIBRATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cpu/kernel_registry.h"
+#include "src/tensor/dtype.h"
+
+namespace ktx {
+
+// Piecewise-constant winner-per-tokens-per-expert table, one segment list per
+// dtype class (f32 / bf16 / quantized). Segments are sorted by ascending
+// min_m; Choose returns the kind of the last segment whose min_m <= m.
+struct KernelDispatchTable {
+  struct Segment {
+    std::int64_t min_m = 1;
+    KernelKind kind = KernelKind::kScalar;
+  };
+  std::vector<Segment> f32;
+  std::vector<Segment> bf16;
+  std::vector<Segment> quant;
+
+  const std::vector<Segment>& ForDType(DType dtype) const {
+    if (dtype == DType::kF32) {
+      return f32;
+    }
+    return dtype == DType::kBF16 ? bf16 : quant;
+  }
+
+  // The calibrated kernel switch. Falls back to the availability-aware
+  // SelectKernel heuristic when this dtype class has no segments.
+  KernelKind Choose(DType dtype, std::int64_t tokens_per_expert) const;
+
+  bool empty() const { return f32.empty() && bf16.empty() && quant.empty(); }
+};
+
+// One timed point: `variant` is a registry entry name.
+struct KernelMeasurement {
+  std::string variant;
+  DType dtype = DType::kBF16;
+  std::int64_t m = 0;
+  double ns_per_call = 0.0;
+};
+
+struct KernelCalibrationOptions {
+  // Tokens-per-expert grid. Decode-dense at the bottom (the region the fixed
+  // threshold gets wrong), sparse above where the winner is stable.
+  std::vector<std::int64_t> grid = {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64};
+  // Microbenchmark GEMM shape: one expert-sized band. Small enough to finish
+  // in milliseconds, large enough that per-call overhead does not dominate.
+  std::int64_t n = 256;
+  std::int64_t k = 256;
+  // The microbenchmark issues the GEMM as band-restricted calls of this many
+  // 16-wide n-blocks — the exact granularity the MoE task scheduler uses
+  // (MoeOptions::band_blocks). Timing whole-matrix calls instead would hide
+  // the per-call setup cost (AMX tile config) that decides the small-m winner
+  // on the real hot path.
+  std::int64_t band_blocks = 4;
+  int reps = 5;         // timed repetitions per point; minimum is kept
+  int warmup = 1;       // untimed calls per point before the reps
+  std::string profile_path;  // empty: never read or write a cache file
+};
+
+struct KernelCalibrationResult {
+  KernelDispatchTable table;
+  bool from_cache = false;          // true: profile satisfied the request
+  std::int64_t microbench_samples = 0;  // timed GEMM calls; 0 when from_cache
+  std::vector<KernelMeasurement> measurements;
+  std::string signature;
+};
+
+// The cache-validity signature: CPU feature string + native-SIMD build flag +
+// grid + microbenchmark shape + format version. Any difference invalidates a
+// stored profile.
+std::string KernelProfileSignature(const KernelCalibrationOptions& opts);
+
+// Runs the microbenchmark over every dispatchable variant and fits the
+// crossover table. Never touches the profile file.
+KernelCalibrationResult CalibrateKernels(const KernelCalibrationOptions& opts);
+
+// Loads `opts.profile_path` if it exists, parses, and checks the signature;
+// on any failure logs a warning, recalibrates, and (re)writes the profile.
+// With an empty profile_path this is exactly CalibrateKernels.
+KernelCalibrationResult CalibrateOrLoad(const KernelCalibrationOptions& opts);
+
+// Serializes `result` to `path` (JsonWriter format above). Returns false on
+// I/O failure (logged, non-fatal).
+bool WriteKernelProfile(const KernelCalibrationResult& result,
+                        const KernelCalibrationOptions& opts, const std::string& path);
+
+// Parses a profile from `text`. Returns false (with a reason in `why`) on
+// malformed JSON, version/signature mismatch, or unknown kind names.
+bool ParseKernelProfile(const std::string& text, const std::string& expected_signature,
+                        KernelCalibrationResult* out, std::string* why);
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_CPU_KERNEL_CALIBRATE_H_

@@ -1,0 +1,116 @@
+// The kernel-variant registry: the single authoritative table of every GEMM
+// backend the CPU substrate can dispatch to (ROADMAP item 4; the "registered
+// variant table" seam of the cross-platform fused-MoE design).
+//
+// Each entry is a {kind, impl} pair with an availability predicate, a dtype
+// support predicate, the kernel entry point, and a per-variant scratch-bytes
+// function. Six variants are registered:
+//
+//   amx_native      kAmx    x kNative    (TDPBF16PS / TDPBSSD tile kernels)
+//   avx512_native   kAvx512 x kNative    (row kernels on 16-lane vectors)
+//   avx2_native     kAvx2   x kNative    (row kernels on 8-lane vectors)
+//   amx_emulated    kAmx    x kEmulated  (portable tile emulation)
+//   avx512_emulated kAvx512 x kEmulated  (same emulation, row-kernel label)
+//   scalar          kScalar x kEmulated  (the emulation as a first-class kind)
+//
+// Every variant computes the identical canonical op sequence per dtype
+// (tile.cc documents bf16; gemm.cc documents f32 and the quantized rescale),
+// so any two selectable variants are bit-identical — dispatch is purely a
+// performance decision and never a numerics decision. The fused MoE operator
+// (moe_cpu.cc) holds a resolved variant per expert-group and calls its entry
+// point directly: no per-backend branches live outside this table.
+//
+// Adding a backend = adding one entry here plus its kernel translation unit;
+// the matrix test (kernel_registry_test.cc) then enforces bit-identity against
+// the emulated reference automatically. INTERNALS.md section 13 walks through
+// the procedure.
+
+#ifndef KTX_SRC_CPU_KERNEL_REGISTRY_H_
+#define KTX_SRC_CPU_KERNEL_REGISTRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "src/cpu/gemm.h"
+#include "src/cpu/layout.h"
+
+namespace ktx {
+
+struct KernelVariant {
+  KernelKind kind;
+  KernelImpl impl;   // concrete: kNative or kEmulated, never kAuto
+  const char* name;  // stable identifier: profiles, CLI, CI forcing, bench
+  // True when this host can execute the variant right now (toolchain support
+  // baked in AND the CPU grants the feature). Emulated entries always pass.
+  bool (*available)();
+  bool (*supports_dtype)(DType dtype);
+  // The kernel itself. Same contract as GemmPacked with the options exploded.
+  void (*gemm)(const float* x, std::int64_t m, std::int64_t ldx, const PackedMatrix& w,
+               float* y, std::int64_t ldy, bool accumulate, std::int64_t nb_begin,
+               std::int64_t nb_end, void* scratch, std::size_t scratch_bytes);
+  // This variant's own scratch demand for one call against `w`. Always
+  // <= GemmScratchBytes(w), which is the max over the whole registry.
+  std::size_t (*scratch_bytes)(const PackedMatrix& w);
+};
+
+// All registered variants, fixed order (index is a stable handle within one
+// process — the MoE workspace stores it per expert-group).
+const std::vector<KernelVariant>& KernelRegistry();
+
+// Exact-entry lookup; nullptr when no entry has this (kind, impl) pair.
+// `impl` must be concrete (kAuto has no entry).
+const KernelVariant* FindKernelVariant(KernelKind kind, KernelImpl impl);
+
+// Index of `v` in KernelRegistry() (the MoE group handle).
+int KernelVariantIndex(const KernelVariant& v);
+
+// Resolves a dispatch request to a runnable variant:
+//   * kNative:   the native entry for `kind` — or, when that entry does not
+//                support `dtype` (AMX has no f32 tile op), the next native
+//                tier down that does. CHECK-fails when nothing native fits
+//                (mirrors the old "native requested but unavailable" abort).
+//   * kEmulated: the portable emulation under the requested kind's label
+//                (kAvx2 and kScalar share the scalar entry).
+//   * kAuto:     the native entry when available and dtype-capable, else the
+//                ladder kAmx -> kAvx512 -> kAvx2 down-tier of available
+//                natives, else the scalar emulation. Never aborts.
+const KernelVariant& ResolveKernelVariant(KernelKind kind, KernelImpl impl, DType dtype);
+
+// Host capability snapshot for the ARI kernel switch, injectable for tests
+// (satellite: dispatch must only choose among variants whose availability
+// predicate passes).
+struct KernelAvailability {
+  bool amx = false;
+  bool avx512 = false;
+  bool avx2 = false;
+  static KernelAvailability Host();
+};
+
+// SelectKernel (gemm.h) with the availability explicit.
+KernelKind SelectKernelWith(std::int64_t tokens_per_expert, std::int64_t threshold,
+                            const KernelAvailability& avail);
+
+const char* KernelKindName(KernelKind kind);
+const char* KernelImplName(KernelImpl impl);
+
+// Parses a variant name ("amx_native", "avx512_emulated", "scalar", ...) or a
+// bare kind ("amx", "avx512", "avx2") into a forced (kind, impl) pair; bare
+// kinds force kAuto impl. nullopt on unknown names.
+struct ForcedKernel {
+  KernelKind kind;
+  KernelImpl impl;
+};
+std::optional<ForcedKernel> ParseForcedKernel(std::string_view name);
+
+// The KTX_FORCE_KERNEL environment override (CI kernel-variant matrix job):
+// when set to a parseable variant name, CpuMoe forces every expert-group onto
+// that variant. nullopt when unset; unparseable values log a warning once and
+// return nullopt.
+std::optional<ForcedKernel> ForcedKernelFromEnv();
+
+}  // namespace ktx
+
+#endif  // KTX_SRC_CPU_KERNEL_REGISTRY_H_

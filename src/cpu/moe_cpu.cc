@@ -8,8 +8,11 @@
 
 #include "src/common/align.h"
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 #include "src/common/trace.h"
 #include "src/cpu/activation.h"
+#include "src/cpu/kernel_calibrate.h"
+#include "src/cpu/kernel_registry.h"
 
 namespace ktx {
 
@@ -97,7 +100,7 @@ struct MoeWorkspace {
   // --- grouping: token rows per activated expert, first-appearance order ---
   moe_detail::ScratchVec<std::int32_t> group_of_expert;  // [num_experts], -1 between calls
   moe_detail::ScratchVec<std::int32_t> group_expert;     // [G]
-  moe_detail::ScratchVec<std::int32_t> group_kind;       // [G] KernelKind
+  moe_detail::ScratchVec<std::int32_t> group_variant;    // [G] KernelRegistry index
   moe_detail::ScratchVec<std::int64_t> group_count;      // [G]
   moe_detail::ScratchVec<std::int64_t> group_off;        // [G] first staging row
   moe_detail::ScratchVec<std::int64_t> group_fill;       // [G] pass-2 cursor
@@ -119,8 +122,8 @@ struct MoeWorkspace {
   moe_detail::ScratchVec<std::int32_t> b_remaining;     // [G] Down bands left
   moe_detail::ScratchVec<std::int32_t> band_remaining;  // [n_r] contributions left
   std::int64_t ready_tail = 0;                          // next slot (global id), atomic_ref
-  std::int64_t amx_calls = 0;                           // atomic_ref, relaxed
-  std::int64_t avx512_calls = 0;                        // atomic_ref, relaxed
+  std::int64_t kind_calls[4] = {0, 0, 0, 0};            // by KernelKind; atomic_ref, relaxed
+  Counter* kind_counters[4] = {nullptr, nullptr, nullptr, nullptr};  // metrics, by KernelKind
 
   // --- per-worker GEMM scratch (slot num_threads serves non-pool callers) ---
   moe_detail::ScratchVec<std::byte> gemm_scratch;
@@ -146,7 +149,6 @@ struct MoeWorkspace {
   std::int64_t n_b = 0;
   std::int64_t n_r = 0;
   std::int64_t band_blocks = 0;
-  KernelImpl impl = KernelImpl::kAuto;
   std::int64_t phase_base = 0;  // static schedule: task id of the phase's first task
 };
 
@@ -176,7 +178,7 @@ void EnsureCapacity(MoeWorkspace* ws, const PackedExperts& ex, ThreadPool* pool,
                 ws->group_of_expert.capacity() * sizeof(std::int32_t));
   }
   ws->group_expert.EnsureCapacity(g_max);
-  ws->group_kind.EnsureCapacity(g_max);
+  ws->group_variant.EnsureCapacity(g_max);
   ws->group_count.EnsureCapacity(g_max);
   ws->group_off.EnsureCapacity(g_max);
   ws->group_fill.EnsureCapacity(g_max);
@@ -209,8 +211,15 @@ void* TaskScratch(MoeWorkspace* ws) {
 }
 
 void CountKernelCalls(MoeWorkspace* ws, KernelKind kind, std::int64_t calls) {
-  std::int64_t& counter = kind == KernelKind::kAmx ? ws->amx_calls : ws->avx512_calls;
-  std::atomic_ref<std::int64_t>(counter).fetch_add(calls, std::memory_order_relaxed);
+  std::atomic_ref<std::int64_t>(ws->kind_calls[static_cast<int>(kind)])
+      .fetch_add(calls, std::memory_order_relaxed);
+}
+
+// The resolved variant an expert-group dispatches to. group_variant holds a
+// KernelRegistry() index, fixed at Forward() grouping time — the fused
+// pipeline below has no per-backend branches of its own.
+const KernelVariant& GroupVariant(const MoeWorkspace* ws, std::size_t g) {
+  return KernelRegistry()[static_cast<std::size_t>(ws->group_variant[g])];
 }
 
 // Gate + Up projections for one (group, inter-band), SwiGLU in the same task
@@ -224,18 +233,15 @@ void ExecGateUp(MoeWorkspace* ws, std::int64_t idx) {
   const std::int64_t off = ws->group_off[g];
   const std::int64_t hidden = ws->hidden;
   const std::int64_t inter = ws->inter;
-  GemmOptions opts;
-  opts.kind = static_cast<KernelKind>(ws->group_kind[g]);
-  opts.impl = ws->impl;
-  opts.nb_begin = b0;
-  opts.nb_end = b1;
-  opts.scratch = TaskScratch(ws);
-  opts.scratch_bytes = ws->scratch_stride;
+  const KernelVariant& v = GroupVariant(ws, g);
+  void* scratch = TaskScratch(ws);
   const float* xg = ws->x_gathered.data() + off * hidden;
   float* gu = ws->gate_up.data() + off * 2 * inter;
   // Gate into columns [0, inter), Up into [inter, 2*inter).
-  GemmPacked(xg, te, hidden, w.gate, gu, 2 * inter, opts);
-  GemmPacked(xg, te, hidden, w.up, gu + inter, 2 * inter, opts);
+  v.gemm(xg, te, hidden, w.gate, gu, 2 * inter, /*accumulate=*/false, b0, b1, scratch,
+         ws->scratch_stride);
+  v.gemm(xg, te, hidden, w.up, gu + inter, 2 * inter, /*accumulate=*/false, b0, b1, scratch,
+         ws->scratch_stride);
   const std::int64_t c0 = b0 * kNBlock;
   const std::int64_t c1 = std::min(inter, b1 * kNBlock);
   float* act = ws->act.data() + off * inter;
@@ -243,7 +249,7 @@ void ExecGateUp(MoeWorkspace* ws, std::int64_t idx) {
     SiluMul(gu + r * 2 * inter + c0, gu + r * 2 * inter + inter + c0, act + r * inter + c0,
             c1 - c0);
   }
-  CountKernelCalls(ws, opts.kind, 2);
+  CountKernelCalls(ws, v.kind, 2);
 }
 
 // Down projection for one (group, hidden-band) into the staged output rows.
@@ -254,16 +260,11 @@ void ExecDown(MoeWorkspace* ws, std::int64_t idx) {
   const PackedExpert& w = ws->experts->expert(ws->group_expert[g]);
   const std::int64_t te = ws->group_count[g];
   const std::int64_t off = ws->group_off[g];
-  GemmOptions opts;
-  opts.kind = static_cast<KernelKind>(ws->group_kind[g]);
-  opts.impl = ws->impl;
-  opts.nb_begin = b0;
-  opts.nb_end = b1;
-  opts.scratch = TaskScratch(ws);
-  opts.scratch_bytes = ws->scratch_stride;
-  GemmPacked(ws->act.data() + off * ws->inter, te, ws->inter, w.down,
-             ws->out.data() + off * ws->hidden, ws->hidden, opts);
-  CountKernelCalls(ws, opts.kind, 1);
+  const KernelVariant& v = GroupVariant(ws, g);
+  v.gemm(ws->act.data() + off * ws->inter, te, ws->inter, w.down,
+         ws->out.data() + off * ws->hidden, ws->hidden, /*accumulate=*/false, b0, b1,
+         TaskScratch(ws), ws->scratch_stride);
+  CountKernelCalls(ws, v.kind, 1);
 }
 
 // Weighted scatter-add for one token band. The contribution index fixes the
@@ -402,10 +403,25 @@ CpuMoe::CpuMoe(std::shared_ptr<const PackedExperts> experts, ThreadPool* pool,
   KTX_CHECK(experts_ != nullptr);
   KTX_CHECK(pool_ != nullptr);
   KTX_CHECK_GE(options_.band_blocks, 1);
+  // CI kernel-variant matrix: KTX_FORCE_KERNEL pins every expert-group onto
+  // one registered variant, overriding both the caller's force_kind and the
+  // calibrated dispatch table.
+  if (const std::optional<ForcedKernel> forced = ForcedKernelFromEnv()) {
+    options_.force_kind = forced->kind;
+    options_.impl = forced->impl;
+  }
   ws_->experts = experts_.get();
   ws_->pool = pool_;
-  ws_->impl = options_.impl;
   ws_->band_blocks = options_.band_blocks;
+  // Resolve the per-kind metric counters once; registry lookups take a mutex.
+  ws_->kind_counters[static_cast<int>(KernelKind::kAmx)] =
+      MetricsRegistry::Global().GetCounter("moe.gemm_calls_amx_total");
+  ws_->kind_counters[static_cast<int>(KernelKind::kAvx512)] =
+      MetricsRegistry::Global().GetCounter("moe.gemm_calls_avx512_total");
+  ws_->kind_counters[static_cast<int>(KernelKind::kAvx2)] =
+      MetricsRegistry::Global().GetCounter("moe.gemm_calls_avx2_total");
+  ws_->kind_counters[static_cast<int>(KernelKind::kScalar)] =
+      MetricsRegistry::Global().GetCounter("moe.gemm_calls_scalar_total");
 }
 
 CpuMoe::~CpuMoe() = default;
@@ -466,6 +482,15 @@ void CpuMoe::Forward(const float* x, std::int64_t tokens, const MoeRouting& rout
     }
   }
 
+  // Per-group kernel choice: force_kind wins; else the calibrated dispatch
+  // table (when provided) maps tokens-per-expert to the fastest measured kind;
+  // else the fixed ari_threshold heuristic over the host's available kinds.
+  // Either way the kind resolves through the registry to a concrete runnable
+  // variant, stored as a registry index.
+  const DType dtype = experts_->dtype();
+  const bool calibrated =
+      !options_.force_kind.has_value() && options_.dispatch != nullptr &&
+      !options_.dispatch->empty();
   std::int64_t total_rows = 0;
   std::int64_t max_group = 0;
   for (std::int64_t g = 0; g < num_groups; ++g) {
@@ -473,8 +498,13 @@ void CpuMoe::Forward(const float* x, std::int64_t tokens, const MoeRouting& rout
     const std::int64_t te = ws->group_count[gi];
     ws->group_off[gi] = total_rows;
     ws->group_fill[gi] = 0;
-    ws->group_kind[gi] = static_cast<std::int32_t>(
-        options_.force_kind.value_or(SelectKernel(te, options_.ari_threshold)));
+    const KernelKind kind =
+        options_.force_kind.has_value()
+            ? *options_.force_kind
+            : (calibrated ? options_.dispatch->Choose(dtype, te)
+                          : SelectKernel(te, options_.ari_threshold));
+    ws->group_variant[gi] = static_cast<std::int32_t>(
+        KernelVariantIndex(ResolveKernelVariant(kind, options_.impl, dtype)));
     total_rows += te;
     max_group = std::max(max_group, te);
   }
@@ -535,8 +565,9 @@ void CpuMoe::Forward(const float* x, std::int64_t tokens, const MoeRouting& rout
   ws->n_a = num_groups * ws->bands_a;
   ws->n_b = num_groups * ws->bands_b;
   ws->n_r = CeilDiv(tokens, kReduceBand);
-  ws->amx_calls = 0;
-  ws->avx512_calls = 0;
+  for (std::int64_t& c : ws->kind_calls) {
+    c = 0;
+  }
   const std::int64_t total = ws->n_a + ws->n_b + ws->n_r;
 
   moe_span.set_arg("subtasks", total);
@@ -580,13 +611,26 @@ void CpuMoe::Forward(const float* x, std::int64_t tokens, const MoeRouting& rout
     run_phase(ws->n_a + ws->n_b, ws->n_r);
   }
 
+  // Per-variant dispatch counts: MoeStats for callers, the trace layer for
+  // timeline correlation, and the global metrics registry for scraping. The
+  // counter pointers are resolved once (registry lookups take a mutex).
+  for (int k = 0; k < 4; ++k) {
+    if (ws->kind_calls[k] != 0) {
+      ws->kind_counters[k]->Add(ws->kind_calls[k]);
+      KTX_TRACE_COUNTER("moe", KernelKindName(static_cast<KernelKind>(k)),
+                        ws->kind_counters[k]->value());
+    }
+  }
+
   if (stats != nullptr) {
     stats->tokens += tokens;
     stats->activated_experts += static_cast<int>(num_groups);
     stats->max_tokens_per_expert = std::max(stats->max_tokens_per_expert, max_group);
     stats->subtasks += total;
-    stats->amx_calls += ws->amx_calls;
-    stats->avx512_calls += ws->avx512_calls;
+    stats->amx_calls += ws->kind_calls[static_cast<int>(KernelKind::kAmx)];
+    stats->avx512_calls += ws->kind_calls[static_cast<int>(KernelKind::kAvx512)];
+    stats->avx2_calls += ws->kind_calls[static_cast<int>(KernelKind::kAvx2)];
+    stats->scalar_calls += ws->kind_calls[static_cast<int>(KernelKind::kScalar)];
     stats->useful_flops += 6.0 * static_cast<double>(total_rows) *
                            static_cast<double>(hidden) * static_cast<double>(inter);
     stats->hot_rows += hot_count;

@@ -21,9 +21,14 @@
 // thread counts, and batch compositions (a token's reduce order never depends
 // on which other tokens share the call). This is what
 // absorbs the heavy expert-activation imbalance of the prefill phase (up to
-// 1.83x, Fig. 14 'd'). The kernel kind per expert follows the
-// arithmetic-intensity rule of Fig. 7: <= ari_threshold tokens -> AVX-512,
-// otherwise AMX.
+// 1.83x, Fig. 14 'd'). The kernel kind per expert-group follows the
+// arithmetic-intensity rule of Fig. 7: a calibrated dispatch table (when the
+// engine provides one via MoeOptions::dispatch) maps tokens-per-expert to the
+// fastest measured variant; otherwise the fixed ari_threshold heuristic
+// applies, restricted to kinds the host actually has. The chosen kind is
+// resolved through the kernel-variant registry (kernel_registry.h), so the
+// fused pipeline below is expressed once against the variant interface and
+// every variant produces bit-identical outputs.
 //
 // Every buffer the forward pass needs lives in a persistent per-CpuMoe
 // workspace that grows to a high-water mark: steady-state decode performs zero
@@ -49,6 +54,8 @@
 #include "src/tensor/tensor.h"
 
 namespace ktx {
+
+struct KernelDispatchTable;  // src/cpu/kernel_calibrate.h
 
 // Gate/Up/Down projections of one routed expert, packed tile-wise.
 struct PackedExpert {
@@ -93,10 +100,14 @@ struct MoeRouting {
 
 struct MoeOptions {
   ScheduleKind schedule = ScheduleKind::kDynamic;
-  std::int64_t ari_threshold = 4;                // Fig. 7 crossover
-  std::optional<KernelKind> force_kind;          // override ARI dispatch
+  std::int64_t ari_threshold = 4;                // Fig. 7 crossover (fallback)
+  std::optional<KernelKind> force_kind;          // override dispatch entirely
   KernelImpl impl = KernelImpl::kAuto;
   std::int64_t band_blocks = 4;                  // 16-wide tile bands per task
+  // Calibrated dispatch table (kernel_calibrate.h), consulted per expert-group
+  // when non-null and non-empty; force_kind still wins. Not owned — the engine
+  // keeps the calibration result alive for the CpuMoe's lifetime.
+  const KernelDispatchTable* dispatch = nullptr;
 };
 
 // Pre-computed hot-expert rows for one routed batch (filled by the expert
@@ -123,8 +134,15 @@ struct MoeStats {
   // Total tasks dispatched, across all three phases (Gate/Up+SwiGLU, Down,
   // and the reduce scatter-add — the reduce phase counts too).
   std::int64_t subtasks = 0;
+  // GEMM calls by the *resolved* variant kind (what actually executed, after
+  // availability-aware selection and down-tiering — not what was requested).
   std::int64_t amx_calls = 0;
   std::int64_t avx512_calls = 0;
+  std::int64_t avx2_calls = 0;
+  std::int64_t scalar_calls = 0;
+  std::int64_t gemm_calls() const {
+    return amx_calls + avx512_calls + avx2_calls + scalar_calls;
+  }
   double useful_flops = 0.0;
   // Expert-cache split of the routed slots: `hot_rows` were served from
   // pre-computed hot-expert rows (no CPU expert work), `cold_rows` ran the

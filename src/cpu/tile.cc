@@ -1,5 +1,7 @@
 #include "src/cpu/tile.h"
 
+#include <cmath>
+
 namespace ktx {
 
 void TileReg::Load(const void* base, int stride_bytes, int rows, int bytes_per_row) {
@@ -22,19 +24,30 @@ void TileReg::Load(const void* base, int stride_bytes, int rows, int bytes_per_r
 void TdpBf16Ps(AccTile& c, const TileReg& a, const TileReg& b, int a_rows) {
   // A row i: 32 bf16 values (pairs p=0..15, r=0..1 at column 2p+r).
   // B row p: 16 bf16 pairs, pair j at columns 2j, 2j+1.
+  //
+  // Canonical op sequence (matches the TDPBF16PS silicon, measured): per
+  // instruction the even-index products and odd-index products accumulate in
+  // two separate f32 chains over ascending p, and the accumulator absorbs
+  // their sum with two rounded adds: c += (sum_even + sum_odd). Each product
+  // of two bf16 values is exact in f32 (8-bit mantissae), so an fma chain and
+  // a mul-then-add chain are the same rounded sequence; std::fma keeps this
+  // explicit and compiler-proof. Every vector kernel reproduces exactly this
+  // sequence, which is what makes all kernel variants bit-identical.
   const auto* a_bf16 = reinterpret_cast<const std::uint16_t*>(a.data);
   const auto* b_bf16 = reinterpret_cast<const std::uint16_t*>(b.data);
   for (int i = 0; i < a_rows; ++i) {
     for (int j = 0; j < kNBlock; ++j) {
-      float acc = c.f32[i][j];
+      float se = 0.0f;
+      float so = 0.0f;
       for (int p = 0; p < kTileRows; ++p) {
-        for (int r = 0; r < 2; ++r) {
-          const float av = BF16ToFloat(BF16{a_bf16[i * 32 + 2 * p + r]});
-          const float bv = BF16ToFloat(BF16{b_bf16[p * 32 + 2 * j + r]});
-          acc += av * bv;
-        }
+        const float ae = BF16ToFloat(BF16{a_bf16[i * 32 + 2 * p]});
+        const float ao = BF16ToFloat(BF16{a_bf16[i * 32 + 2 * p + 1]});
+        const float be = BF16ToFloat(BF16{b_bf16[p * 32 + 2 * j]});
+        const float bo = BF16ToFloat(BF16{b_bf16[p * 32 + 2 * j + 1]});
+        se = std::fma(ae, be, se);
+        so = std::fma(ao, bo, so);
       }
-      c.f32[i][j] = acc;
+      c.f32[i][j] += se + so;
     }
   }
 }

@@ -241,8 +241,17 @@ Status ApplyFusedMoeKwargs(const ReplaceClause& replace, EngineOptions* options)
         options->moe.force_kind = KernelKind::kAmx;
       } else if (value == "AVX512") {
         options->moe.force_kind = KernelKind::kAvx512;
+      } else if (value == "AVX2") {
+        options->moe.force_kind = KernelKind::kAvx2;
+      } else if (value == "scalar") {
+        options->moe.force_kind = KernelKind::kScalar;
       } else if (value == "hybrid_AMX_AVX512") {
         options->moe.force_kind.reset();  // ARI-based dispatch
+      } else if (value == "calibrated") {
+        // Measured dispatch: the engine microbenchmarks every available
+        // variant at startup and dispatches through the fitted table.
+        options->moe.force_kind.reset();
+        options->calibrate_kernels = true;
       } else {
         return InvalidArgumentError("unknown FusedMoE backend: " + value);
       }
@@ -266,6 +275,9 @@ Status ApplyFusedMoeKwargs(const ReplaceClause& replace, EngineOptions* options)
       } else {
         return InvalidArgumentError("unknown numa mode: " + value);
       }
+    } else if (key == "kernel_profile") {
+      // Cache path for the calibrated dispatch profile (backend: calibrated).
+      options->kernel_profile_path = value;
     } else {
       return InvalidArgumentError("unknown FusedMoE kwarg: " + key);
     }

@@ -111,6 +111,8 @@ void NumaMoe::Forward(const float* x, std::int64_t tokens, const MoeRouting& rou
         stats->subtasks += local.subtasks;
         stats->amx_calls += local.amx_calls;
         stats->avx512_calls += local.avx512_calls;
+        stats->avx2_calls += local.avx2_calls;
+        stats->scalar_calls += local.scalar_calls;
         stats->useful_flops += local.useful_flops;
       }
     }

@@ -109,6 +109,26 @@ TEST(CliTest, EvalReportsPerplexityAndDivergence) {
   EXPECT_NE(skip.output.find("skipping 4 experts"), std::string::npos);
 }
 
+TEST(CliTest, CpuinfoListsVariantsAndCalibrates) {
+  SKIP_WITHOUT_CLI();
+  const char* path = "cli_cpuinfo_profile.json";
+  std::remove(path);
+  const RunResult first = RunCli(std::string("cpuinfo --profile ") + path);
+  EXPECT_EQ(first.exit_code, 0);
+  EXPECT_NE(first.output.find("cpu features:"), std::string::npos);
+  // Every registry entry appears; emulated ones are always available.
+  for (const char* name : {"amx_native", "avx512_native", "avx2_native", "amx_emulated",
+                           "avx512_emulated", "scalar"}) {
+    EXPECT_NE(first.output.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(first.output.find("freshly measured"), std::string::npos);
+  // Second run loads the profile written by the first.
+  const RunResult second = RunCli(std::string("cpuinfo --profile ") + path);
+  EXPECT_EQ(second.exit_code, 0);
+  EXPECT_NE(second.output.find("from cached profile"), std::string::npos);
+  std::remove(path);
+}
+
 TEST(CliTest, WarnsOnUnusedFlags) {
   SKIP_WITHOUT_CLI();
   const RunResult r = RunCli("info --model ds2 --bogus-flag 1");

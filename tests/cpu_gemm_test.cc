@@ -8,6 +8,7 @@
 #include "src/cpu/cpu_features.h"
 #include "src/cpu/amx_native.h"
 #include "src/cpu/gemm.h"
+#include "src/cpu/kernel_registry.h"
 #include "src/cpu/layout.h"
 #include "src/cpu/tile.h"
 
@@ -157,11 +158,17 @@ TEST(LayoutTest, ColSumsMatchQuantizedPayload) {
 }
 
 TEST(SelectKernelTest, AriThreshold) {
-  EXPECT_EQ(SelectKernel(1), KernelKind::kAvx512);
-  EXPECT_EQ(SelectKernel(4), KernelKind::kAvx512);
-  EXPECT_EQ(SelectKernel(5), KernelKind::kAmx);
-  EXPECT_EQ(SelectKernel(1024), KernelKind::kAmx);
-  EXPECT_EQ(SelectKernel(8, 16), KernelKind::kAvx512);
+  // The Fig. 7 crossover with every kind present; host availability is
+  // covered by SelectKernelHonorsAvailability in kernel_registry_test.
+  const KernelAvailability all{/*amx=*/true, /*avx512=*/true, /*avx2=*/true};
+  EXPECT_EQ(SelectKernelWith(1, 4, all), KernelKind::kAvx512);
+  EXPECT_EQ(SelectKernelWith(4, 4, all), KernelKind::kAvx512);
+  EXPECT_EQ(SelectKernelWith(5, 4, all), KernelKind::kAmx);
+  EXPECT_EQ(SelectKernelWith(1024, 4, all), KernelKind::kAmx);
+  EXPECT_EQ(SelectKernelWith(8, 16, all), KernelKind::kAvx512);
+  // The convenience overload is exactly the host-availability spelling.
+  EXPECT_EQ(SelectKernel(3, 4), SelectKernelWith(3, 4, KernelAvailability::Host()));
+  EXPECT_EQ(SelectKernel(99, 4), SelectKernelWith(99, 4, KernelAvailability::Host()));
 }
 
 struct GemmCase {
@@ -204,7 +211,7 @@ TEST_P(GemmSweep, NativeMatchesEmulatedWhenAvailable) {
   eopts.impl = KernelImpl::kEmulated;
   GemmPacked(x.f32(), c.m, c.k, *packed, emu.f32(), c.n, eopts);
 
-  for (KernelKind kind : {KernelKind::kAmx, KernelKind::kAvx512}) {
+  for (KernelKind kind : {KernelKind::kAmx, KernelKind::kAvx512, KernelKind::kAvx2}) {
     if (!KernelAvailable(kind, KernelImpl::kNative)) {
       continue;
     }
@@ -213,9 +220,9 @@ TEST_P(GemmSweep, NativeMatchesEmulatedWhenAvailable) {
     nopts.kind = kind;
     nopts.impl = KernelImpl::kNative;
     GemmPacked(x.f32(), c.m, c.k, *packed, nat.f32(), c.n, nopts);
-    // Same quantized/bf16 inputs; only accumulation order differs.
-    EXPECT_LT(RelativeError(nat, emu), 2e-4f)
-        << "kind=" << (kind == KernelKind::kAmx ? "amx" : "avx512");
+    // Every variant computes the canonical op sequence: bit-identical, not
+    // merely close (kernel_registry.h).
+    EXPECT_EQ(MaxAbsDiff(nat, emu), 0.0f) << "kind=" << KernelKindName(kind);
   }
 }
 
@@ -338,7 +345,7 @@ TEST(GemmTest, NativeAvx2MatchesEmulatedBf16) {
   Tensor avx2({5, 48}, DType::kF32);
   NativeAvx2GemmBf16(x.f32(), 5, 96, *packed, avx2.f32(), 48, /*accumulate=*/false, 0,
                      packed->n_blocks());
-  EXPECT_LT(RelativeError(avx2, emu), 2e-4f);
+  EXPECT_EQ(MaxAbsDiff(avx2, emu), 0.0f);
 }
 
 TEST(GemmTest, NativeAvx2HonorsBandsAndAccumulate) {
@@ -355,7 +362,8 @@ TEST(GemmTest, NativeAvx2HonorsBandsAndAccumulate) {
   Tensor twice = once.Clone();
   NativeAvx2GemmBf16(x.f32(), 2, 64, *packed, twice.f32(), 40, true, 0, packed->n_blocks());
   for (std::int64_t i = 0; i < twice.numel(); ++i) {
-    EXPECT_NEAR(twice.f32()[i], 2.0f * once.f32()[i], 1e-4f);
+    // The second pass recomputes the identical bits; v + v is exact in f32.
+    EXPECT_EQ(twice.f32()[i], 2.0f * once.f32()[i]);
   }
   // Band restriction writes only columns [16, 32).
   Tensor banded = Tensor::Full({2, 40}, -3.0f);
@@ -365,7 +373,7 @@ TEST(GemmTest, NativeAvx2HonorsBandsAndAccumulate) {
       if (c < 16 || c >= 32) {
         EXPECT_EQ(banded.At(r, c), -3.0f) << r << "," << c;
       } else {
-        EXPECT_NEAR(banded.At(r, c), once.At(r, c), 1e-4f);
+        EXPECT_EQ(banded.At(r, c), once.At(r, c)) << r << "," << c;
       }
     }
   }
@@ -389,8 +397,8 @@ TEST(GemmTest, NativeAvx2Int8MatchesEmulated) {
     Tensor avx2({3, 48}, DType::kF32);
     NativeAvx2GemmInt8(x.f32(), 3, 128, *packed, avx2.f32(), 48, false, 0,
                        packed->n_blocks());
-    // Identical integer MACs; only the f32 rescale order differs.
-    EXPECT_LT(RelativeError(avx2, emu), 1e-5f) << DTypeName(dtype);
+    // Identical integer MACs and the canonical rescale order: bit-identical.
+    EXPECT_EQ(MaxAbsDiff(avx2, emu), 0.0f) << DTypeName(dtype);
   }
 }
 
@@ -426,7 +434,7 @@ TEST(GemmTest, F32BitIdenticalAcrossBackends) {
     RefGemm(x.f32(), m, k, w, ref.f32(), n);
     EXPECT_LT(RelativeError(emu, ref), 1e-5f);
 
-    for (KernelKind kind : {KernelKind::kAmx, KernelKind::kAvx512}) {
+    for (KernelKind kind : {KernelKind::kAmx, KernelKind::kAvx512, KernelKind::kAvx2}) {
       if (!KernelAvailable(kind, KernelImpl::kNative)) {
         continue;
       }
@@ -436,13 +444,7 @@ TEST(GemmTest, F32BitIdenticalAcrossBackends) {
       nopts.impl = KernelImpl::kNative;
       GemmPacked(x.f32(), m, k, *packed, nat.f32(), n, nopts);
       EXPECT_EQ(MaxAbsDiff(nat, emu), 0.0f)
-          << "m=" << m << " kind=" << (kind == KernelKind::kAmx ? "amx" : "avx512");
-    }
-    if (NativeAvx2Available()) {
-      Tensor avx2({m, n}, DType::kF32);
-      NativeAvx2GemmF32(x.f32(), m, k, *packed, avx2.f32(), n, false, 0,
-                        packed->n_blocks());
-      EXPECT_EQ(MaxAbsDiff(avx2, emu), 0.0f) << "m=" << m << " avx2";
+          << "m=" << m << " kind=" << KernelKindName(kind);
     }
   }
 }
@@ -491,7 +493,7 @@ TEST(GemmTest, Int4FusedUnpackMatchesEmulatedRaggedShapes) {
     GemmOptions eopts;
     eopts.impl = KernelImpl::kEmulated;
     GemmPacked(x.f32(), m, k, *packed, emu.f32(), n, eopts);
-    for (KernelKind kind : {KernelKind::kAmx, KernelKind::kAvx512}) {
+    for (KernelKind kind : {KernelKind::kAmx, KernelKind::kAvx512, KernelKind::kAvx2}) {
       if (!KernelAvailable(kind, KernelImpl::kNative)) {
         continue;
       }
@@ -500,14 +502,7 @@ TEST(GemmTest, Int4FusedUnpackMatchesEmulatedRaggedShapes) {
       nopts.kind = kind;
       nopts.impl = KernelImpl::kNative;
       GemmPacked(x.f32(), m, k, *packed, nat.f32(), n, nopts);
-      EXPECT_LT(RelativeError(nat, emu), 3e-4f)
-          << "m=" << m << " kind=" << (kind == KernelKind::kAmx ? "amx" : "avx512");
-    }
-    if (NativeAvx2Available()) {
-      Tensor avx2({m, n}, DType::kF32);
-      NativeAvx2GemmInt8(x.f32(), m, k, *packed, avx2.f32(), n, false, 0,
-                         packed->n_blocks());
-      EXPECT_LT(RelativeError(avx2, emu), 3e-4f) << "m=" << m << " avx2";
+      EXPECT_EQ(MaxAbsDiff(nat, emu), 0.0f) << "m=" << m << " kind=" << KernelKindName(kind);
     }
   }
 }
@@ -540,7 +535,7 @@ TEST(GemmFuzzTest, RandomShapesAgreeAcrossAllBackends) {
         << "round " << round << " m=" << m << " n=" << n << " k=" << k << " "
         << DTypeName(dtype);
 
-    for (KernelKind kind : {KernelKind::kAmx, KernelKind::kAvx512}) {
+    for (KernelKind kind : {KernelKind::kAmx, KernelKind::kAvx512, KernelKind::kAvx2}) {
       if (!KernelAvailable(kind, KernelImpl::kNative)) {
         continue;
       }
@@ -549,19 +544,8 @@ TEST(GemmFuzzTest, RandomShapesAgreeAcrossAllBackends) {
       nopts.kind = kind;
       nopts.impl = KernelImpl::kNative;
       GemmPacked(x.f32(), m, k, *packed, nat.f32(), n, nopts);
-      ASSERT_LT(RelativeError(nat, emu), 3e-4f)
-          << "round " << round << " kind=" << (kind == KernelKind::kAmx ? "amx" : "avx512");
-    }
-    if (NativeAvx2Available()) {
-      Tensor avx2({m, n}, DType::kF32);
-      if (dtype == DType::kBF16) {
-        NativeAvx2GemmBf16(x.f32(), m, k, *packed, avx2.f32(), n, false, 0,
-                           packed->n_blocks());
-      } else {
-        NativeAvx2GemmInt8(x.f32(), m, k, *packed, avx2.f32(), n, false, 0,
-                           packed->n_blocks());
-      }
-      ASSERT_LT(RelativeError(avx2, emu), 3e-4f) << "round " << round << " avx2";
+      ASSERT_EQ(MaxAbsDiff(nat, emu), 0.0f)
+          << "round " << round << " kind=" << KernelKindName(kind);
     }
   }
 }

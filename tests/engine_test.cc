@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <memory>
+#include <string>
 
 #include "src/common/rng.h"
 #include "src/core/engine.h"
@@ -473,6 +476,53 @@ TEST(EngineLifecycleTest, BackendFaultHooksPropagateAsStatus) {
   ASSERT_FALSE(row.ok());
   EXPECT_EQ(row.code(), StatusCode::kInternal);
   EXPECT_TRUE(engine->TakeSessionFault(other).ok());  // consumed
+}
+
+TEST(HybridEngineTest, KernelCalibrationProfileRoundTripsAcrossRestarts) {
+  // The serving-restart contract: the first engine start with calibration on
+  // runs the microbenchmark and writes the profile; the second start loads it
+  // with ZERO microbenchmark work; a corrupted profile recalibrates instead of
+  // aborting. Because every variant is bit-identical, calibrated dispatch must
+  // not change a single logit versus the fixed-threshold engine.
+  const std::string path = "engine_kernel_profile_test.json";
+  std::remove(path.c_str());
+  EngineFixture f(TinyMoeConfig());
+  const std::vector<int> prompt{3, 1, 4, 1, 5};
+
+  EngineOptions base;
+  auto plain = f.MakeEngine(base);
+  plain->Prefill(prompt);
+  const Tensor reference = plain->DecodeStep(9);
+
+  EngineOptions cal = base;
+  cal.calibrate_kernels = true;
+  cal.kernel_profile_path = path;
+  auto first = f.MakeEngine(cal);
+  EXPECT_FALSE(first->kernel_calibration().from_cache);
+  EXPECT_GT(first->kernel_calibration().microbench_samples, 0);
+  EXPECT_FALSE(first->kernel_calibration().table.empty());
+  first->Prefill(prompt);
+  EXPECT_EQ(MaxAbsDiff(first->DecodeStep(9), reference), 0.0f)
+      << "calibrated dispatch changed logits";
+
+  // Restart: the cached profile satisfies the request outright.
+  auto second = f.MakeEngine(cal);
+  EXPECT_TRUE(second->kernel_calibration().from_cache);
+  EXPECT_EQ(second->kernel_calibration().microbench_samples, 0);
+  second->Prefill(prompt);
+  EXPECT_EQ(MaxAbsDiff(second->DecodeStep(9), reference), 0.0f);
+
+  // Corrupt profile: logged warning + recalibration, never an abort.
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{ not json";
+  }
+  auto third = f.MakeEngine(cal);
+  EXPECT_FALSE(third->kernel_calibration().from_cache);
+  EXPECT_GT(third->kernel_calibration().microbench_samples, 0);
+  third->Prefill(prompt);
+  EXPECT_EQ(MaxAbsDiff(third->DecodeStep(9), reference), 0.0f);
+  std::remove(path.c_str());
 }
 
 }  // namespace

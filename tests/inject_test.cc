@@ -262,6 +262,18 @@ TEST(InjectTest, EngineOptionsBackendOverrides) {
   EXPECT_EQ(options->numa_mode, NumaMode::kNaiveInterleaved);
 }
 
+TEST(InjectTest, EngineOptionsCalibratedBackend) {
+  const char* yaml =
+      "- match:\n    class: DeepseekV3MoE\n  replace:\n    class: FusedMoE\n"
+      "    kwargs:\n      backend: \"calibrated\"\n"
+      "      kernel_profile: \"configs/kernel_profile.json\"\n";
+  auto options = EngineOptionsFromYaml(yaml);
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  EXPECT_FALSE(options->moe.force_kind.has_value());
+  EXPECT_TRUE(options->calibrate_kernels);
+  EXPECT_EQ(options->kernel_profile_path, "configs/kernel_profile.json");
+}
+
 TEST(InjectTest, EngineOptionsRejectUnknownClassAndKwargs) {
   EXPECT_FALSE(EngineOptionsFromYaml(
                    "- match:\n    class: X\n  replace:\n    class: Typo\n")

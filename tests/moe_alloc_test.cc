@@ -31,6 +31,7 @@
 
 #include "src/common/rng.h"
 #include "src/common/thread_pool.h"
+#include "src/cpu/kernel_registry.h"
 #include "src/cpu/moe_cpu.h"
 
 namespace {
@@ -247,6 +248,75 @@ TEST(MoeAllocTest, ReserveAloneMakesFirstForwardAllocationFree) {
 
   EXPECT_EQ(g_alloc_events.load(), 0)
       << "first Forward after Reserve performed heap allocations";
+}
+
+TEST(MoeAllocTest, EverySelectableVariantDecodesAllocationFree) {
+  // GemmScratchBytes is the max over the whole registry, so the workspace
+  // Reserve sizes must cover EVERY variant the dispatcher could pick — not
+  // just the one the ARI heuristic lands on for this host. Force each
+  // available variant in turn and re-assert the zero-allocation property.
+  constexpr int kExperts = 8;
+  constexpr std::int64_t kHidden = 64;
+  constexpr std::int64_t kInter = 48;
+  constexpr int kTopK = 2;
+  constexpr std::int64_t kTokens = 4;
+
+  Rng rng(99);
+  std::vector<Tensor> gate, up, down;
+  for (int e = 0; e < kExperts; ++e) {
+    Rng er = rng.Split(static_cast<std::uint64_t>(e));
+    gate.push_back(Tensor::Randn({kInter, kHidden}, er, 0.3f));
+    up.push_back(Tensor::Randn({kInter, kHidden}, er, 0.3f));
+    down.push_back(Tensor::Randn({kHidden, kInter}, er, 0.3f));
+  }
+  auto packed = PackedExperts::Pack(gate, up, down, DType::kBF16);
+  ASSERT_TRUE(packed.ok());
+  auto shared = std::make_shared<const PackedExperts>(std::move(*packed));
+
+  Tensor x = Tensor::Randn({kTokens, kHidden}, rng, 0.5f);
+  MoeRouting routing;
+  routing.tokens = kTokens;
+  routing.top_k = kTopK;
+  for (int i = 0; i < kTokens * kTopK; ++i) {
+    routing.expert_ids.push_back(
+        static_cast<int>(rng.NextBounded(static_cast<std::uint64_t>(kExperts))));
+    routing.weights.push_back(0.5f);
+  }
+
+  ThreadPool pool(2);
+  int variants_exercised = 0;
+  for (const KernelVariant& v : KernelRegistry()) {
+    if (!v.available() || !v.supports_dtype(DType::kBF16)) {
+      continue;
+    }
+    ++variants_exercised;
+
+    // ---- Setup per variant (allocations allowed) ----
+    MoeOptions opts;
+    opts.force_kind = v.kind;
+    opts.impl = v.impl;
+    CpuMoe moe(shared, &pool, opts);
+    moe.Reserve(kTokens, kTopK);
+    Tensor y({kTokens, kHidden}, DType::kF32);
+    MoeStats stats;
+    // Warmup reaches steady state for lazily-grown plumbing (trace, metrics).
+    moe.Forward(x.f32(), kTokens, routing, 0, kTopK, y.f32(), &stats);
+
+    // ---- Measured window ----
+    g_alloc_events.store(0, std::memory_order_relaxed);
+    g_count_allocs.store(true, std::memory_order_seq_cst);
+    for (int iter = 0; iter < 10; ++iter) {
+      moe.Forward(x.f32(), kTokens, routing, 0, kTopK, y.f32(), &stats);
+    }
+    g_count_allocs.store(false, std::memory_order_seq_cst);
+
+    EXPECT_EQ(g_alloc_events.load(), 0)
+        << "variant " << v.name << " allocated on the decode hot path";
+    EXPECT_GT(stats.subtasks, 0) << v.name;
+  }
+  // Emulated entries and scalar are always available: at least 3 variants run
+  // on any host, all 6 on a full AMX + AVX-512 + AVX2 machine.
+  EXPECT_GE(variants_exercised, 3);
 }
 
 }  // namespace

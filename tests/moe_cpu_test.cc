@@ -4,10 +4,40 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/cpu/kernel_calibrate.h"
+#include "src/cpu/kernel_registry.h"
 #include "src/cpu/moe_cpu.h"
 
 namespace ktx {
 namespace {
+
+// The kernel counter a MoeStats call lands on for `kind`.
+std::int64_t CallsFor(const MoeStats& stats, KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kAmx:
+      return stats.amx_calls;
+    case KernelKind::kAvx512:
+      return stats.avx512_calls;
+    case KernelKind::kAvx2:
+      return stats.avx2_calls;
+    case KernelKind::kScalar:
+      return stats.scalar_calls;
+  }
+  return 0;
+}
+
+// What CpuMoe resolves a (kind-choice, impl) to for bf16 experts on this
+// host, after the KTX_FORCE_KERNEL env override the constructor applies.
+KernelKind EffectiveKind(std::optional<KernelKind> force_kind, KernelImpl impl,
+                         std::int64_t tokens_per_expert, std::int64_t threshold) {
+  if (const std::optional<ForcedKernel> env = ForcedKernelFromEnv()) {
+    force_kind = env->kind;
+    impl = env->impl;
+  }
+  const KernelKind kind =
+      force_kind.value_or(SelectKernel(tokens_per_expert, threshold));
+  return ResolveKernelVariant(kind, impl, DType::kBF16).kind;
+}
 
 struct MoeFixtureData {
   std::vector<Tensor> gate;
@@ -150,10 +180,10 @@ TEST(CpuMoeTest, StatsReflectRoutingShape) {
   // band, one n-band per matrix) there is exactly 1 reduce task; the remaining
   // tasks split evenly between Gate/Up (2 GEMM calls each) and Down (1 each).
   const std::int64_t gemm_tasks = stats.subtasks - 1;
-  EXPECT_EQ(stats.amx_calls + stats.avx512_calls, gemm_tasks + gemm_tasks / 2);
+  EXPECT_EQ(stats.gemm_calls(), gemm_tasks + gemm_tasks / 2);
 }
 
-TEST(CpuMoeTest, AriDispatchUsesAvx512ForDecodeSizedBatches) {
+TEST(CpuMoeTest, AriDispatchUsesRowKernelForDecodeSizedBatches) {
   auto d = MakeFixture(6, 32, 32, 2, 2, DType::kBF16, 11);
   ThreadPool pool(1);
   MoeOptions opts;
@@ -162,9 +192,16 @@ TEST(CpuMoeTest, AriDispatchUsesAvx512ForDecodeSizedBatches) {
   Tensor out({2, 32}, DType::kF32);
   MoeStats stats;
   moe.Forward(d.x.f32(), 2, d.routing, 0, 2, out.f32(), &stats);
-  // <= 4 tokens per expert everywhere -> every call must be AVX-512.
-  EXPECT_EQ(stats.amx_calls, 0);
-  EXPECT_GT(stats.avx512_calls, 0);
+  // <= 4 tokens per expert everywhere -> every call lands on the kind the
+  // availability-aware heuristic resolves for this host (AVX-512 when the
+  // host has it; never AMX unless AMX is the only native tier).
+  const KernelKind expected = EffectiveKind(std::nullopt, opts.impl, 2, opts.ari_threshold);
+  EXPECT_GT(CallsFor(stats, expected), 0);
+  EXPECT_EQ(CallsFor(stats, expected), stats.gemm_calls());
+  if (KernelAvailability::Host().avx512 && !ForcedKernelFromEnv().has_value()) {
+    EXPECT_EQ(expected, KernelKind::kAvx512);
+    EXPECT_EQ(stats.amx_calls, 0);
+  }
 }
 
 TEST(CpuMoeTest, ForceKindOverridesAri) {
@@ -176,8 +213,47 @@ TEST(CpuMoeTest, ForceKindOverridesAri) {
   Tensor out({2, 32}, DType::kF32);
   MoeStats stats;
   moe.Forward(d.x.f32(), 2, d.routing, 0, 2, out.f32(), &stats);
-  EXPECT_EQ(stats.avx512_calls, 0);
-  EXPECT_GT(stats.amx_calls, 0);
+  // The forced kind resolves through the registry (down-tiering on hosts
+  // without native AMX), so assert against the resolved kind.
+  const KernelKind expected =
+      EffectiveKind(KernelKind::kAmx, opts.impl, 2, opts.ari_threshold);
+  EXPECT_GT(CallsFor(stats, expected), 0);
+  EXPECT_EQ(CallsFor(stats, expected), stats.gemm_calls());
+  if (KernelAvailability::Host().amx && !ForcedKernelFromEnv().has_value()) {
+    EXPECT_EQ(expected, KernelKind::kAmx);
+    EXPECT_EQ(stats.avx512_calls, 0);
+  }
+}
+
+TEST(CpuMoeTest, CalibratedDispatchTableDrivesKernelChoiceBitIdentically) {
+  auto d = MakeFixture(6, 32, 32, 8, 2, DType::kBF16, 14);
+  ThreadPool pool(2);
+
+  Tensor baseline({8, 32}, DType::kF32);
+  {
+    CpuMoe moe(d.packed, &pool, MoeOptions{});
+    moe.Forward(d.x.f32(), 8, d.routing, 0, 2, baseline.f32());
+  }
+
+  // A synthetic table that forces the *opposite* decision everywhere the
+  // heuristic would pick a row kernel: every group size dispatches to AMX
+  // (resolved availability-aware). The output must not change by a single
+  // bit — dispatch is a performance decision only.
+  KernelDispatchTable table;
+  table.bf16.push_back({1, KernelKind::kAmx});
+  MoeOptions opts;
+  opts.dispatch = &table;
+  CpuMoe moe(d.packed, &pool, opts);
+  Tensor out({8, 32}, DType::kF32);
+  MoeStats stats;
+  moe.Forward(d.x.f32(), 8, d.routing, 0, 2, out.f32(), &stats);
+  EXPECT_EQ(MaxAbsDiff(out, baseline), 0.0f);
+
+  // Every group dispatched through the table's kAmx choice (resolved for
+  // this host; the KTX_FORCE_KERNEL env override beats the table).
+  const KernelKind resolved = EffectiveKind(KernelKind::kAmx, opts.impl, 1, 0);
+  EXPECT_EQ(CallsFor(stats, resolved), stats.gemm_calls());
+  EXPECT_GT(stats.gemm_calls(), 0);
 }
 
 TEST(CpuMoeTest, SharedExpertRoutingWeightOne) {

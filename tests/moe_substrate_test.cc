@@ -293,7 +293,7 @@ TEST(MoeChainedStressTest, StatsCountAllThreePhases) {
   // the GEMM tasks (which average 1.5 kernel calls per task: 2 for Gate/Up,
   // 1 for Down, equal task counts only when bands match — so just check the
   // reduce tasks are present).
-  const std::int64_t gemm_calls = stats.amx_calls + stats.avx512_calls;
+  const std::int64_t gemm_calls = stats.gemm_calls();
   EXPECT_GT(stats.subtasks, 0);
   EXPECT_GT(gemm_calls, 0);
   // Every GEMM task makes at least one call; 2 tasks are pure reduce.

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <optional>
 
 #include "src/core/engine.h"
+#include "src/cpu/kernel_registry.h"
 
 namespace ktx {
 namespace {
@@ -92,9 +94,11 @@ TEST(SessionTest, VerifyStepMatchesSequentialDecode) {
   EXPECT_EQ(batched.position(), serial.position());
 }
 
-TEST(SessionTest, VerifyStepUsesAmxForWideDrafts) {
+TEST(SessionTest, VerifyStepUsesTileKernelForWideDrafts) {
   // A long draft pushes tokens/expert above the ARI threshold, flipping the
-  // kernel dispatch to AMX — the speculative-decoding synergy.
+  // kernel dispatch to the tile (AMX) kind — the speculative-decoding
+  // synergy. On hosts without native AMX the registry down-tiers, so assert
+  // against the kind the dispatch actually resolves for a wide batch.
   Fixture f;
   HybridEngine engine(f.config, f.weights, EngineOptions{});
   engine.Prefill({1});
@@ -105,7 +109,30 @@ TEST(SessionTest, VerifyStepUsesAmxForWideDrafts) {
   const MoeStats before = engine.moe_stats();
   engine.VerifyStep(0, draft);
   const MoeStats after = engine.moe_stats();
-  EXPECT_GT(after.amx_calls, before.amx_calls);
+  KernelKind wide = ResolveKernelVariant(
+                        SelectKernel(32, engine.options().moe.ari_threshold),
+                        engine.options().moe.impl, engine.options().cpu_weight_dtype)
+                        .kind;
+  if (const std::optional<ForcedKernel> env = ForcedKernelFromEnv()) {
+    wide = ResolveKernelVariant(env->kind, env->impl, engine.options().cpu_weight_dtype).kind;
+  }
+  const auto calls = [wide](const MoeStats& s) {
+    switch (wide) {
+      case KernelKind::kAmx:
+        return s.amx_calls;
+      case KernelKind::kAvx512:
+        return s.avx512_calls;
+      case KernelKind::kAvx2:
+        return s.avx2_calls;
+      case KernelKind::kScalar:
+        return s.scalar_calls;
+    }
+    return std::int64_t{0};
+  };
+  EXPECT_GT(calls(after), calls(before));
+  if (KernelAvailability::Host().amx && !ForcedKernelFromEnv().has_value()) {
+    EXPECT_EQ(wide, KernelKind::kAmx);
+  }
 }
 
 TEST(SessionTest, OutOfRangeSessionThrows) {

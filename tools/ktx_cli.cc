@@ -14,6 +14,11 @@
 //             run a traced generation, write a Perfetto-loadable Chrome
 //             trace, print the per-category event summary (and, with
 //             --metrics, the process metrics registry as JSON)
+//   cpuinfo   [--profile FILE]
+//             detected CPU features, every registered kernel variant with
+//             its availability/dtype support on this host, and the
+//             microbenchmark-calibrated crossover table (loaded from
+//             --profile when valid, measured and written there otherwise)
 //
 // Examples:
 //   ktx_cli info --model ds3
@@ -37,6 +42,9 @@
 #include "src/common/trace.h"
 #include "src/core/placement.h"
 #include "src/core/strategy_sim.h"
+#include "src/cpu/cpu_features.h"
+#include "src/cpu/kernel_calibrate.h"
+#include "src/cpu/kernel_registry.h"
 #include "src/inject/inject.h"
 #include "src/model/eval.h"
 #include "src/model/sampler.h"
@@ -45,7 +53,7 @@
 namespace {
 
 int Usage() {
-  std::printf("usage: ktx_cli <info|simulate|generate|inject|eval|trace> [flags]\n"
+  std::printf("usage: ktx_cli <info|simulate|generate|inject|eval|trace|cpuinfo> [flags]\n"
               "run with a subcommand; see the header of tools/ktx_cli.cc\n");
   return 2;
 }
@@ -340,6 +348,56 @@ int CmdTrace(const ktx::FlagParser& flags) {
   return 0;
 }
 
+int CmdCpuinfo(const ktx::FlagParser& flags) {
+  std::printf("cpu features: %s\n", ktx::GetCpuFeatures().ToString().c_str());
+  std::printf("\nregistered kernel variants:\n");
+  std::printf("  %-18s %-10s %-12s %s\n", "variant", "available", "dtypes", "role");
+  for (const ktx::KernelVariant& v : ktx::KernelRegistry()) {
+    std::string dtypes;
+    for (ktx::DType d :
+         {ktx::DType::kF32, ktx::DType::kBF16, ktx::DType::kI8, ktx::DType::kI4}) {
+      if (v.supports_dtype(d)) {
+        if (!dtypes.empty()) {
+          dtypes += ",";
+        }
+        dtypes += std::string(ktx::DTypeName(d));
+      }
+    }
+    std::printf("  %-18s %-10s %-12s %s\n", v.name, v.available() ? "yes" : "no",
+                dtypes.c_str(),
+                v.impl == ktx::KernelImpl::kNative ? "dispatch candidate"
+                                                   : "reference / opt-in");
+  }
+  if (const auto forced = ktx::ForcedKernelFromEnv()) {
+    std::printf("\nKTX_FORCE_KERNEL is set: every expert-group forced to %s/%s\n",
+                ktx::KernelKindName(forced->kind), ktx::KernelImplName(forced->impl));
+  }
+
+  ktx::KernelCalibrationOptions cal;
+  cal.profile_path = flags.GetString("profile", "");
+  const ktx::KernelCalibrationResult result = ktx::CalibrateOrLoad(cal);
+  std::printf("\ncalibrated crossover table (%s, %lld microbench samples):\n",
+              result.from_cache ? "from cached profile" : "freshly measured",
+              static_cast<long long>(result.microbench_samples));
+  const std::pair<const char*, const std::vector<ktx::KernelDispatchTable::Segment>*>
+      classes[] = {{"f32", &result.table.f32},
+                   {"bf16", &result.table.bf16},
+                   {"quant", &result.table.quant}};
+  for (const auto& [name, segs] : classes) {
+    std::printf("  %-6s", name);
+    if (segs->empty()) {
+      std::printf(" (empty: heuristic SelectKernel fallback)\n");
+      continue;
+    }
+    for (const auto& seg : *segs) {
+      std::printf(" [m>=%lld -> %s]", static_cast<long long>(seg.min_m),
+                  ktx::KernelKindName(seg.kind));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -365,6 +423,8 @@ int main(int argc, char** argv) {
     rc = CmdEval(*flags);
   } else if (cmd == "trace") {
     rc = CmdTrace(*flags);
+  } else if (cmd == "cpuinfo") {
+    rc = CmdCpuinfo(*flags);
   } else {
     return Usage();
   }
